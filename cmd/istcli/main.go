@@ -1,0 +1,140 @@
+// Command istcli runs a live interactive IST session in the terminal: it
+// generates (or loads) a dataset, asks YOU the pairwise questions, and
+// returns a tuple guaranteed to be among your top-k.
+//
+// Usage:
+//
+//	istcli                          # 1000 used cars, top-20, RH
+//	istcli -alg hdpi -k 10 -n 500
+//	istcli -dataset nba -alg rh
+//	istcli -simulate                # answer with a random hidden utility
+//
+// Answer each question with 1 or 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"ist"
+)
+
+var attrNames = map[string][]string{
+	"car":     {"cheapness", "year", "power", "condition"},
+	"nba":     {"points", "rebounds", "assists", "steals", "blocks", "minutes"},
+	"weather": {"temperature", "dryness", "calm-wind", "sunshine"},
+	"island":  {"coast-access", "elevation"},
+}
+
+func main() {
+	var (
+		name     = flag.String("dataset", "car", "anti|corr|indep|island|weather|car|nba")
+		load     = flag.String("load", "", "load tuples from a CSV file instead of generating (normalized to (0,1], larger better)")
+		n        = flag.Int("n", 1000, "number of candidate tuples")
+		d        = flag.Int("d", 4, "dimensionality (synthetic families only)")
+		k        = flag.Int("k", 20, "return one of your top-k")
+		algName  = flag.String("alg", "rh", "rh|hdpi|hdpi-accurate|2dpi")
+		want     = flag.Int("want", 1, "how many of the top-k to return (>1 uses the SomeTopK variants, rh/hdpi only)")
+		seed     = flag.Int64("seed", 0, "random seed (0 = time-based)")
+		simulate = flag.Bool("simulate", false, "answer automatically with a random hidden utility")
+	)
+	flag.Parse()
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	var ds *ist.Dataset
+	var err error
+	if *load != "" {
+		f, ferr := os.Open(*load)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "istcli:", ferr)
+			os.Exit(1)
+		}
+		ds, err = ist.ReadCSV(f, *load)
+		f.Close()
+		if err == nil {
+			ds, err = ist.NormalizeDataset(ds, nil)
+		}
+	} else {
+		ds, err = ist.DatasetByName(*name, rng, *n, *d)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "istcli:", err)
+		os.Exit(1)
+	}
+	band := ist.Preprocess(ds.Points, *k)
+	fmt.Printf("Dataset %s: %d tuples, %d in the %d-skyband.\n", ds.Name, ds.Size(), len(band), *k)
+
+	var alg ist.Algorithm
+	switch *algName {
+	case "rh":
+		alg = ist.NewRH(*seed)
+	case "hdpi":
+		alg = ist.NewHDPI(*seed)
+	case "hdpi-accurate":
+		alg = ist.NewHDPIAccurate(*seed)
+	case "2dpi":
+		if ds.Dim() != 2 {
+			fmt.Fprintln(os.Stderr, "istcli: 2dpi needs a 2-dimensional dataset (try -dataset island)")
+			os.Exit(1)
+		}
+		alg = ist.NewTwoDPI()
+	default:
+		fmt.Fprintln(os.Stderr, "istcli: unknown algorithm", *algName)
+		os.Exit(1)
+	}
+
+	var o ist.Oracle
+	var hidden ist.Point
+	if *simulate {
+		hidden = ist.RandomUtility(rng, ds.Dim())
+		o = ist.NewUser(hidden)
+		fmt.Printf("Simulating a user with hidden utility %v.\n", hidden)
+	} else {
+		attrs := attrNames[ds.Name]
+		o = ist.NewConsoleOracle(os.Stdin, os.Stdout, attrs)
+		fmt.Printf("Answer each question with 1 or 2; %s will find one of your top-%d tuples.\n", alg.Name(), *k)
+	}
+
+	if *want > 1 {
+		var multi ist.MultiAlgorithm
+		switch *algName {
+		case "rh":
+			multi = ist.NewRHMulti(*seed)
+		case "hdpi":
+			multi = ist.NewHDPIMulti(*seed)
+		default:
+			fmt.Fprintln(os.Stderr, "istcli: -want > 1 supports only rh and hdpi")
+			os.Exit(1)
+		}
+		got := multi.RunMulti(band, *k, *want, o)
+		fmt.Printf("\n%s finished after %d questions; %d of your top-%d tuples:\n",
+			multi.Name(), o.Questions(), len(got), *k)
+		for _, i := range got {
+			fmt.Printf("  %v\n", band[i])
+		}
+		if *simulate {
+			allGood := true
+			for _, i := range got {
+				if !ist.IsTopK(band, hidden, *k, band[i]) {
+					allGood = false
+				}
+			}
+			fmt.Printf("Verification: all in the top-%d? %v\n", *k, allGood)
+		}
+		return
+	}
+
+	res := ist.Solve(alg, band, *k, o)
+	fmt.Printf("\n%s finished after %d questions (%.3fs processing).\n", alg.Name(), res.Questions, res.Duration.Seconds())
+	fmt.Printf("Recommended tuple: %v\n", res.Point)
+	if *simulate {
+		fmt.Printf("Verification: in top-%d w.r.t. the hidden utility? %v (accuracy %.4f)\n",
+			*k, ist.IsTopK(band, hidden, *k, res.Point), ist.Accuracy(band, hidden, *k, res.Point))
+	}
+}

@@ -1,0 +1,56 @@
+// Command istserve exposes interactive IST sessions over HTTP, the way a
+// product would embed the library: the server holds the algorithm state,
+// the client (a web page, an app) relays questions to a human.
+//
+//	istserve -addr :8080 -dataset car -n 1000 -k 20
+//
+// API (JSON):
+//
+//	POST /sessions                {"algorithm":"hdpi"}        -> {"id":..., "question":{...}}
+//	POST /sessions/{id}/answer    {"prefer":1}                -> next question or {"result":{...}}
+//	GET  /sessions/{id}                                       -> current state
+//	DELETE /sessions/{id}                                     -> abort
+//
+// A question shows the two tuples' attribute values; answer with prefer 1
+// or 2. The server is a demonstration: sessions live in memory and expire
+// after -session-ttl.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"ist"
+	"ist/internal/server"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		name = flag.String("dataset", "car", "anti|corr|indep|island|weather|car|nba")
+		n    = flag.Int("n", 1000, "number of candidate tuples")
+		d    = flag.Int("d", 4, "dimensionality (synthetic families only)")
+		k    = flag.Int("k", 20, "return one of the user's top-k")
+		seed = flag.Int64("seed", 1, "random seed")
+		ttl  = flag.Duration("session-ttl", 15*time.Minute, "idle session expiry")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	ds, err := ist.DatasetByName(*name, rng, *n, *d)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "istserve:", err)
+		os.Exit(1)
+	}
+	band := ist.Preprocess(ds.Points, *k)
+	log.Printf("istserve: %s, %d tuples (%d in the %d-skyband), listening on %s",
+		ds.Name, ds.Size(), len(band), *k, *addr)
+
+	srv := server.New(band, *k, *seed, *ttl)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,75 @@
+package ist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ConsoleOracle asks a human the pairwise questions over an io.Reader /
+// io.Writer pair (used by cmd/istcli and the interactive examples). Each
+// question prints the two tuples' attributes and accepts "1"/"2" (or
+// "a"/"b") as the answer; invalid input re-prompts. On EOF it defaults to
+// preferring the first tuple, so scripted input never deadlocks.
+type ConsoleOracle struct {
+	in        *bufio.Scanner
+	out       io.Writer
+	attrs     []string
+	questions int
+	// Denormalize, when set, converts a normalized point back to raw
+	// attribute values for display.
+	Denormalize func(Point) []string
+}
+
+// NewConsoleOracle builds a console oracle with the given attribute names.
+func NewConsoleOracle(in io.Reader, out io.Writer, attrs []string) *ConsoleOracle {
+	return &ConsoleOracle{in: bufio.NewScanner(in), out: out, attrs: attrs}
+}
+
+// Prefer implements Oracle.
+func (c *ConsoleOracle) Prefer(p, q Point) bool {
+	c.questions++
+	fmt.Fprintf(c.out, "\nQuestion %d — which do you prefer?\n", c.questions)
+	c.printOption(1, p)
+	c.printOption(2, q)
+	for {
+		fmt.Fprintf(c.out, "Enter 1 or 2: ")
+		if !c.in.Scan() {
+			fmt.Fprintln(c.out, "1 (end of input)")
+			return true
+		}
+		switch strings.TrimSpace(strings.ToLower(c.in.Text())) {
+		case "1", "a":
+			return true
+		case "2", "b":
+			return false
+		}
+		fmt.Fprintln(c.out, "Please answer 1 or 2.")
+	}
+}
+
+// Questions implements Oracle.
+func (c *ConsoleOracle) Questions() int { return c.questions }
+
+func (c *ConsoleOracle) printOption(idx int, p Point) {
+	fmt.Fprintf(c.out, "  [%d]", idx)
+	if c.Denormalize != nil {
+		for i, v := range c.Denormalize(p) {
+			name := fmt.Sprintf("attr%d", i+1)
+			if i < len(c.attrs) {
+				name = c.attrs[i]
+			}
+			fmt.Fprintf(c.out, " %s=%s", name, v)
+		}
+	} else {
+		for i, v := range p {
+			name := fmt.Sprintf("attr%d", i+1)
+			if i < len(c.attrs) {
+				name = c.attrs[i]
+			}
+			fmt.Fprintf(c.out, " %s=%.3f", name, v)
+		}
+	}
+	fmt.Fprintln(c.out)
+}

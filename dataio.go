@@ -1,0 +1,38 @@
+package ist
+
+import (
+	"io"
+
+	"ist/internal/dataset"
+)
+
+// Dataset input/output: load real tabular data, normalize it into the
+// paper's (0,1] larger-is-better domain, and export datasets as CSV.
+
+// Orientation declares attribute direction for normalization.
+type Orientation = dataset.Orientation
+
+// Attribute orientations for NormalizeDataset.
+const (
+	// LargerBetter keeps the attribute's direction (e.g. horse power).
+	LargerBetter = dataset.LargerBetter
+	// SmallerBetter flips it (e.g. price, used kilometers).
+	SmallerBetter = dataset.SmallerBetter
+)
+
+// ReadCSV parses comma-separated numeric rows (optional header, '#'
+// comments) into a dataset.
+func ReadCSV(r io.Reader, name string) (*Dataset, error) {
+	return dataset.ReadCSV(r, name)
+}
+
+// WriteCSV writes a dataset as comma-separated rows.
+func WriteCSV(w io.Writer, d *Dataset) error { return d.WriteCSV(w) }
+
+// NormalizeDataset rescales every attribute into (0,1] with
+// larger-is-better orientation — the preprocessing required before feeding
+// raw data to the algorithms. Pass nil orientations when every attribute is
+// already larger-is-better.
+func NormalizeDataset(d *Dataset, orientations []Orientation) (*Dataset, error) {
+	return d.Normalize(orientations)
+}

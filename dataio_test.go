@@ -1,0 +1,70 @@
+package ist
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadWriteCSVPublicAPI(t *testing.T) {
+	in := `# raw listing: price (less better), power (more better)
+20000,150
+10000,120
+30000,220
+`
+	ds, err := ReadCSV(strings.NewReader(in), "cars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := NormalizeDataset(ds, []Orientation{SmallerBetter, LargerBetter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cheapest car gets the best price score.
+	if norm.Points[1][0] != 1 {
+		t.Fatalf("cheapest car price score = %v", norm.Points[1][0])
+	}
+	// The normalized dataset feeds straight into the pipeline.
+	band := Preprocess(norm.Points, 1)
+	if len(band) == 0 {
+		t.Fatal("no skyline from normalized data")
+	}
+	var out strings.Builder
+	if err := WriteCSV(&out, norm); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(strings.TrimSpace(out.String()), "\n") + 1; lines != 3 {
+		t.Fatalf("wrote %d lines", lines)
+	}
+}
+
+func TestEndToEndFromCSV(t *testing.T) {
+	// The full adoption path: raw CSV -> normalize -> preprocess -> solve.
+	var raw strings.Builder
+	raw.WriteString("price,year,power,km\n")
+	rows := []string{
+		"15000,2015,110,90000", "22000,2018,150,40000", "9000,2010,75,150000",
+		"31000,2020,220,15000", "18000,2016,130,70000", "12000,2013,95,110000",
+		"27000,2019,180,25000", "20000,2017,140,55000", "16000,2015,120,80000",
+		"25000,2018,170,35000", "11000,2012,85,120000", "29000,2020,200,20000",
+	}
+	for _, r := range rows {
+		raw.WriteString(r + "\n")
+	}
+	ds, err := ReadCSV(strings.NewReader(raw.String()), "mycars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := NormalizeDataset(ds, []Orientation{
+		SmallerBetter, LargerBetter, LargerBetter, SmallerBetter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 3
+	band := Preprocess(norm.Points, k)
+	hidden := Point{0.4, 0.1, 0.4, 0.1}
+	res := Solve(NewHDPIAccurate(1), band, k, NewUser(hidden))
+	if !IsTopK(band, hidden, k, res.Point) {
+		t.Fatal("CSV end-to-end returned non-top-k car")
+	}
+}

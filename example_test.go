@@ -1,0 +1,80 @@
+package ist_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ist"
+)
+
+// The basic flow: preprocess, pick an algorithm, interact, get a guaranteed
+// top-k tuple.
+func ExampleSolve() {
+	rng := rand.New(rand.NewSource(42))
+	ds := ist.AntiCorrelated(rng, 2000, 4)
+	k := 10
+	band := ist.Preprocess(ds.Points, k)
+
+	hidden := ist.Point{0.3, 0.2, 0.4, 0.1} // the user's (unknown) preference
+	user := ist.NewUser(hidden)
+
+	res := ist.Solve(ist.NewHDPI(1), band, k, user)
+	fmt.Println("top-k:", ist.IsTopK(band, hidden, k, res.Point))
+	// Output:
+	// top-k: true
+}
+
+// Session inverts control for service integration: pull questions, push
+// answers.
+func ExampleSession() {
+	rng := rand.New(rand.NewSource(7))
+	ds := ist.CarLike(rng, 500)
+	k := 10
+	band := ist.Preprocess(ds.Points, k)
+	hidden := ist.RandomUtility(rng, 4)
+
+	s := ist.NewSession(ist.NewRH(7), band, k)
+	defer s.Close()
+	for {
+		p, q, done := s.Next()
+		if done {
+			break
+		}
+		// In a real system this is where the question goes out to a human.
+		s.Answer(hidden.Dot(p) >= hidden.Dot(q))
+	}
+	pt, _, _ := s.Result()
+	fmt.Println("found a guaranteed top-k car:", ist.IsTopK(band, hidden, k, pt))
+	// Output:
+	// found a guaranteed top-k car: true
+}
+
+// Preprocessing keeps only tuples that can possibly be in anyone's top-k.
+func ExamplePreprocess() {
+	pts := []ist.Point{
+		{0.9, 0.1},
+		{0.5, 0.5},
+		{0.1, 0.9},
+		{0.2, 0.2}, // dominated by (0.5, 0.5): cannot be anyone's top-1
+	}
+	band := ist.Preprocess(pts, 1)
+	fmt.Println(len(band))
+	// Output:
+	// 3
+}
+
+// Loading real data: CSV in, normalize with per-attribute orientation.
+func ExampleReadCSV() {
+	csv := `price,power
+	20000,150
+	10000,120
+	30000,220`
+	ds, _ := ist.ReadCSV(readerOf(csv), "cars")
+	norm, _ := ist.NormalizeDataset(ds, []ist.Orientation{ist.SmallerBetter, ist.LargerBetter})
+	fmt.Println(norm.Size(), norm.Dim())
+	// Output:
+	// 3 2
+}
+
+func readerOf(s string) *strings.Reader { return strings.NewReader(s) }

@@ -1,0 +1,64 @@
+// Apartment hunting in 2D: rent cheapness vs size. Demonstrates the
+// 2-dimensional machinery of Section 4 — the plane-sweep partitioning of
+// the utility space (Algorithm 1) and the binary-search interaction
+// (Algorithm 2), which is asymptotically optimal in questions asked.
+//
+//	go run ./examples/apartments
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ist"
+	"ist/internal/core"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// 400 apartments: cheapness vs size, negatively correlated (big flats
+	// cost more).
+	ds := ist.AntiCorrelated(rng, 400, 2)
+	k := 5
+	band := ist.Preprocess(ds.Points, k)
+	fmt.Printf("Listings: %d apartments, %d in the %d-skyband\n\n", ds.Size(), len(band), k)
+
+	// Show Algorithm 1's output: the utility space [0,1] divided into the
+	// minimum number of partitions, each carrying a guaranteed top-k flat.
+	alg := core.TwoDPI{}
+	parts := alg.Partitions(band, k)
+	fmt.Printf("Algorithm 1 split the utility space into %d partitions:\n", len(parts))
+	for i, p := range parts {
+		bar := renderBar(p.L, p.R)
+		fmt.Printf("  Θ%-2d %s  u₁∈[%.3f,%.3f]  flat(cheap=%.2f,size=%.2f)\n",
+			i+1, bar, p.L, p.R, band[p.Point][0], band[p.Point][1])
+	}
+
+	// Interact: binary search needs only ⌈log₂(partitions)⌉ questions.
+	hidden := ist.Point{0.35, 0.65} // the renter mostly cares about size
+	user := ist.NewUser(hidden)
+	res := ist.Solve(ist.NewTwoDPI(), band, k, user)
+	fmt.Printf("\n2D-PI asked %d questions (log₂(%d) ≈ %.1f) and returned %v\n",
+		res.Questions, len(parts), log2(len(parts)), res.Point)
+	fmt.Printf("guaranteed top-%d: %v\n", k, ist.IsTopK(band, hidden, k, res.Point))
+}
+
+func renderBar(l, r float64) string {
+	const width = 40
+	a, b := int(l*width), int(r*width)
+	if b <= a {
+		b = a + 1
+	}
+	return "[" + strings.Repeat(" ", a) + strings.Repeat("█", b-a) + strings.Repeat(" ", width-b) + "]"
+}
+
+func log2(n int) float64 {
+	v, x := 0.0, 1
+	for x < n {
+		x *= 2
+		v++
+	}
+	return v
+}

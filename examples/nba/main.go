@@ -1,0 +1,53 @@
+// NBA scouting: a 6-attribute high-dimensional scenario. A scout wants one
+// of the top-k players for an unknown weighting of points, rebounds,
+// assists, steals, blocks and minutes — and also demonstrates the
+// Section 6.5 trade-off between returning one, some, or all of the top-k.
+//
+//	go run ./examples/nba
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ist"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	ds := ist.NBALike(rng, 2000)
+	k := 10
+	band := ist.Preprocess(ds.Points, k)
+	fmt.Printf("League: %d players, %d in the %d-skyband (6 attributes)\n\n", ds.Size(), len(band), k)
+
+	scout := ist.RandomUtility(rng, 6)
+
+	// Single-answer comparison: our algorithms vs the UH baselines.
+	eps := ist.EpsilonForTopK(band, scout, k)
+	for _, alg := range []ist.Algorithm{
+		ist.NewHDPI(3), ist.NewRH(3),
+		ist.NewUHRandom(eps, 3), ist.NewUHSimplex(eps, 3),
+	} {
+		user := ist.NewUser(scout)
+		res := ist.Solve(alg, band, k, user)
+		fmt.Printf("%-14s %2d questions, %7.3fs, top-%d: %v\n",
+			alg.Name(), res.Questions, res.Duration.Seconds(), k,
+			ist.IsTopK(band, scout, k, res.Point))
+	}
+
+	// One vs some vs all of the top-k (Figures 14/17): more answers cost
+	// steeply more questions.
+	fmt.Println("\nHow many of the top-10 do you want? (RH-SomeTopK)")
+	for _, want := range []int{1, 3, 5, 10} {
+		user := ist.NewUser(scout)
+		got := ist.NewRHMulti(3).RunMulti(band, k, want, user)
+		allGood := true
+		for _, i := range got {
+			if !ist.IsTopK(band, scout, k, band[i]) {
+				allGood = false
+			}
+		}
+		fmt.Printf("  want=%2d -> %2d questions, %d players returned, all top-%d: %v\n",
+			want, user.Questions(), len(got), k, allGood)
+	}
+}

@@ -1,0 +1,41 @@
+// Quickstart: find one of a user's top-10 tuples in a 4-attribute dataset
+// with a handful of pairwise questions.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ist"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// 1. A dataset of 5000 tuples with 4 attributes in (0,1], larger better.
+	ds := ist.AntiCorrelated(rng, 5000, 4)
+
+	// 2. Preprocess to the 10-skyband: only these points can ever be top-10.
+	k := 10
+	band := ist.Preprocess(ds.Points, k)
+	fmt.Printf("%d tuples -> %d possible top-%d tuples after preprocessing\n",
+		ds.Size(), len(band), k)
+
+	// 3. The "user": in an application this is a person answering questions;
+	// here it is a simulation with a hidden utility vector.
+	hidden := ist.RandomUtility(rng, 4)
+	user := ist.NewUser(hidden)
+
+	// 4. Interactively search for one of the user's top-10 tuples.
+	res := ist.Solve(ist.NewRH(1), band, k, user)
+
+	fmt.Printf("RH asked %d questions and returned %v\n", res.Questions, res.Point)
+	fmt.Printf("guaranteed top-%d? %v\n", k, ist.IsTopK(band, hidden, k, res.Point))
+
+	// HD-PI usually asks even fewer questions (at higher processing cost).
+	user2 := ist.NewUser(hidden)
+	res2 := ist.Solve(ist.NewHDPI(1), band, k, user2)
+	fmt.Printf("HD-PI asked %d questions and returned %v\n", res2.Questions, res2.Point)
+}

@@ -1,0 +1,78 @@
+// Transcripts and mistake tolerance: record a real interaction, replay it
+// deterministically, and see what happens when the user misclicks — the
+// paper's stated future work, addressed by the majority-vote wrapper and
+// the Robust-HD-PI extension.
+//
+//	go run ./examples/transcripts
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ist"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(21))
+	ds := ist.CarLike(rng, 800)
+	k := 15
+	band := ist.Preprocess(ds.Points, k)
+	alice := ist.RandomUtility(rng, 4)
+	fmt.Printf("Market: %d cars, %d candidates for the top-%d\n\n", ds.Size(), len(band), k)
+
+	// 1. Record a session.
+	rec := ist.NewRecordingOracle(ist.NewUser(alice))
+	first := ist.Solve(ist.NewRH(99), band, k, rec)
+	fmt.Printf("Recorded session: %d questions -> car %v\n", first.Questions, first.Point)
+
+	// 2. Serialize the transcript (this is what you would persist).
+	var buf strings.Builder
+	if err := rec.Transcript().Save(&buf); err != nil {
+		panic(err)
+	}
+	fmt.Printf("Transcript JSON: %d bytes\n", len(buf.String()))
+
+	// 3. Replay it against a fresh instance (same algorithm, same seed):
+	// the run reproduces exactly without bothering the user again.
+	tr, err := ist.LoadTranscript(strings.NewReader(buf.String()))
+	if err != nil {
+		panic(err)
+	}
+	rep := ist.NewReplayOracle(tr)
+	second := ist.Solve(ist.NewRH(99), band, k, rep)
+	fmt.Printf("Replayed session: %d questions -> same car? %v (replay error: %v)\n\n",
+		second.Questions, second.Index == first.Index, rep.Err())
+
+	// 4. Mistake tolerance: Alice misclicks 20% of the time.
+	fmt.Println("Alice misclicks 20% of the time:")
+	trials := 30
+	strategies := []struct {
+		name string
+		run  func(seed int64, o ist.Oracle) ist.Result
+	}{
+		{"HD-PI (plain)", func(seed int64, o ist.Oracle) ist.Result {
+			return ist.Solve(ist.NewHDPI(seed), band, k, o)
+		}},
+		{"HD-PI + 3-vote majority", func(seed int64, o ist.Oracle) ist.Result {
+			return ist.Solve(ist.NewHDPI(seed), band, k, ist.NewMajorityOracle(o, 3))
+		}},
+		{"Robust-HD-PI", func(seed int64, o ist.Oracle) ist.Result {
+			return ist.Solve(ist.NewRobustHDPI(seed), band, k, o)
+		}},
+	}
+	for _, st := range strategies {
+		hits, questions := 0, 0
+		for trial := 0; trial < trials; trial++ {
+			noisy := ist.NewNoisyUser(alice, 0.2, rand.New(rand.NewSource(int64(trial))))
+			res := st.run(int64(trial), noisy)
+			if ist.IsTopK(band, alice, k, res.Point) {
+				hits++
+			}
+			questions += noisy.Questions()
+		}
+		fmt.Printf("  %-26s top-%d hit rate %2d/%d, avg %.1f questions\n",
+			st.name, k, hits, trials, float64(questions)/float64(trials))
+	}
+}

@@ -1,0 +1,58 @@
+// Used-car shopping: the paper's running example (Section 1). Alice wants a
+// cheap car with high horse power but cannot state utility weights; the
+// system learns her preference from pairwise choices and returns a car
+// guaranteed to be among her top-20.
+//
+//	go run ./examples/usedcars              # simulated Alice
+//	go run ./examples/usedcars -interactive # you are Alice
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"ist"
+)
+
+func main() {
+	interactive := flag.Bool("interactive", false, "answer the questions yourself")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(7))
+	ds := ist.CarLike(rng, 1000) // 1000 candidate cars as in Section 6.4
+	k := 20
+	band := ist.Preprocess(ds.Points, k)
+	fmt.Printf("Car market: %d cars, %d could be someone's top-%d\n", ds.Size(), len(band), k)
+
+	if *interactive {
+		o := ist.NewConsoleOracle(os.Stdin, os.Stdout,
+			[]string{"cheapness", "year", "power", "condition"})
+		res := ist.Solve(ist.NewHDPI(7), band, k, o)
+		fmt.Printf("\nAfter %d questions, your car: cheapness=%.2f year=%.2f power=%.2f condition=%.2f\n",
+			res.Questions, res.Point[0], res.Point[1], res.Point[2], res.Point[3])
+		return
+	}
+
+	// Simulate Alice: she cares 40%% about price and 60%% about power — the
+	// weights she could never have typed into a top-k query box.
+	alice := ist.Point{0.4, 0.05, 0.5, 0.05}
+	fmt.Printf("Alice's hidden utility: %v\n\n", alice)
+
+	for _, alg := range []ist.Algorithm{
+		ist.NewHDPI(7), ist.NewHDPIAccurate(7), ist.NewRH(7),
+	} {
+		user := ist.NewUser(alice)
+		res := ist.Solve(alg, band, k, user)
+		fmt.Printf("%-16s %2d questions, %7.3fs -> car %v (top-%d: %v)\n",
+			alg.Name(), res.Questions, res.Duration.Seconds(), res.Point, k,
+			ist.IsTopK(band, alice, k, res.Point))
+	}
+
+	// What if Alice sometimes misclicks? (Section 6.4's user study.)
+	noisy := ist.NewNoisyUser(alice, 0.1, rng)
+	res := ist.Solve(ist.NewRH(7), band, k, noisy)
+	fmt.Printf("\nWith 10%% answer noise RH asked %d questions; result accuracy %.3f\n",
+		res.Questions, ist.Accuracy(band, alice, k, res.Point))
+}

@@ -1,0 +1,63 @@
+package ist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRobustHDPIPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := AntiCorrelated(rng, 300, 3)
+	k := 5
+	band := Preprocess(ds.Points, k)
+	u := RandomUtility(rng, 3)
+	res := Solve(NewRobustHDPI(1), band, k, NewUser(u))
+	if res.Index < 0 || res.Index >= len(band) {
+		t.Fatalf("bad index %d", res.Index)
+	}
+	// With a truthful user the robust variant should still land in the
+	// top-k in this easy setting.
+	if !IsTopK(band, u, k, res.Point) {
+		t.Fatal("robust variant missed the top-k with a truthful user")
+	}
+}
+
+func TestMajorityOraclePublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	u := RandomUtility(rng, 3)
+	noisy := NewNoisyUser(u, 0.2, rng)
+	maj := NewMajorityOracle(noisy, 3)
+	ds := AntiCorrelated(rng, 200, 3)
+	band := Preprocess(ds.Points, 4)
+	res := Solve(NewHDPI(2), band, 4, maj)
+	if res.Questions == 0 && len(band) > 5 {
+		t.Fatal("no questions asked")
+	}
+	// Questions counts the raw repetitions.
+	if noisy.Questions() != res.Questions {
+		t.Fatalf("majority question accounting: %d vs %d", noisy.Questions(), res.Questions)
+	}
+}
+
+func TestSortingPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := AntiCorrelated(rng, 200, 3)
+	k := 5
+	band := Preprocess(ds.Points, k)
+	u := RandomUtility(rng, 3)
+	eps := EpsilonForTopK(band, u, k)
+	for _, alg := range []*SortingUH{
+		NewSortingRandom(4, eps, 3),
+		NewSortingSimplex(4, eps, 3),
+	} {
+		user := NewUser(u)
+		res := Solve(alg, band, k, user)
+		if !IsTopK(band, u, k, res.Point) {
+			t.Fatalf("%s returned non-top-%d", alg.Name(), k)
+		}
+		if alg.DisplayRounds() > res.Questions {
+			t.Fatalf("%s: display rounds %d > pairwise questions %d",
+				alg.Name(), alg.DisplayRounds(), res.Questions)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module ist
+
+go 1.24

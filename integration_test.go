@@ -1,0 +1,143 @@
+package ist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestIntegrationMatrix runs every algorithm against every dataset family
+// at a few k values and asserts top-k correctness of every answer — the
+// end-to-end compatibility net across the whole public surface.
+func TestIntegrationMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix is not short")
+	}
+	type dsCase struct {
+		name string
+		d    int
+	}
+	datasets := []dsCase{
+		{"anti", 3}, {"corr", 3}, {"indep", 4},
+		{"island", 2}, {"weather", 4}, {"car", 4}, {"nba", 6},
+	}
+	for _, dc := range datasets {
+		dc := dc
+		t.Run(dc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			ds, err := DatasetByName(dc.name, rng, 500, dc.d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 5, 20} {
+				band := Preprocess(ds.Points, k)
+				u := RandomUtility(rng, ds.Dim())
+				eps := EpsilonForTopK(band, u, k)
+				algs := []Algorithm{
+					NewRH(1), NewHDPI(1), NewHDPIAccurate(1), NewRobustHDPI(1),
+					NewUHRandom(eps, 1), NewUHSimplex(eps, 1),
+					NewUHRandomAdapt(1), NewUHSimplexAdapt(1),
+					NewSortingRandom(4, eps, 1), NewSortingSimplex(4, eps, 1),
+				}
+				if ds.Dim() == 2 {
+					algs = append(algs, NewTwoDPI(), NewMedianAdapt(), NewHullAdapt())
+				}
+				for _, alg := range algs {
+					res := Solve(alg, band, k, NewUser(u))
+					// The sampling, robust and ε-based algorithms have
+					// probabilistic guarantees; everything must at least
+					// return a valid index, and the exact algorithms must
+					// return a top-k point.
+					if res.Index < 0 || res.Index >= len(band) {
+						t.Fatalf("%s/%s k=%d: invalid index", dc.name, alg.Name(), k)
+					}
+					exact := !strings.Contains(alg.Name(), "sampling") &&
+						!strings.Contains(alg.Name(), "Robust")
+					if exact && !IsTopK(band, u, k, res.Point) {
+						t.Errorf("%s/%s k=%d: returned non-top-%d point after %d questions",
+							dc.name, alg.Name(), k, k, res.Questions)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTranscriptReplayThroughSolve records a full solve and replays it
+// byte-identically: same questions, same answer sequence, same result.
+func TestTranscriptReplayThroughSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := CarLike(rng, 300)
+	k := 10
+	band := Preprocess(ds.Points, k)
+	hidden := RandomUtility(rng, 4)
+
+	rec := NewRecordingOracle(NewUser(hidden))
+	first := Solve(NewRH(77), band, k, rec)
+
+	// Serialize and reload the transcript, then replay against a fresh
+	// instance of the same algorithm/seed.
+	var buf strings.Builder
+	if err := rec.Transcript().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := LoadTranscript(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReplayOracle(tr)
+	second := Solve(NewRH(77), band, k, rep)
+	if rep.Err() != nil {
+		t.Fatalf("replay diverged: %v", rep.Err())
+	}
+	if first.Index != second.Index || first.Questions != second.Questions {
+		t.Fatalf("replay result (%d, %dq) != original (%d, %dq)",
+			second.Index, second.Questions, first.Index, first.Questions)
+	}
+}
+
+// TestDeterminismAcrossRuns guards the fixed-seed reproducibility that the
+// replay feature and the recorded experiments rely on.
+func TestDeterminismAcrossRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ds := AntiCorrelated(rng, 400, 4)
+	k := 8
+	band := Preprocess(ds.Points, k)
+	u := RandomUtility(rng, 4)
+	for _, mk := range []func() Algorithm{
+		func() Algorithm { return NewRH(123) },
+		func() Algorithm { return NewHDPI(123) },
+	} {
+		a := Solve(mk(), band, k, NewUser(u))
+		b := Solve(mk(), band, k, NewUser(u))
+		if a.Index != b.Index || a.Questions != b.Questions {
+			t.Fatalf("%s not deterministic: (%d,%d) vs (%d,%d)",
+				mk().Name(), a.Index, a.Questions, b.Index, b.Questions)
+		}
+	}
+}
+
+// TestQuestionsScaleWithLogN spot-checks Table 1's expected-case behaviour
+// end-to-end: quadrupling n should add roughly 2·d questions for RH, not
+// multiply them.
+func TestQuestionsScaleWithLogN(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	k := 10
+	avg := func(n int) float64 {
+		ds := AntiCorrelated(rand.New(rand.NewSource(3)), n, 3)
+		band := Preprocess(ds.Points, k)
+		total := 0
+		const trials = 6
+		for i := 0; i < trials; i++ {
+			u := RandomUtility(rng, 3)
+			user := NewUser(u)
+			Solve(NewRH(int64(i)), band, k, user)
+			total += user.Questions()
+		}
+		return float64(total) / trials
+	}
+	small, big := avg(500), avg(4000)
+	if big > small*3+6 {
+		t.Fatalf("questions grew super-logarithmically: n=500 -> %.1f, n=4000 -> %.1f", small, big)
+	}
+}

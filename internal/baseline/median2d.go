@@ -1,0 +1,179 @@
+// Package baseline implements the competitor algorithms the paper adapts
+// and evaluates against (Section 6, "Algorithms"): Median and Hull [36]
+// (2-d), UH-Random and UH-Simplex [36], UtilityApprox [22],
+// Preference-Learning [27] and Active-Ranking [14], plus the paper's
+// -Adapt variants with the relaxed top-k deletion and stopping conditions.
+package baseline
+
+import (
+	"ist/internal/geom"
+	"ist/internal/oracle"
+	"ist/internal/sweep"
+)
+
+// Median is the 2-d top-1 algorithm of [36]: binary search over the upper
+// envelope's breakpoints, halving the number of candidate top-1 points per
+// question. It ignores k (always pinpoints the exact top-1), which is why
+// the paper's Figure 8 shows it asking ~3x more questions than 2D-PI for
+// large k.
+type Median struct{}
+
+// Name implements core.Algorithm.
+func (Median) Name() string { return "Median" }
+
+// Run implements core.Algorithm.
+func (Median) Run(points []geom.Vector, k int, o oracle.Oracle) int {
+	order, _ := sweep.UpperEnvelope(points)
+	lo, hi := 0, len(order)-1 // candidate envelope segments
+	for lo < hi {
+		mid := (lo + hi) / 2
+		// The breakpoint after segment mid separates order[mid] (left
+		// winner) from order[mid+1] (right winner).
+		if o.Prefer(points[order[mid]], points[order[mid+1]]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return order[lo]
+}
+
+// Hull is the second 2-d top-1 algorithm of [36]. Our adaptation selects the
+// question at the breakpoint geometrically closest to the midpoint of the
+// remaining utility interval (bisection in utility space rather than in
+// candidate count).
+type Hull struct{}
+
+// Name implements core.Algorithm.
+func (Hull) Name() string { return "Hull" }
+
+// Run implements core.Algorithm.
+func (Hull) Run(points []geom.Vector, k int, o oracle.Oracle) int {
+	order, breaks := sweep.UpperEnvelope(points)
+	lo, hi := 0, len(order)-1
+	xlo, xhi := 0.0, 1.0
+	for lo < hi {
+		// Breakpoint indices available: lo..hi-1; pick the one closest to
+		// the interval midpoint.
+		mid := (xlo + xhi) / 2
+		best, bestDist := lo, absf(breaks[lo]-mid)
+		for b := lo + 1; b < hi; b++ {
+			if d := absf(breaks[b] - mid); d < bestDist {
+				best, bestDist = b, d
+			}
+		}
+		if o.Prefer(points[order[best]], points[order[best+1]]) {
+			hi, xhi = best, breaks[best]
+		} else {
+			lo, xlo = best+1, breaks[best]
+		}
+	}
+	return order[lo]
+}
+
+// MedianAdapt is Median with the paper's adaptation (Section 6): a point is
+// deleted once it cannot be among the top-k for any remaining utility
+// vector, and the algorithm stops as soon as at most k candidates remain
+// (all of which are then exactly the top-k).
+type MedianAdapt struct{}
+
+// Name implements core.Algorithm.
+func (MedianAdapt) Name() string { return "Median-Adapt" }
+
+// Run implements core.Algorithm.
+func (MedianAdapt) Run(points []geom.Vector, k int, o oracle.Oracle) int {
+	return runAdapt2D(points, k, o, false)
+}
+
+// HullAdapt is Hull with the same adaptation.
+type HullAdapt struct{}
+
+// Name implements core.Algorithm.
+func (HullAdapt) Name() string { return "Hull-Adapt" }
+
+// Run implements core.Algorithm.
+func (HullAdapt) Run(points []geom.Vector, k int, o oracle.Oracle) int {
+	return runAdapt2D(points, k, o, true)
+}
+
+// runAdapt2D shares the Median-Adapt/Hull-Adapt loop; useHull switches the
+// breakpoint-selection strategy.
+func runAdapt2D(points []geom.Vector, k int, o oracle.Oracle, useHull bool) int {
+	order, breaks := sweep.UpperEnvelope(points)
+	lo, hi := 0, len(order)-1
+	xlo, xhi := 0.0, 1.0
+	alive := make([]bool, len(points))
+	for i := range alive {
+		alive[i] = true
+	}
+	countAlive := len(points)
+
+	deleteImpossible := func() {
+		// A point is deleted once >= k points beat it across the whole
+		// remaining interval [xlo, xhi]; lines make "beats throughout" a
+		// two-endpoint test.
+		for i := range points {
+			if !alive[i] {
+				continue
+			}
+			li := sweep.LineOf(points[i])
+			beaters := 0
+			for j := range points {
+				if i == j {
+					continue
+				}
+				lj := sweep.LineOf(points[j])
+				if lj.At(xlo) > li.At(xlo)+geom.Eps && lj.At(xhi) > li.At(xhi)+geom.Eps {
+					beaters++
+					if beaters >= k {
+						break
+					}
+				}
+			}
+			if beaters >= k {
+				alive[i] = false
+				countAlive--
+			}
+		}
+	}
+	deleteImpossible()
+
+	for countAlive > k && lo < hi {
+		var b int
+		if useHull {
+			mid := (xlo + xhi) / 2
+			best, bestDist := lo, absf(breaks[lo]-mid)
+			for bb := lo + 1; bb < hi; bb++ {
+				if d := absf(breaks[bb] - mid); d < bestDist {
+					best, bestDist = bb, d
+				}
+			}
+			b = best
+		} else {
+			b = (lo + hi) / 2
+		}
+		if o.Prefer(points[order[b]], points[order[b+1]]) {
+			hi, xhi = b, breaks[b]
+		} else {
+			lo, xlo = b+1, breaks[b]
+		}
+		deleteImpossible()
+	}
+	// Either <= k candidates remain (all are top-k) or the interval is down
+	// to a single envelope segment; return a guaranteed top-k point.
+	if countAlive <= k {
+		for i, a := range alive {
+			if a {
+				return i
+			}
+		}
+	}
+	return order[lo] // exact top-1 of the pinned segment
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,149 @@
+package baseline
+
+import (
+	"math/rand"
+
+	"ist/internal/geom"
+	"ist/internal/oracle"
+	"ist/internal/polytope"
+)
+
+// PreferenceLearning is the adaptive pairwise-comparison algorithm of [27]
+// (Qian et al., "Learning User Preferences by Adaptive Pairwise
+// Comparison"). It learns the utility vector itself rather than targeting
+// an answer tuple, so it keeps asking until the estimate converges — which
+// is exactly why the paper reports it asking many redundant questions.
+//
+// The estimate u_e is the centre of the feasible region implied by all
+// answers; each round asks the question (among sampled candidate pairs)
+// whose hyperplane passes closest to u_e (most informative for refining
+// the estimate). Two stopping rules are implemented:
+//
+//   - convergence (the paper's main adaptation): the feasible region's
+//     radius around u_e falls below Eps (paper sets 1e-6), or no candidate
+//     hyperplane intersects the region anymore;
+//   - prediction validation (the Section 6.4 user-study re-adaptation):
+//     stop once u_e correctly predicts at least 75% of the last
+//     ValidateWindow answers.
+//
+// Finally one of the top-k points w.r.t. u_e is returned.
+type PreferenceLearning struct {
+	// Eps is the convergence threshold on the learnt utility vector
+	// (default 1e-6, per the paper's experiment setting).
+	Eps float64
+	// Validate enables the 75%-prediction stopping rule of Section 6.4.
+	Validate bool
+	// ValidateWindow is how many recent answers are validated (default 8).
+	ValidateWindow int
+	// CandidatePairs is how many random pairs are scored per round
+	// (default 64).
+	CandidatePairs int
+	// MaxRounds caps the interaction (default 30·n, effectively unbounded).
+	MaxRounds int
+	// Rng drives pair sampling; required.
+	Rng *rand.Rand
+}
+
+type plAnswer struct {
+	h        geom.Hyperplane
+	positive bool
+}
+
+// Name implements core.Algorithm.
+func (a *PreferenceLearning) Name() string { return "Preference-Learning" }
+
+// Run implements core.Algorithm.
+func (a *PreferenceLearning) Run(points []geom.Vector, k int, o oracle.Oracle) int {
+	if a.Rng == nil {
+		a.Rng = rand.New(rand.NewSource(1))
+	}
+	eps := a.Eps
+	if eps == 0 {
+		eps = 1e-6
+	}
+	window := a.ValidateWindow
+	if window <= 0 {
+		window = 8
+	}
+	candidates := a.CandidatePairs
+	if candidates <= 0 {
+		candidates = 64
+	}
+	n := len(points)
+	d := len(points[0])
+	maxRounds := a.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 30 * n
+	}
+	R := polytope.NewSimplex(d)
+	var history []plAnswer
+
+	for round := 0; round < maxRounds; round++ {
+		if R.IsEmpty() {
+			break
+		}
+		ue := R.Center()
+
+		// Convergence: the region has shrunk to a point (radius < eps).
+		radius := 0.0
+		for _, v := range R.Vertices() {
+			if dist := v.Dist(ue); dist > radius {
+				radius = dist
+			}
+		}
+		if radius < eps {
+			break
+		}
+		// Prediction validation (user-study re-adaptation).
+		if a.Validate && len(history) >= window {
+			correct := 0
+			for _, ans := range history[len(history)-window:] {
+				if (ans.h.SideOf(ue) != geom.Below) == ans.positive {
+					correct++
+				}
+			}
+			if float64(correct) >= 0.75*float64(window) {
+				break
+			}
+		}
+
+		// Most informative question: the sampled pair hyperplane closest to
+		// the current estimate (and actually crossing the region).
+		var best geom.Hyperplane
+		bi, bj, bestDist := -1, -1, 0.0
+		for c := 0; c < candidates; c++ {
+			i, j := a.Rng.Intn(n), a.Rng.Intn(n)
+			if i == j {
+				continue
+			}
+			h := geom.NewHyperplane(points[i], points[j])
+			if h.Degenerate() {
+				continue
+			}
+			if R.Classify(h) != polytope.ClassIntersect {
+				continue
+			}
+			if dist := h.Distance(ue); bi < 0 || dist < bestDist {
+				best, bi, bj, bestDist = h, i, j, dist
+			}
+		}
+		if bi < 0 {
+			break // no informative pair found: estimate is as good as it gets
+		}
+		positive := o.Prefer(points[bi], points[bj])
+		h := best
+		if !positive {
+			h = h.Flip()
+		}
+		R.Cut(h)
+		history = append(history, plAnswer{h: best, positive: positive})
+	}
+
+	ue := uniform(d)
+	if !R.IsEmpty() {
+		ue = R.Center()
+	}
+	// "Arbitrarily return one of the top-k points w.r.t. the learnt utility
+	// vector" — return the top-1.
+	return argmaxAt(points, ue)
+}

@@ -1,0 +1,297 @@
+package baseline
+
+import (
+	"math/rand"
+
+	"ist/internal/geom"
+	"ist/internal/oracle"
+	"ist/internal/polytope"
+)
+
+// SortingUH implements Sorting-Random and Sorting-Simplex from [40]
+// (Zheng & Chen, "Sorting-Based Interactive Regret Minimization"), the
+// successor of UH-Random/UH-Simplex that the paper discusses in Section 2:
+// instead of a pairwise question, each interaction round displays
+// DisplaySize tuples and asks the user to order them, from which
+// DisplaySize−1 adjacent-pair halfspace cuts follow (the remaining pairs
+// are implied by transitivity).
+//
+// As the paper argues, "giving an order among tuples is equivalent to
+// picking the favorite tuple several times": the user's ordering is
+// obtained here through the pairwise Oracle with binary-insertion sort, so
+// Questions() exposes the true pairwise effort while DisplayRounds counts
+// the display interactions that [40] reports.
+type SortingUH struct {
+	// Simplex selects Sorting-Simplex (centre-closest hyperplane seeding);
+	// false is Sorting-Random.
+	Simplex bool
+	// DisplaySize is the number of tuples shown per round (default 4).
+	DisplaySize int
+	// Adapt uses the top-k deletion/stopping adaptation like UH-*-Adapt.
+	Adapt bool
+	// Eps is the regret threshold for the non-adapted stopping.
+	Eps float64
+	// Rng drives the random selection; required.
+	Rng *rand.Rand
+
+	displayRounds int
+}
+
+// Name implements core.Algorithm.
+func (a *SortingUH) Name() string {
+	n := "Sorting-Random"
+	if a.Simplex {
+		n = "Sorting-Simplex"
+	}
+	if a.Adapt {
+		n += "-Adapt"
+	}
+	return n
+}
+
+// DisplayRounds returns the number of sorting interactions of the last Run.
+func (a *SortingUH) DisplayRounds() int { return a.displayRounds }
+
+// Run implements core.Algorithm.
+func (a *SortingUH) Run(points []geom.Vector, k int, o oracle.Oracle) int {
+	if a.Rng == nil {
+		a.Rng = rand.New(rand.NewSource(1))
+	}
+	s := a.DisplaySize
+	if s < 2 {
+		s = 4
+	}
+	a.displayRounds = 0
+	n := len(points)
+	d := len(points[0])
+	R := polytope.NewSimplex(d)
+
+	alive := make([]int, n)
+	for i := range alive {
+		alive[i] = i
+	}
+	prune := func() {
+		limit := 1
+		if a.Adapt {
+			limit = k
+		}
+		verts := R.Vertices()
+		cur := append([]int(nil), alive...)
+		kept := alive[:0]
+		for _, i := range cur {
+			dominators := 0
+			for _, j := range cur {
+				if i == j {
+					continue
+				}
+				if rDominates(points[j], points[i], verts) {
+					dominators++
+					if dominators >= limit {
+						break
+					}
+				}
+			}
+			if dominators < limit {
+				kept = append(kept, i)
+			}
+		}
+		alive = kept
+	}
+	prune()
+
+	stale := 0
+	var forced []int
+	for round := 0; round < 4*n+64; round++ {
+		if a.Adapt {
+			if len(alive) <= k {
+				if len(alive) > 0 {
+					return alive[0]
+				}
+				return argmaxCenter(points, R)
+			}
+		} else {
+			if len(alive) == 1 {
+				return alive[0]
+			}
+			if best, reg := bestWorstRegret(points, alive, R); reg <= a.Eps+geom.Eps {
+				return best
+			}
+		}
+
+		display := a.selectDisplay(points, alive, R, s)
+		if forced != nil {
+			display = append(forced, displayExtras(display, forced, s)...)
+			forced = nil
+		}
+		if len(display) < 2 {
+			return argmaxAliveCenter(points, alive, R)
+		}
+		a.displayRounds++
+		ordered := sortByOracle(points, display, o)
+		// Adjacent pairs of the user's order become halfspace cuts.
+		progressed := false
+		for i := 0; i+1 < len(ordered); i++ {
+			h := geom.NewHyperplane(points[ordered[i]], points[ordered[i+1]])
+			if h.Degenerate() {
+				continue
+			}
+			if R.Classify(h) == polytope.ClassIntersect {
+				progressed = true
+			}
+			R.Cut(h)
+			if R.IsEmpty() {
+				return argmaxAt(points, uniform(d))
+			}
+		}
+		prune()
+		if progressed {
+			stale = 0
+		} else {
+			stale++
+		}
+		if (a.Simplex || stale >= 4) && len(alive) > 1 {
+			// Several uninformative displays in a row (or an exhausted
+			// simplex scan): check exactly whether any alive-pair hyperplane
+			// still intersects R. If none does, the candidates' order is
+			// fixed over R and the centre's best alive candidate is exact;
+			// otherwise seed the next display from that pair.
+			bi, bj := intersectingPair(points, alive, R)
+			if bi < 0 {
+				return argmaxAliveCenter(points, alive, R)
+			}
+			forced = []int{bi, bj}
+			stale = 0
+		}
+	}
+	return argmaxAliveCenter(points, alive, R)
+}
+
+// displayExtras pads a forced display seed with distinct points from the
+// regular selection up to size s.
+func displayExtras(selected, seed []int, s int) []int {
+	var out []int
+	for _, c := range selected {
+		if len(seed)+len(out) >= s {
+			break
+		}
+		if !contains(seed, c) && !contains(out, c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// intersectingPair scans alive pairs for one whose hyperplane still
+// intersects R, returning (-1, -1) when none does.
+func intersectingPair(points []geom.Vector, alive []int, R *polytope.Polytope) (int, int) {
+	for x := 0; x < len(alive); x++ {
+		for y := x + 1; y < len(alive); y++ {
+			h := geom.NewHyperplane(points[alive[x]], points[alive[y]])
+			if h.Degenerate() {
+				continue
+			}
+			if c := R.BallSide(h); c == polytope.ClassAbove || c == polytope.ClassBelow {
+				continue
+			}
+			if R.Classify(h) == polytope.ClassIntersect {
+				return alive[x], alive[y]
+			}
+		}
+	}
+	return -1, -1
+}
+
+// selectDisplay picks the tuples to show this round.
+func (a *SortingUH) selectDisplay(points []geom.Vector, alive []int, R *polytope.Polytope, s int) []int {
+	if len(alive) <= s {
+		out := make([]int, len(alive))
+		copy(out, alive)
+		return out
+	}
+	if !a.Simplex {
+		// Sorting-Random: s distinct random candidates.
+		perm := a.Rng.Perm(len(alive))
+		out := make([]int, 0, s)
+		for _, pi := range perm[:s] {
+			out = append(out, alive[pi])
+		}
+		return out
+	}
+	// Sorting-Simplex: seed with the pair whose hyperplane is closest to
+	// R's centre, then greedily add the points whose hyperplane against the
+	// seed is closest (most informative cluster).
+	center := R.Center()
+	bi, bj, bestDist := -1, -1, 0.0
+	for x := 0; x < len(alive); x++ {
+		for y := x + 1; y < len(alive); y++ {
+			h := geom.NewHyperplane(points[alive[x]], points[alive[y]])
+			if h.Degenerate() {
+				continue
+			}
+			if c := R.BallSide(h); c == polytope.ClassAbove || c == polytope.ClassBelow {
+				continue
+			}
+			if R.Classify(h) != polytope.ClassIntersect {
+				continue
+			}
+			if dist := h.Distance(center); bi < 0 || dist < bestDist {
+				bi, bj, bestDist = alive[x], alive[y], dist
+			}
+		}
+	}
+	if bi < 0 {
+		return nil
+	}
+	out := []int{bi, bj}
+	for len(out) < s {
+		add, addDist := -1, 0.0
+		for _, c := range alive {
+			if contains(out, c) {
+				continue
+			}
+			h := geom.NewHyperplane(points[bi], points[c])
+			if h.Degenerate() {
+				continue
+			}
+			if dist := h.Distance(center); add < 0 || dist < addDist {
+				add, addDist = c, dist
+			}
+		}
+		if add < 0 {
+			break
+		}
+		out = append(out, add)
+	}
+	return out
+}
+
+// sortByOracle orders the displayed points best-first according to the
+// user, via binary-insertion with pairwise questions — the "equivalent to
+// picking the favorite several times" effort the paper describes.
+func sortByOracle(points []geom.Vector, display []int, o oracle.Oracle) []int {
+	ordered := make([]int, 0, len(display))
+	for _, p := range display {
+		lo, hi := 0, len(ordered)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if o.Prefer(points[p], points[ordered[mid]]) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		ordered = append(ordered, 0)
+		copy(ordered[lo+1:], ordered[lo:])
+		ordered[lo] = p
+	}
+	return ordered
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

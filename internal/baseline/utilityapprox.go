@@ -1,0 +1,127 @@
+package baseline
+
+import (
+	"ist/internal/geom"
+	"ist/internal/oracle"
+	"ist/internal/polytope"
+)
+
+// UtilityApprox is the interactive regret-minimization algorithm of [22]
+// (Nanongkai et al., "Interactive Regret Minimization"). Unlike every other
+// algorithm here it displays FAKE points — artificial tuples constructed on
+// the coordinate axes — which makes it independent of the dataset during
+// interaction (and therefore very fast), at the cost of showing users
+// tuples that do not exist (the criticism that motivated [36] and this
+// paper).
+//
+// Each question compares the fake point x·e₁ against y·e_i, which
+// binary-searches the ratio a_i = u_i/(u₁+u_i): the user prefers the first
+// iff u₁·x > u_i·y, i.e. a_i < x/(x+y). The answers are accumulated as
+// linear halfspace cuts of the utility simplex, and the algorithm stops
+// when the best point's worst-case regret over the remaining region falls
+// below ε = 1 − f(p_k)/f(p₁) (the paper's adaptation, which guarantees a
+// top-k answer).
+type UtilityApprox struct {
+	// Eps is the regret threshold ε set by the harness.
+	Eps float64
+	// MaxRounds caps the interaction (default 30·d questions).
+	MaxRounds int
+}
+
+// Name implements core.Algorithm.
+func (a *UtilityApprox) Name() string { return "UtilityApprox" }
+
+// Run implements core.Algorithm.
+func (a *UtilityApprox) Run(points []geom.Vector, k int, o oracle.Oracle) int {
+	d := len(points[0])
+	if d < 2 {
+		return argmaxAt(points, uniform(d))
+	}
+	maxRounds := a.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 30 * d
+	}
+	// Ratio intervals per dimension i>=1: a_i = u_i/(u_1+u_i) in [lo, hi].
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for i := 1; i < d; i++ {
+		lo[i], hi[i] = 0, 1
+	}
+	R := polytope.NewSimplex(d)
+
+	fake := func(dim int, val float64) geom.Vector {
+		p := geom.NewVector(d)
+		p[dim] = val
+		return p
+	}
+
+	for round := 0; round < maxRounds; round++ {
+		// Stop as soon as the centre's best point has worst-case regret <= ε.
+		if R.IsEmpty() {
+			break
+		}
+		idx := argmaxAt(points, R.Center())
+		if worstRegretOf(points, idx, R) <= a.Eps+geom.Eps {
+			return idx
+		}
+		// Probe the widest remaining ratio interval.
+		dim, width := 1, hi[1]-lo[1]
+		for i := 2; i < d; i++ {
+			if w := hi[i] - lo[i]; w > width {
+				dim, width = i, w
+			}
+		}
+		if width < 1e-12 {
+			break // utility pinned to numerical precision
+		}
+		mid := (lo[dim] + hi[dim]) / 2
+		// Fake points: x on dim 1 (axis e_1), y on dim `dim`, with
+		// x/(x+y) = mid; choose x = mid, y = 1-mid (both in (0,1]).
+		x, y := mid, 1-mid
+		if x <= 0 {
+			x = 1e-9
+		}
+		if y <= 0 {
+			y = 1e-9
+		}
+		// a_dim < mid  <=>  u_1·x > u_dim·y  <=>  user prefers the first.
+		if o.Prefer(fake(0, x), fake(dim, y)) {
+			hi[dim] = mid
+			// u_1·x >= u_dim·y: halfspace (x, ..., -y at dim, ...)·u >= 0.
+			n := geom.NewVector(d)
+			n[0], n[dim] = x, -y
+			R.Cut(geom.Hyperplane{Normal: n})
+		} else {
+			lo[dim] = mid
+			n := geom.NewVector(d)
+			n[0], n[dim] = -x, y
+			R.Cut(geom.Hyperplane{Normal: n})
+		}
+	}
+	if R.IsEmpty() {
+		return argmaxAt(points, uniform(d))
+	}
+	return argmaxAt(points, R.Center())
+}
+
+// worstRegretOf returns the worst-case regret ratio of points[idx] over the
+// region R (exact: the sublevel sets of the regret ratio are convex, so the
+// maximum over a polytope is attained at a vertex).
+func worstRegretOf(points []geom.Vector, idx int, R *polytope.Polytope) float64 {
+	worst := 0.0
+	for _, v := range R.Vertices() {
+		top := 0.0
+		for _, p := range points {
+			if u := v.Dot(p); u > top {
+				top = u
+			}
+		}
+		if top <= 0 {
+			continue
+		}
+		if reg := 1 - v.Dot(points[idx])/top; reg > worst {
+			worst = reg
+		}
+	}
+	return worst
+}

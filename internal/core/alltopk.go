@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+
+	"ist/internal/geom"
+	"ist/internal/oracle"
+	"ist/internal/polytope"
+)
+
+// This file implements the motivation-study variants of Section 6.5:
+// returning `want` (SomeTopK, Section 6.5.2) or all k (AllTopK,
+// Section 6.5.1) of the user's top-k points. The stopping condition becomes
+// "there are `want` points which fulfil Lemma 5.5", and HD-PI additionally
+// refines its partitioning with deeper convex-point layers (the V_d set)
+// once a single partition remains.
+
+// lemma55Multi returns up to want point indices that are guaranteed top-k
+// w.r.t. every utility vector of the region spanned by rVerts, and whether
+// at least want such points exist among the probe's top-k candidates.
+func lemma55Multi(points []geom.Vector, k int, rVerts []geom.Vector, probe geom.Vector, want int) ([]int, bool) {
+	if len(rVerts) == 0 {
+		return nil, false
+	}
+	var qualified []int
+	for _, i := range oracle.TopK(points, probe, k) {
+		if countPossibleBeaters(points, i, rVerts, k) < k {
+			qualified = append(qualified, i)
+			if len(qualified) >= want {
+				return qualified, true
+			}
+		}
+	}
+	return qualified, false
+}
+
+// RHMulti is RH with the modified stopping condition (RH-AllTopK /
+// RH-SomeTopK of Section 6.5).
+type RHMulti struct {
+	opt RHOptions
+}
+
+// NewRHMulti builds the multi-answer RH variant.
+func NewRHMulti(opt RHOptions) *RHMulti {
+	return &RHMulti{opt: NewRH(opt).opt}
+}
+
+// Name implements MultiAlgorithm.
+func (a *RHMulti) Name() string { return "RH-SomeTopK" }
+
+// RunMulti implements MultiAlgorithm.
+func (a *RHMulti) RunMulti(points []geom.Vector, k, want int, o oracle.Oracle) []int {
+	if want > k {
+		panic(fmt.Sprintf("core: want %d > k %d", want, k))
+	}
+	n := len(points)
+	d := len(points[0])
+	rng := a.opt.Rng
+	R := polytope.NewSimplex(d)
+	perm := rng.Perm(n)
+
+	i := 1
+	for {
+		verts := R.Vertices()
+		if len(verts) == 0 {
+			return oracle.TopK(points, uniformUtility(d), want)
+		}
+		probe := R.Sample(rng)
+		if res, ok := lemma55Multi(points, k, verts, probe, want); ok {
+			return res
+		}
+
+		center := R.Center()
+		bestJ, bestDist := -1, 0.0
+		for {
+			for j := 0; j < i; j++ {
+				h := geom.NewHyperplane(points[perm[i]], points[perm[j]])
+				if h.Degenerate() {
+					continue
+				}
+				if a.opt.UseBall {
+					if c := R.BallSide(h); c == polytope.ClassAbove || c == polytope.ClassBelow {
+						continue
+					}
+				}
+				if R.Classify(h) != polytope.ClassIntersect {
+					continue
+				}
+				if dist := h.Distance(center); bestJ < 0 || dist < bestDist {
+					bestJ, bestDist = j, dist
+				}
+			}
+			if bestJ >= 0 {
+				break
+			}
+			i++
+			if i >= n {
+				// Ranking fixed over R: the top-k at the centre is exact.
+				return oracle.TopK(points, center, want)
+			}
+		}
+		pi, pj := points[perm[i]], points[perm[bestJ]]
+		h := geom.NewHyperplane(pi, pj)
+		if !o.Prefer(pi, pj) {
+			h = h.Flip()
+		}
+		R.Cut(h)
+	}
+}
+
+// HDPIMulti is HD-PI with the modified stopping condition and the V_d
+// partition-refinement of Section 6.5.1 (HD-PI-AllTopK / HD-PI-SomeTopK).
+type HDPIMulti struct {
+	opt HDPIOptions
+}
+
+// NewHDPIMulti builds the multi-answer HD-PI variant.
+func NewHDPIMulti(opt HDPIOptions) *HDPIMulti {
+	return &HDPIMulti{opt: NewHDPI(opt).opt}
+}
+
+// Name implements MultiAlgorithm.
+func (a *HDPIMulti) Name() string { return fmt.Sprintf("HD-PI-%s-SomeTopK", a.opt.Mode) }
+
+// RunMulti implements MultiAlgorithm.
+func (a *HDPIMulti) RunMulti(points []geom.Vector, k, want int, o oracle.Oracle) []int {
+	if want > k {
+		panic(fmt.Sprintf("core: want %d > k %d", want, k))
+	}
+	d := len(points[0])
+	rng := a.opt.Rng
+
+	convex := func(excluded map[int]bool) []int {
+		// Convex points of D \ V_d, reported as indices into points.
+		var sub []geom.Vector
+		var back []int
+		for i, p := range points {
+			if !excluded[i] {
+				sub = append(sub, p)
+				back = append(back, i)
+			}
+		}
+		if len(sub) == 0 {
+			return nil
+		}
+		vs := convexPoints(sub, a.opt.Mode, a.opt.Samples, rng)
+		out := make([]int, len(vs))
+		for i, v := range vs {
+			out[i] = back[v]
+		}
+		return out
+	}
+
+	vd := map[int]bool{} // confirmed points (paper's V_d)
+	V := convex(nil)
+	hd := &HDPI{opt: a.opt}
+	C := hd.buildPartitions(points, V, d)
+	gamma := newGammaTable(points, V, C, a.opt)
+
+	fallback := func() []int {
+		verts := allVertices(C)
+		if len(verts) == 0 {
+			return oracle.TopK(points, uniformUtility(d), want)
+		}
+		return oracle.TopK(points, geom.Mean(verts), want)
+	}
+
+	for {
+		if len(C) == 0 {
+			return fallback()
+		}
+		verts := allVertices(C)
+		probe := C[rng.Intn(len(C))].poly.Sample(rng)
+		if res, ok := lemma55Multi(points, k, verts, probe, want); ok {
+			return res
+		}
+
+		needRefine := len(C) == 1
+		bestRow := -1
+		if !needRefine {
+			bestRow = gamma.best()
+			if bestRow < 0 {
+				needRefine = true
+			}
+		}
+
+		if needRefine {
+			// Section 6.5.1: confirm the associated points of the remaining
+			// partitions (top-1 over R), subdivide by the next convex layer.
+			progress := false
+			for _, part := range C {
+				if !vd[part.point] {
+					vd[part.point] = true
+					progress = true
+				}
+			}
+			if len(vd) >= k || !progress {
+				return fallback()
+			}
+			Vnext := convex(vd)
+			if len(Vnext) == 0 {
+				return fallback()
+			}
+			var refined []partition
+			for _, part := range C {
+				for _, i := range Vnext {
+					cell := part.poly.Clone()
+					for _, j := range Vnext {
+						if i == j {
+							continue
+						}
+						h := geom.NewHyperplane(points[i], points[j])
+						if h.Degenerate() {
+							continue
+						}
+						cell.Cut(h)
+						if cell.IsEmpty() {
+							break
+						}
+					}
+					if !cell.IsEmpty() {
+						refined = append(refined, partition{poly: cell, point: i})
+					}
+				}
+			}
+			if len(refined) == 0 {
+				return fallback()
+			}
+			C = refined
+			gamma = newGammaTable(points, Vnext, C, a.opt)
+			continue
+		}
+
+		row := gamma.rows[bestRow]
+		h := row.h
+		if !o.Prefer(points[row.i], points[row.j]) {
+			h = h.Flip()
+		}
+		C = gamma.apply(h, C, bestRow)
+		if len(C) == 0 {
+			return oracle.TopK(points, uniformUtility(d), want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ist/internal/dataset"
+	"ist/internal/geom"
+	"ist/internal/oracle"
+	"ist/internal/skyband"
+)
+
+func checkMulti(t *testing.T, name string, got []int, pts []geom.Vector, u geom.Vector, k, want int) {
+	t.Helper()
+	if len(got) != want {
+		t.Fatalf("%s: returned %d points, want %d", name, len(got), want)
+	}
+	seen := map[int]bool{}
+	for _, i := range got {
+		if seen[i] {
+			t.Fatalf("%s: duplicate point %d in answer", name, i)
+		}
+		seen[i] = true
+		if !oracle.IsTopK(pts, u, k, pts[i]) {
+			t.Fatalf("%s: point %d not among the top-%d", name, i, k)
+		}
+	}
+}
+
+func TestRHMultiAllTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		d := 2 + rng.Intn(3)
+		k := 2 + rng.Intn(5)
+		ds := dataset.AntiCorrelated(rng, 80, d)
+		band := skyband.Filter(ds.Points, skyband.KSkyband(ds.Points, k))
+		u := oracle.RandomUtility(rng, d)
+		alg := NewRHMulti(RHOptions{Rng: rand.New(rand.NewSource(int64(trial))), UseBall: true})
+		user := oracle.NewUser(u)
+		got := alg.RunMulti(band, k, k, user)
+		checkMulti(t, alg.Name(), got, band, u, k, k)
+	}
+}
+
+func TestHDPIMultiAllTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 8; trial++ {
+		d := 2 + rng.Intn(2)
+		k := 2 + rng.Intn(4)
+		ds := dataset.AntiCorrelated(rng, 60, d)
+		band := skyband.Filter(ds.Points, skyband.KSkyband(ds.Points, k))
+		u := oracle.RandomUtility(rng, d)
+		alg := NewHDPIMulti(HDPIOptions{Mode: ConvexExact, Rng: rand.New(rand.NewSource(int64(trial)))})
+		user := oracle.NewUser(u)
+		got := alg.RunMulti(band, k, k, user)
+		checkMulti(t, alg.Name(), got, band, u, k, k)
+	}
+}
+
+func TestSomeTopKNeedsFewerQuestionsThanAll(t *testing.T) {
+	// Section 6.5.2's core finding: returning 1 of the top-k asks far fewer
+	// questions than returning all k.
+	rng := rand.New(rand.NewSource(3))
+	ds := dataset.AntiCorrelated(rng, 150, 3)
+	k := 10
+	band := skyband.Filter(ds.Points, skyband.KSkyband(ds.Points, k))
+	qFor := func(want int) int {
+		total := 0
+		for trial := 0; trial < 5; trial++ {
+			u := oracle.RandomUtility(rng, 3)
+			user := oracle.NewUser(u)
+			alg := NewRHMulti(RHOptions{Rng: rand.New(rand.NewSource(int64(trial)))})
+			alg.RunMulti(band, k, want, user)
+			total += user.Questions()
+		}
+		return total
+	}
+	q1, qAll := qFor(1), qFor(k)
+	if q1 >= qAll {
+		t.Fatalf("want=1 took %d questions, want=%d took %d; expected fewer", q1, k, qAll)
+	}
+}
+
+func TestMultiWantGreaterThanKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	alg := NewRHMulti(RHOptions{Rng: rand.New(rand.NewSource(1))})
+	ds := dataset.Independent(rand.New(rand.NewSource(1)), 10, 2)
+	alg.RunMulti(ds.Points, 2, 3, oracle.NewUser(oracle.RandomUtility(rand.New(rand.NewSource(2)), 2)))
+}
+
+func TestMultiWantOneMatchesSingle(t *testing.T) {
+	// want=1 must deliver a valid single answer like the base algorithms.
+	rng := rand.New(rand.NewSource(4))
+	ds := dataset.AntiCorrelated(rng, 80, 3)
+	k := 5
+	band := skyband.Filter(ds.Points, skyband.KSkyband(ds.Points, k))
+	u := oracle.RandomUtility(rng, 3)
+	for _, tc := range []struct {
+		name string
+		got  []int
+	}{
+		{"rh", NewRHMulti(RHOptions{Rng: rand.New(rand.NewSource(7))}).RunMulti(band, k, 1, oracle.NewUser(u))},
+		{"hdpi", NewHDPIMulti(HDPIOptions{Mode: ConvexExact, Rng: rand.New(rand.NewSource(7))}).RunMulti(band, k, 1, oracle.NewUser(u))},
+	} {
+		if len(tc.got) != 1 {
+			t.Fatalf("%s: got %v", tc.name, tc.got)
+		}
+		if !oracle.IsTopK(band, u, k, band[tc.got[0]]) {
+			t.Fatalf("%s: point not top-%d", tc.name, k)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Package core implements the paper's interactive algorithms for the IST
+// problem (Interactive Search for one of the Top-k): 2D-PI (Section 4),
+// HD-PI (Section 5.2), RH (Section 5.3), and their AllTopK / SomeTopK
+// variants (Sections 6.5.1 and 6.5.2).
+//
+// All algorithms interact with an oracle.Oracle — the (real or simulated)
+// user — and return the index of a point guaranteed to be among the user's
+// top-k. Inputs are expected to be preprocessed to the k-skyband (package
+// skyband), matching the experimental setup of Section 6; the algorithms
+// remain correct without the preprocessing, just slower.
+package core
+
+import (
+	"ist/internal/geom"
+	"ist/internal/oracle"
+)
+
+// Algorithm is an interactive IST solver.
+type Algorithm interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// Run interacts with the oracle until it can return the index of a point
+	// that is among the user's top-k points of the input.
+	Run(points []geom.Vector, k int, o oracle.Oracle) int
+}
+
+// MultiAlgorithm solves the AllTopK/SomeTopK variants: it returns several
+// point indices, all guaranteed to be among the user's top-k.
+type MultiAlgorithm interface {
+	Name() string
+	// RunMulti returns `want` indices among the user's top-k (or all k for
+	// the AllTopK variants when want == k).
+	RunMulti(points []geom.Vector, k, want int, o oracle.Oracle) []int
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ist/internal/geom"
+	"ist/internal/hull"
+	"ist/internal/oracle"
+	"ist/internal/polytope"
+)
+
+// ConvexMode selects how HD-PI finds the convex points that seed its
+// utility-space partitions (Section 5.2.1).
+type ConvexMode int
+
+const (
+	// ConvexSampling approximates the convex points by sampling utility
+	// vectors (the paper's practical default; Figure 7 measures its cost).
+	ConvexSampling ConvexMode = iota
+	// ConvexExact computes the convex points exactly with LPs.
+	ConvexExact
+)
+
+func (m ConvexMode) String() string {
+	if m == ConvexExact {
+		return "accurate"
+	}
+	return "sampling"
+}
+
+// HDPIOptions configures HD-PI.
+type HDPIOptions struct {
+	// Mode selects exact vs sampled convex points. Default ConvexSampling.
+	Mode ConvexMode
+	// Samples is the number of utility samples in sampling mode (default 400).
+	Samples int
+	// Beta is the even-score balance parameter β of Definition 5.4
+	// (default 0.01, the value the paper settles on in Figure 6).
+	Beta float64
+	// Strategy is the bounding shortcut for classifying partitions against
+	// hyperplanes. The zero value is the bounding ball, the paper's choice
+	// after Figure 5.
+	Strategy polytope.Strategy
+	// Rng drives sampling; required. Use a fixed seed for reproducibility.
+	Rng *rand.Rand
+	// Stats, when non-nil, accumulates bounding-strategy effectiveness
+	// counters (Figure 5's "effective ratio").
+	Stats *polytope.BoundStats
+	// StopCheckEvery runs the Lemma 5.5 stopping check every this many
+	// rounds (default 1 = every round; ablation knob).
+	StopCheckEvery int
+}
+
+// HDPI is the high-dimensional partition-based algorithm of Section 5.2.
+// It asks O(n) questions in the worst case and O(log n) in the optimal case
+// (Theorem 5.6), and empirically the fewest among all evaluated algorithms.
+type HDPI struct {
+	opt HDPIOptions
+}
+
+// NewHDPI builds an HD-PI instance, filling in option defaults.
+func NewHDPI(opt HDPIOptions) *HDPI {
+	if opt.Samples <= 0 {
+		opt.Samples = 400
+	}
+	if opt.Beta == 0 {
+		opt.Beta = 0.01
+	}
+	if opt.StopCheckEvery <= 0 {
+		opt.StopCheckEvery = 1
+	}
+	if opt.Rng == nil {
+		opt.Rng = rand.New(rand.NewSource(1))
+	}
+	return &HDPI{opt: opt}
+}
+
+// Name implements Algorithm.
+func (a *HDPI) Name() string { return fmt.Sprintf("HD-PI-%s", a.opt.Mode) }
+
+// partition is one element of the set C: a polytope of the utility space
+// whose every utility vector has points[point] as top-1 among the convex
+// points.
+type partition struct {
+	poly  *polytope.Polytope
+	point int
+}
+
+// Run implements Algorithm.
+func (a *HDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
+	d := len(points[0])
+	rng := a.opt.Rng
+
+	// Convex points V (Section 5.2.1).
+	V := convexPoints(points, a.opt.Mode, a.opt.Samples, rng)
+
+	// Initial partitions: Θ_i = {u : u·(p_i − p_j) >= 0 ∀ p_j ∈ V\{p_i}}.
+	C := a.buildPartitions(points, V, d)
+	if len(C) == 0 {
+		// Degenerate input (e.g. a single point duplicated); the winner at
+		// the simplex centre is top-1 everywhere it matters.
+		return argmaxAt(points, uniformUtility(d))
+	}
+
+	// Γ with cached partition relationships (Section 5.2.1's list).
+	gamma := newGammaTable(points, V, C, a.opt)
+
+	round := 0
+	lastProbe := uniformUtility(d)
+	for {
+		// Stopping condition 1: a single partition left.
+		if len(C) == 1 {
+			return C[0].point
+		}
+		// Stopping condition 2: Lemma 5.5 over R = union of partitions.
+		if round%a.opt.StopCheckEvery == 0 {
+			verts := allVertices(C)
+			probe := C[rng.Intn(len(C))].poly.Sample(rng)
+			lastProbe = probe
+			if p, ok := lemma55(points, k, verts, probe); ok {
+				return p
+			}
+		}
+		round++
+
+		// Point selection: the Γ row with the highest even score.
+		best := gamma.best()
+		if best < 0 {
+			// No informative hyperplane remains: the relative order of all
+			// convex points is fixed over R, so the top-1 at any point of R
+			// is determined and certainly among the top-k.
+			return argmaxAt(points, C[0].poly.Center())
+		}
+
+		// Ask the user and update C and Γ (information maintenance).
+		row := gamma.rows[best]
+		h := row.h
+		if !o.Prefer(points[row.i], points[row.j]) {
+			h = h.Flip()
+		}
+		C = gamma.apply(h, C, best)
+		if len(C) == 0 {
+			// Only possible with an erring user (Section 6.4): every
+			// partition contradicted some answer. Fall back to the best
+			// point at the last known location estimate.
+			return argmaxAt(points, lastProbe)
+		}
+	}
+}
+
+// convexPoints picks the right convex-point detection for the mode and
+// dimension: the exact mode uses the LP-free upper-envelope method in 2-d
+// and the output-sensitive LP method otherwise.
+func convexPoints(points []geom.Vector, mode ConvexMode, samples int, rng *rand.Rand) []int {
+	if mode == ConvexExact {
+		if len(points) > 0 && len(points[0]) == 2 {
+			return hull.ConvexPoints2D(points)
+		}
+		return hull.ConvexPointsExact(points)
+	}
+	return hull.ConvexPointsSampling(points, samples, rng)
+}
+
+// buildPartitions constructs the initial partition set C from the convex
+// points, skipping empty (and therefore impossible) cells.
+func (a *HDPI) buildPartitions(points []geom.Vector, V []int, d int) []partition {
+	var C []partition
+	for _, i := range V {
+		poly := polytope.NewSimplex(d)
+		for _, j := range V {
+			if i == j {
+				continue
+			}
+			h := geom.NewHyperplane(points[i], points[j])
+			if h.Degenerate() {
+				continue
+			}
+			poly.Cut(h)
+			if poly.IsEmpty() {
+				break
+			}
+		}
+		if !poly.IsEmpty() {
+			C = append(C, partition{poly: poly, point: i})
+		}
+	}
+	return C
+}
+
+// allVertices concatenates the vertex sets of every partition: the vertex
+// set of R = ⋃Θ for the Lemma 5.5 check.
+func allVertices(C []partition) []geom.Vector {
+	var out []geom.Vector
+	for _, part := range C {
+		out = append(out, part.poly.Vertices()...)
+	}
+	return out
+}
+
+func uniformUtility(d int) geom.Vector {
+	u := geom.NewVector(d)
+	for i := range u {
+		u[i] = 1 / float64(d)
+	}
+	return u
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+
+	"ist/internal/geom"
+	"ist/internal/oracle"
+	"ist/internal/polytope"
+)
+
+// RHOptions configures the RH algorithm.
+type RHOptions struct {
+	// Rng drives the random point order and the stopping-check sampling;
+	// required for reproducibility (defaults to a fixed seed).
+	Rng *rand.Rand
+	// StopCheckEvery runs the Lemma 5.5 check every this many rounds
+	// (default 1; ablation knob).
+	StopCheckEvery int
+	// UseBall enables the O(1) bounding-ball pre-test when scanning
+	// candidate hyperplanes (default true).
+	UseBall bool
+}
+
+// RH is the random-hyperplane algorithm of Section 5.3. It maintains a
+// single utility range R, walks a random order of the points, and at each
+// step asks the question whose hyperplane intersects R closest to R's
+// centre. It asks O(c·d·log n) questions in expectation (Theorem 5.7),
+// asymptotically optimal for fixed d (Corollary 5.8), and is the fastest of
+// the paper's algorithms.
+type RH struct {
+	opt RHOptions
+}
+
+// NewRH builds an RH instance, filling in option defaults.
+func NewRH(opt RHOptions) *RH {
+	if opt.Rng == nil {
+		opt.Rng = rand.New(rand.NewSource(1))
+	}
+	if opt.StopCheckEvery <= 0 {
+		opt.StopCheckEvery = 1
+	}
+	return &RH{opt: opt}
+}
+
+// NewRHDefault returns RH with default options and the given seed.
+func NewRHDefault(seed int64) *RH {
+	return NewRH(RHOptions{Rng: rand.New(rand.NewSource(seed)), UseBall: true})
+}
+
+// Name implements Algorithm.
+func (a *RH) Name() string { return "RH" }
+
+// Run implements Algorithm.
+func (a *RH) Run(points []geom.Vector, k int, o oracle.Oracle) int {
+	n := len(points)
+	d := len(points[0])
+	rng := a.opt.Rng
+	R := polytope.NewSimplex(d)
+	perm := rng.Perm(n)
+
+	i := 1 // current ladder position: H_i holds hyperplanes (perm[i], perm[j<i])
+	round := 0
+	for {
+		// Stopping condition 2 (Lemma 5.5) on the single polytope R.
+		if round%a.opt.StopCheckEvery == 0 {
+			verts := R.Vertices()
+			if len(verts) == 0 {
+				// Only with an erring user: contradictory cuts emptied R.
+				return argmaxAt(points, uniformUtility(d))
+			}
+			probe := R.Sample(rng)
+			if p, ok := lemma55(points, k, verts, probe); ok {
+				return p
+			}
+		}
+		round++
+
+		// Hyperplane selection (Section 5.3.3): within the current H_i, the
+		// intersecting hyperplane closest to R's centre; advance the ladder
+		// when H_i has no intersecting hyperplane left. R only shrinks, so
+		// abandoned ladders never need revisiting.
+		center := R.Center()
+		bestJ, bestDist := -1, 0.0
+		for {
+			for j := 0; j < i; j++ {
+				h := geom.NewHyperplane(points[perm[i]], points[perm[j]])
+				if h.Degenerate() {
+					continue
+				}
+				if a.opt.UseBall {
+					if c := R.BallSide(h); c == polytope.ClassAbove || c == polytope.ClassBelow {
+						continue
+					}
+				}
+				if R.Classify(h) != polytope.ClassIntersect {
+					continue
+				}
+				if dist := h.Distance(center); bestJ < 0 || dist < bestDist {
+					bestJ, bestDist = j, dist
+				}
+			}
+			if bestJ >= 0 {
+				break
+			}
+			i++
+			if i >= n {
+				// Stopping condition 3: no pair hyperplane intersects R, so
+				// the ranking of all points is fixed over R; the top-1 at
+				// R's centre is certainly among the top-k.
+				return argmaxAt(points, center)
+			}
+		}
+
+		pi, pj := points[perm[i]], points[perm[bestJ]]
+		h := geom.NewHyperplane(pi, pj)
+		if !o.Prefer(pi, pj) {
+			h = h.Flip()
+		}
+		R.Cut(h)
+	}
+}

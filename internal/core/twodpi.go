@@ -1,0 +1,41 @@
+package core
+
+import (
+	"ist/internal/geom"
+	"ist/internal/oracle"
+	"ist/internal/sweep"
+)
+
+// TwoDPI is the 2-dimensional algorithm of Section 4: utility-space
+// partitioning by plane sweep (Algorithm 1) followed by binary search over
+// the partitions through user questions (Algorithm 2). It asks
+// O(log₂⌈2n/(k+1)⌉) questions, which is asymptotically optimal
+// (Theorem 4.5, Corollary 4.6).
+type TwoDPI struct{}
+
+// Name implements Algorithm.
+func (TwoDPI) Name() string { return "2D-PI" }
+
+// Run implements Algorithm. It panics if the points are not 2-dimensional.
+func (TwoDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
+	parts := sweep.PartitionUtilitySpace(points, k)
+	left, right := 0, len(parts)-1
+	for left < right {
+		x := (left + right) / 2 // median partition
+		part := parts[x]
+		// The boundary pair crosses exactly at part.R, with BoundaryI
+		// ranking higher for u[1] < part.R (Section 4.3).
+		if o.Prefer(points[part.BoundaryI], points[part.BoundaryJ]) {
+			right = x
+		} else {
+			left = x + 1
+		}
+	}
+	return parts[left].Point
+}
+
+// Partitions exposes the Algorithm 1 output for inspection (examples and
+// the istcli tool visualize it).
+func (TwoDPI) Partitions(points []geom.Vector, k int) []sweep.Partition {
+	return sweep.PartitionUtilitySpace(points, k)
+}

@@ -1,0 +1,145 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ist/internal/geom"
+)
+
+// CSV input/output and normalization, so real tabular data can be fed to
+// the algorithms the way the paper preprocesses its datasets: every
+// attribute scaled to (0,1] with larger-is-better orientation (Section 3).
+
+// WriteCSV writes the dataset as comma-separated rows with 6 decimal
+// places, one point per line.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range d.Points {
+		for i, x := range p {
+			if i > 0 {
+				if _, err := bw.WriteString(","); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%.6f", x); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses comma-separated numeric rows into a dataset. Blank lines
+// and lines starting with '#' are skipped; a non-numeric first row is
+// treated as a header and skipped. All data rows must agree in width.
+func ReadCSV(r io.Reader, name string) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var pts []geom.Vector
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		row := make(geom.Vector, len(fields))
+		ok := true
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			row[i] = v
+		}
+		if !ok {
+			if len(pts) == 0 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("dataset: line %d is not numeric", lineNo)
+		}
+		if len(pts) > 0 && len(row) != len(pts[0]) {
+			return nil, fmt.Errorf("dataset: line %d has %d columns, want %d", lineNo, len(row), len(pts[0]))
+		}
+		pts = append(pts, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("dataset: no data rows")
+	}
+	return &Dataset{Name: name, Points: pts}, nil
+}
+
+// Orientation declares whether larger raw values of an attribute are better
+// (e.g. horse power) or worse (e.g. price, used kilometers).
+type Orientation int
+
+const (
+	// LargerBetter keeps the attribute's direction.
+	LargerBetter Orientation = iota
+	// SmallerBetter flips the attribute so that the normalized value grows
+	// as the raw value shrinks.
+	SmallerBetter
+)
+
+// Normalize rescales every attribute into (0,1] with larger-is-better
+// orientation, the domain the paper's algorithms assume. orientations may
+// be nil (all LargerBetter) or must have one entry per attribute. Constant
+// attributes map to 1 everywhere. A new dataset is returned; the input is
+// not modified.
+func (d *Dataset) Normalize(orientations []Orientation) (*Dataset, error) {
+	if d.Size() == 0 {
+		return &Dataset{Name: d.Name}, nil
+	}
+	dim := d.Dim()
+	if orientations != nil && len(orientations) != dim {
+		return nil, fmt.Errorf("dataset: %d orientations for %d attributes", len(orientations), dim)
+	}
+	mins := d.Points[0].Clone()
+	maxs := d.Points[0].Clone()
+	for _, p := range d.Points[1:] {
+		for i, x := range p {
+			if x < mins[i] {
+				mins[i] = x
+			}
+			if x > maxs[i] {
+				maxs[i] = x
+			}
+		}
+	}
+	out := make([]geom.Vector, d.Size())
+	for pi, p := range d.Points {
+		q := geom.NewVector(dim)
+		for i, x := range p {
+			span := maxs[i] - mins[i]
+			var v float64
+			if span <= 0 {
+				v = 1
+			} else {
+				v = (x - mins[i]) / span
+				if orientations != nil && orientations[i] == SmallerBetter {
+					v = 1 - v
+				}
+				// (0,1]: the worst raw value maps to a tiny positive number
+				// rather than 0, matching the paper's open lower bound.
+				if v <= 0 {
+					v = 1e-6
+				}
+			}
+			q[i] = v
+		}
+		out[pi] = q
+	}
+	return &Dataset{Name: d.Name, Points: out}, nil
+}

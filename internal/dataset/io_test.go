@@ -1,0 +1,122 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ist/internal/geom"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := AntiCorrelated(rng, 50, 3)
+	var buf strings.Builder
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(buf.String()), "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != d.Size() || back.Dim() != d.Dim() {
+		t.Fatalf("round trip shape %dx%d, want %dx%d", back.Size(), back.Dim(), d.Size(), d.Dim())
+	}
+	for i := range d.Points {
+		for j := range d.Points[i] {
+			if diff := back.Points[i][j] - d.Points[i][j]; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("point %d dim %d: %v vs %v", i, j, back.Points[i][j], d.Points[i][j])
+			}
+		}
+	}
+}
+
+func TestReadCSVHeaderAndComments(t *testing.T) {
+	in := `# used car export
+price,power
+1.5,2.5
+
+2.0,3.0
+`
+	d, err := ReadCSV(strings.NewReader(in), "cars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 2 || d.Dim() != 2 {
+		t.Fatalf("shape %dx%d", d.Size(), d.Dim())
+	}
+	if d.Points[1][1] != 3.0 {
+		t.Fatalf("parsed %v", d.Points)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), "x"); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n"), "x"); err == nil {
+		t.Fatal("ragged rows must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\nfoo,bar\n"), "x"); err == nil {
+		t.Fatal("non-numeric data row must error")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	d := &Dataset{Name: "cars", Points: []geom.Vector{
+		{10000, 150, 90000},
+		{30000, 250, 10000},
+		{20000, 200, 50000},
+	}}
+	// price: smaller better; power: larger better; km: smaller better.
+	norm, err := d.Normalize([]Orientation{SmallerBetter, LargerBetter, SmallerBetter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cheapest car (10000) has best price score 1; most powerful (250) has
+	// power 1; fewest km (10000) has condition 1.
+	if norm.Points[0][0] != 1 {
+		t.Fatalf("cheapest price score = %v", norm.Points[0][0])
+	}
+	if norm.Points[1][1] != 1 || norm.Points[1][2] != 1 {
+		t.Fatalf("best power/km scores = %v", norm.Points[1])
+	}
+	// Worst values map to a tiny positive number, never 0.
+	for _, p := range norm.Points {
+		for _, x := range p {
+			if x <= 0 || x > 1 {
+				t.Fatalf("normalized value %v outside (0,1]", x)
+			}
+		}
+	}
+	// Middle car is strictly between.
+	if !(norm.Points[2][0] > 0 && norm.Points[2][0] < 1) {
+		t.Fatalf("middle price score = %v", norm.Points[2][0])
+	}
+}
+
+func TestNormalizeConstantColumn(t *testing.T) {
+	d := &Dataset{Points: []geom.Vector{{5, 1}, {5, 2}}}
+	norm, err := d.Normalize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Points[0][0] != 1 || norm.Points[1][0] != 1 {
+		t.Fatalf("constant column must normalize to 1: %v", norm.Points)
+	}
+}
+
+func TestNormalizeBadOrientations(t *testing.T) {
+	d := &Dataset{Points: []geom.Vector{{1, 2}}}
+	if _, err := d.Normalize([]Orientation{LargerBetter}); err == nil {
+		t.Fatal("orientation arity mismatch must error")
+	}
+}
+
+func TestNormalizeEmpty(t *testing.T) {
+	d := &Dataset{Name: "empty"}
+	norm, err := d.Normalize(nil)
+	if err != nil || norm.Size() != 0 {
+		t.Fatalf("empty normalize: %v %v", norm, err)
+	}
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import "sync"
+
+// Parallel cell execution. Every comparison figure is a grid of independent
+// (k, algorithm) measurements; Config.Parallel > 1 dispatches them to a
+// worker pool. Question counts and accuracies are unaffected (each cell is
+// deterministic given the config seed), but wall-clock *time* measurements
+// inflate under contention — use parallel runs to explore question-count
+// shapes quickly and sequential runs for the recorded time series.
+
+// runCells executes f(0..n-1) with `parallel` workers (sequentially when
+// parallel <= 1).
+func runCells(parallel, n int, f func(i int)) {
+	if parallel <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	if parallel > n {
+		parallel = n
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(parallel)
+	for w := 0; w < parallel; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one of the paper's tables or figures.
+type Runner func(Config) *Table
+
+// Registry maps experiment ids (as used by `istbench -exp`) to runners.
+var Registry = map[string]Runner{
+	"table1": Table1Bounds,
+	"fig5":   Fig5Bounding,
+	"fig6":   Fig6Beta,
+	"fig7":   Fig7Accuracy,
+	"fig8":   Fig8TwoD,
+	"fig9":   Fig9FourD,
+	"fig10":  Fig10VaryN,
+	"fig11":  Fig11VaryD,
+	"fig12":  Fig12Weather,
+	"fig13":  Fig13NBA,
+	"fig14":  Fig14AllTopK,
+	"fig15":  Fig15AllTopKNBA,
+	"fig16":  Fig16UserStudy,
+	"fig17":  Fig17SomeTopK,
+	// Technical-report figures (Island and Car, Section 6.3):
+	"fig-island": FigIsland,
+	"fig-car":    FigCar,
+	// Extensions beyond the paper (documented in EXPERIMENTS.md):
+	"ext-noise":   ExtNoise,
+	"ext-sorting": ExtSorting,
+}
+
+// Names returns the registered experiment ids in a stable order.
+func Names() []string {
+	out := make([]string, 0, len(Registry))
+	for name := range Registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run looks up and executes an experiment.
+func Run(name string, cfg Config) (*Table, error) {
+	r, ok := Registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(cfg), nil
+}

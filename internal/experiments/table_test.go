@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := newTable("Figure X: sample", "k", []float64{1, 20, 40})
+	t.add("questions", "HD-PI", []float64{8, 7, 6})
+	t.add("questions", "RH", []float64{30, 9, 8})
+	t.add("time(s)", "HD-PI", []float64{0.01, 0.02, 0.04})
+	return t
+}
+
+func TestTableRender(t *testing.T) {
+	out := sampleTable().String()
+	for _, want := range []string{"Figure X", "questions", "time(s)", "HD-PI", "RH", "30"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Metrics render in sorted order: "questions" before "time(s)".
+	if strings.Index(out, "questions") > strings.Index(out, "time(s)") {
+		t.Fatal("metrics not sorted")
+	}
+}
+
+func TestTableWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := sampleTable().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back JSONResult
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Title != "Figure X: sample" || len(back.X) != 3 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	qs := back.Metrics["questions"]
+	if len(qs) != 2 || qs[0].Name != "HD-PI" || qs[1].Values[0] != 30 {
+		t.Fatalf("metrics lost: %+v", back.Metrics)
+	}
+}
+
+func TestTablePlot(t *testing.T) {
+	var b strings.Builder
+	sampleTable().Plot(&b)
+	out := b.String()
+	if !strings.Contains(out, "Figure X: sample — questions") {
+		t.Fatalf("plot missing chart title:\n%s", out)
+	}
+	if !strings.Contains(out, "log10") {
+		t.Fatal("time metric must plot on a log scale")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("plot missing markers")
+	}
+}
+
+func TestRunCells(t *testing.T) {
+	for _, parallel := range []int{0, 1, 3, 100} {
+		n := 37
+		got := make([]int, n)
+		runCells(parallel, n, func(i int) { got[i] = i + 1 })
+		for i, v := range got {
+			if v != i+1 {
+				t.Fatalf("parallel=%d: cell %d not executed", parallel, i)
+			}
+		}
+	}
+	// n=0 and n=1 degenerate safely.
+	runCells(4, 0, func(int) { t.Fatal("no cells to run") })
+	ran := false
+	runCells(4, 1, func(int) { ran = true })
+	if !ran {
+		t.Fatal("single cell skipped")
+	}
+}
+
+func TestParallelMatchesSequentialQuestions(t *testing.T) {
+	// Question counts are deterministic per cell, so a parallel run must
+	// produce the identical questions table.
+	cfg := Config{N: 300, D: 3, Ks: []int{1, 10}, Trials: 2, Seed: 9}
+	seq := Fig9FourD(cfg)
+	cfg.Parallel = 4
+	par := Fig9FourD(cfg)
+	for mi, s := range seq.Metrics["questions"] {
+		p := par.Metrics["questions"][mi]
+		for i := range s.Values {
+			if s.Values[i] != p.Values[i] {
+				t.Fatalf("series %s diverged: %v vs %v", s.Name, s.Values, p.Values)
+			}
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package geom_test
+
+import (
+	"fmt"
+
+	"ist/internal/geom"
+)
+
+// The preference hyperplane h_{i,j} encodes "which point does a utility
+// vector prefer": its positive side prefers p_i, its negative side p_j.
+func ExampleNewHyperplane() {
+	car1 := geom.Vector{0.9, 0.2} // cheap, weak
+	car2 := geom.Vector{0.3, 0.8} // pricey, strong
+	h := geom.NewHyperplane(car1, car2)
+
+	priceLover := geom.Vector{0.8, 0.2}
+	powerLover := geom.Vector{0.2, 0.8}
+	fmt.Println(h.SideOf(priceLover)) // prefers car1
+	fmt.Println(h.SideOf(powerLover)) // prefers car2
+	// Output:
+	// above
+	// below
+}
+
+// Domination underpins the k-skyband preprocessing: a dominated tuple can
+// never be anyone's favourite.
+func ExampleVector_Dominates() {
+	better := geom.Vector{0.8, 0.9}
+	worse := geom.Vector{0.5, 0.4}
+	fmt.Println(better.Dominates(worse))
+	fmt.Println(worse.Dominates(better))
+	// Output:
+	// true
+	// false
+}

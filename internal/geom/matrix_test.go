@@ -1,0 +1,147 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixRankBasics(t *testing.T) {
+	cases := []struct {
+		rows []Vector
+		want int
+	}{
+		{[]Vector{{1, 0}, {0, 1}}, 2},
+		{[]Vector{{1, 0}, {2, 0}}, 1},
+		{[]Vector{{1, 2, 3}, {2, 4, 6}, {0, 0, 1}}, 2},
+		{[]Vector{{0, 0}, {0, 0}}, 0},
+		{[]Vector{{1, 1, 1}}, 1},
+		{[]Vector{{1, 1}, {1, -1}, {2, 0}}, 2}, // third is the sum
+	}
+	for i, c := range cases {
+		if got := RankOfRows(c.rows); got != c.want {
+			t.Errorf("case %d: rank = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestMatrixRankEmpty(t *testing.T) {
+	if got := RankOfRows(nil); got != 0 {
+		t.Fatalf("rank of empty = %d", got)
+	}
+}
+
+func TestSolveSquare(t *testing.T) {
+	// 2x + y = 5; x - y = 1 -> x=2, y=1.
+	m := MatrixFromRows([]Vector{{2, 1}, {1, -1}})
+	x, ok := m.SolveSquare(Vector{5, 1})
+	if !ok {
+		t.Fatal("solvable system reported singular")
+	}
+	if !x.Equal(Vector{2, 1}) {
+		t.Fatalf("x = %v, want (2,1)", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	m := MatrixFromRows([]Vector{{1, 1}, {2, 2}})
+	if _, ok := m.SolveSquare(Vector{1, 2}); ok {
+		t.Fatal("singular system reported solvable")
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	m := MatrixFromRows([]Vector{{0, 1}, {1, 0}})
+	x, ok := m.SolveSquare(Vector{3, 7})
+	if !ok || !x.Equal(Vector{7, 3}) {
+		t.Fatalf("x = %v ok=%v, want (7,3)", x, ok)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := MatrixFromRows([]Vector{{1, 2}, {3, 4}, {5, 6}})
+	got := m.MulVec(Vector{1, 1})
+	if !got.Equal(Vector{3, 7, 11}) {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestMatrixPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"negative":   func() { NewMatrix(-1, 2) },
+		"raggedRows": func() { MatrixFromRows([]Vector{{1, 2}, {1}}) },
+		"mulDim":     func() { NewMatrix(2, 2).MulVec(Vector{1}) },
+		"notSquare":  func() { NewMatrix(2, 3).SolveSquare(Vector{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: for random solvable systems, SolveSquare solves them (residual
+// small), and Rank of a product construction behaves: rank(outer products
+// of r independent vectors) == r.
+func TestQuickSolveResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		m := NewMatrix(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		b := NewVector(n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, ok := m.SolveSquare(b)
+		if !ok {
+			return true // random singularities are possible, just rare
+		}
+		res := m.MulVec(x).Sub(b)
+		return res.Norm() <= 1e-7*(1+b.Norm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rank is invariant under row scaling and row addition.
+func TestQuickRankInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 2 + rng.Intn(4)
+		cols := 2 + rng.Intn(4)
+		vs := make([]Vector, rows)
+		for i := range vs {
+			vs[i] = NewVector(cols)
+			for j := range vs[i] {
+				vs[i][j] = float64(rng.Intn(7) - 3)
+			}
+		}
+		r1 := RankOfRows(vs)
+		// Scale a row by 3 and add row 0 to the last row.
+		mod := make([]Vector, rows)
+		for i := range vs {
+			mod[i] = vs[i].Clone()
+		}
+		mod[0] = mod[0].Scale(3)
+		mod[rows-1] = mod[rows-1].Add(vs[0])
+		if math.Abs(float64(RankOfRows(mod)-r1)) > 0 {
+			return false
+		}
+		// Appending a linear combination must not change the rank.
+		comb := vs[0].Add(vs[rows-1].Scale(2))
+		return RankOfRows(append(append([]Vector{}, vs...), comb)) == r1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

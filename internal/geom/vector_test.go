@@ -1,0 +1,155 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func TestDot(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if got := v.Dot(w); !almostEq(got, 32) {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched dimensions")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestAddSubScale(t *testing.T) {
+	v := Vector{1, 2}
+	w := Vector{3, -1}
+	if got := v.Add(w); !got.Equal(Vector{4, 1}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); !got.Equal(Vector{-2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); !got.Equal(Vector{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.AddScaled(2, w); !got.Equal(Vector{7, 0}) {
+		t.Errorf("AddScaled = %v", got)
+	}
+	// originals untouched
+	if !v.Equal(Vector{1, 2}) || !w.Equal(Vector{3, -1}) {
+		t.Error("operations mutated their inputs")
+	}
+}
+
+func TestNormNormalize(t *testing.T) {
+	v := Vector{3, 4}
+	if !almostEq(v.Norm(), 5) {
+		t.Fatalf("Norm = %v", v.Norm())
+	}
+	u := v.Normalize()
+	if !almostEq(u.Norm(), 1) {
+		t.Fatalf("Normalize norm = %v", u.Norm())
+	}
+	z := Vector{0, 0}
+	if !z.Normalize().Equal(z) {
+		t.Error("Normalize of zero changed the vector")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b Vector
+		want bool
+	}{
+		{Vector{1, 1}, Vector{0.5, 0.5}, true},
+		{Vector{1, 0.5}, Vector{0.5, 1}, false},
+		{Vector{1, 1}, Vector{1, 1}, false},    // equal: no strict dim
+		{Vector{1, 0.5}, Vector{1, 0.4}, true}, // equal in one, better in other
+		{Vector{0.4, 0.4}, Vector{0.5, 0.5}, false},
+	}
+	for i, c := range cases {
+		if got := c.a.Dominates(c.b); got != c.want {
+			t.Errorf("case %d: %v dominates %v = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	m := Mean([]Vector{{0, 0}, {2, 4}})
+	if !m.Equal(Vector{1, 2}) {
+		t.Fatalf("Mean = %v", m)
+	}
+}
+
+func TestMeanEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty mean")
+		}
+	}()
+	Mean(nil)
+}
+
+// Property: dot is symmetric and bilinear against scaling.
+func TestQuickDotSymmetry(t *testing.T) {
+	f := func(a, b [4]float64, s float64) bool {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return true
+		}
+		v, w := Vector(a[:]), Vector(b[:])
+		for _, x := range append(v.Clone(), w...) {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true
+			}
+		}
+		if math.Abs(s) > 1e6 {
+			return true
+		}
+		lhs := v.Dot(w)
+		rhs := w.Dot(v)
+		if math.Abs(lhs-rhs) > 1e-6*(1+math.Abs(lhs)) {
+			return false
+		}
+		return math.Abs(v.Scale(s).Dot(w)-s*lhs) <= 1e-6*(1+math.Abs(s*lhs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: triangle inequality for Dist.
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(a, b, c [3]float64) bool {
+		for _, arr := range [][3]float64{a, b, c} {
+			for _, x := range arr {
+				if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+					return true
+				}
+			}
+		}
+		va, vb, vc := Vector(a[:]), Vector(b[:]), Vector(c[:])
+		return va.Dist(vc) <= va.Dist(vb)+vb.Dist(vc)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: domination is irreflexive and antisymmetric.
+func TestQuickDominationAntisymmetric(t *testing.T) {
+	f := func(a, b [3]float64) bool {
+		va, vb := Vector(a[:]), Vector(b[:])
+		if va.Dominates(va) {
+			return false
+		}
+		return !(va.Dominates(vb) && vb.Dominates(va))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+// Package hull finds the convex points of a dataset: points that are top-1
+// w.r.t. at least one utility vector of the simplex (Section 5.2.1). HD-PI
+// builds its initial utility-space partitions from exactly these points.
+//
+// Two strategies are provided, matching the paper's two HD-PI versions:
+//
+//   - ConvexPointsExact ("accurate"): an output-sensitive LP method. For
+//     each candidate p we solve max δ s.t. u·(p−q) ≥ δ for all confirmed
+//     convex points q; if δ < 0 then p is beaten everywhere already by the
+//     confirmed set and is rejected (adding constraints can only lower δ).
+//     Otherwise the witness u is verified against the full dataset: either p
+//     is top-1 at u (confirmed), or the actual winner is a new convex point
+//     that joins the confirmed set and the LP is retried. Every retry grows
+//     the confirmed set, so the total LP count is O(n + |V|) with tiny LPs.
+//
+//   - ConvexPointsSampling ("sampling"): the paper's practical strategy —
+//     sample utility vectors uniformly and collect the distinct top-1
+//     points. May miss convex points with small top-1 regions; Figure 7
+//     measures how little this costs in result accuracy.
+package hull
+
+import (
+	"math/rand"
+	"sort"
+
+	"ist/internal/geom"
+	"ist/internal/lp"
+	"ist/internal/oracle"
+)
+
+// ConvexPointsExact returns the indices of all points that are top-1 for at
+// least one utility vector (ties count as top-1).
+func ConvexPointsExact(points []geom.Vector) []int {
+	n := len(points)
+	if n == 0 {
+		return nil
+	}
+	d := len(points[0])
+
+	confirmed := map[int]bool{}
+	var confirmedList []int
+	confirm := func(i int) {
+		if !confirmed[i] {
+			confirmed[i] = true
+			confirmedList = append(confirmedList, i)
+		}
+	}
+
+	// Seed: the winner at each simplex corner and at the centroid is a
+	// convex point by construction.
+	seeds := make([]geom.Vector, 0, d+1)
+	for i := 0; i < d; i++ {
+		e := geom.NewVector(d)
+		e[i] = 1
+		seeds = append(seeds, e)
+	}
+	c := geom.NewVector(d)
+	for i := range c {
+		c[i] = 1 / float64(d)
+	}
+	seeds = append(seeds, c)
+	for _, u := range seeds {
+		confirm(argmax(points, u, -1))
+	}
+
+	for p := 0; p < n; p++ {
+		if confirmed[p] {
+			continue
+		}
+		for {
+			u, delta, ok := maxMinMargin(points, p, confirmedList)
+			if !ok || delta < -1e-9 {
+				break // beaten everywhere by confirmed points: not convex
+			}
+			w := argmax(points, u, p)
+			if u.Dot(points[p]) >= u.Dot(points[w])-1e-9 {
+				confirm(p) // p is (tied-)top-1 at the witness
+				break
+			}
+			if confirmed[w] {
+				// Numerical disagreement between LP and the exact argmax;
+				// the confirmed winner strictly beats p at its own witness,
+				// so reject p conservatively.
+				break
+			}
+			confirm(w) // found a new convex point; retry with it constrained
+		}
+	}
+	sort.Ints(confirmedList)
+	return confirmedList
+}
+
+// maxMinMargin solves max δ s.t. u in simplex, u·(p − q) ≥ δ for all q in
+// against (excluding p itself). Returns the witness u and δ.
+func maxMinMargin(points []geom.Vector, p int, against []int) (geom.Vector, float64, bool) {
+	d := len(points[p])
+	nv := d + 1 // u plus δ
+	obj := make([]float64, nv)
+	obj[d] = 1
+	one := make([]float64, nv)
+	for i := 0; i < d; i++ {
+		one[i] = 1
+	}
+	cons := []lp.Constraint{{Coef: one, Rel: lp.EQ, RHS: 1}}
+	for _, q := range against {
+		if q == p {
+			continue
+		}
+		diff := points[p].Sub(points[q])
+		row := make([]float64, nv)
+		copy(row, diff)
+		row[d] = -1
+		cons = append(cons, lp.Constraint{Coef: row, Rel: lp.GE, RHS: 0})
+	}
+	free := make([]bool, nv)
+	free[d] = true
+	res := lp.Solve(lp.Problem{NumVars: nv, Objective: obj, Constraints: cons, Free: free})
+	if res.Status != lp.Optimal {
+		return nil, 0, false
+	}
+	return geom.Vector(res.X[:d]), res.Value, true
+}
+
+// argmax returns the index with the highest utility w.r.t. u; prefer wins
+// ties when it is within Eps of the maximum (pass -1 to disable).
+func argmax(points []geom.Vector, u geom.Vector, prefer int) int {
+	best, bestVal := 0, u.Dot(points[0])
+	for i := 1; i < len(points); i++ {
+		if v := u.Dot(points[i]); v > bestVal {
+			best, bestVal = i, v
+		}
+	}
+	if prefer >= 0 && u.Dot(points[prefer]) >= bestVal-geom.Eps {
+		return prefer
+	}
+	return best
+}
+
+// ConvexPointsSampling approximates the convex points by sampling `samples`
+// utility vectors uniformly from the simplex (always including the corners
+// and the centroid) and collecting the distinct top-1 winners.
+func ConvexPointsSampling(points []geom.Vector, samples int, rng *rand.Rand) []int {
+	if len(points) == 0 {
+		return nil
+	}
+	d := len(points[0])
+	seen := map[int]bool{}
+	try := func(u geom.Vector) { seen[argmax(points, u, -1)] = true }
+
+	for i := 0; i < d; i++ {
+		e := geom.NewVector(d)
+		e[i] = 1
+		try(e)
+	}
+	c := geom.NewVector(d)
+	for i := range c {
+		c[i] = 1 / float64(d)
+	}
+	try(c)
+	for s := 0; s < samples; s++ {
+		try(oracle.RandomUtility(rng, d))
+	}
+
+	out := make([]int, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}

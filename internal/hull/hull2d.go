@@ -1,0 +1,46 @@
+package hull
+
+import (
+	"sort"
+
+	"ist/internal/geom"
+	"ist/internal/sweep"
+)
+
+// ConvexPoints2D computes the convex points of a 2-d dataset without LPs:
+// a point is top-1 for some utility vector exactly when its dual line
+// appears on the upper envelope over u₁ ∈ [0,1] (Section 4.1's duality), so
+// the plane-sweep envelope gives the answer in O(n·h) for h envelope
+// segments. Points whose duals coincide with an envelope line (duplicates)
+// are tied top-1 and included, matching ConvexPointsExact's semantics.
+func ConvexPoints2D(points []geom.Vector) []int {
+	if len(points) == 0 {
+		return nil
+	}
+	if len(points[0]) != 2 {
+		panic("hull: ConvexPoints2D needs 2-d points")
+	}
+	order, _ := sweep.UpperEnvelope(points)
+	seen := map[int]bool{}
+	for _, i := range order {
+		seen[i] = true
+	}
+	// Include exact duplicates of envelope points (tied top-1).
+	for i, p := range points {
+		if seen[i] {
+			continue
+		}
+		for j := range seen {
+			if points[j].Equal(p) {
+				seen[i] = true
+				break
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}

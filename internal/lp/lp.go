@@ -1,0 +1,370 @@
+// Package lp implements a dense two-phase simplex linear-programming solver.
+//
+// The IST reproduction needs LP in several places: output-sensitive convex
+// point detection (Section 5.2.1 "accurate" mode), R-domination pruning in
+// the UH-Random/UH-Simplex baselines, implication testing in Active-Ranking,
+// and exact hyperplane/region intersection tests. All of these are small
+// problems (at most a few variables and a few hundred constraints), so a
+// dense tableau with Bland-rule anti-cycling is both simple and adequate.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Relation is the comparison operator of a constraint.
+type Relation int
+
+const (
+	// LE is a·x <= b.
+	LE Relation = iota
+	// GE is a·x >= b.
+	GE
+	// EQ is a·x == b.
+	EQ
+)
+
+// Status is the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraint system has no solution.
+	Infeasible
+	// Unbounded means the objective can grow without limit.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Constraint is a single linear constraint Coef·x Rel RHS.
+type Constraint struct {
+	Coef []float64
+	Rel  Relation
+	RHS  float64
+}
+
+// Problem is a linear program: maximize Objective·x subject to Constraints,
+// with x_i >= 0 unless Free[i] is set (Free may be nil, meaning all
+// variables are nonnegative).
+type Problem struct {
+	NumVars     int
+	Objective   []float64
+	Constraints []Constraint
+	Free        []bool
+}
+
+// Result holds the outcome of Solve.
+type Result struct {
+	Status Status
+	// X is the optimal assignment (length NumVars) when Status == Optimal.
+	X []float64
+	// Value is Objective·X when Status == Optimal.
+	Value float64
+}
+
+const (
+	eps = 1e-9
+	// maxIter bounds simplex iterations; beyond blandAfter iterations the
+	// pivot rule switches to Bland's rule, which cannot cycle.
+	maxIter    = 20000
+	blandAfter = 2000
+)
+
+// Solve optimizes the problem with a two-phase dense simplex method.
+func Solve(p Problem) Result {
+	if len(p.Objective) != p.NumVars {
+		panic(fmt.Sprintf("lp: objective has %d coefficients for %d variables", len(p.Objective), p.NumVars))
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coef) != p.NumVars {
+			panic(fmt.Sprintf("lp: constraint %d has %d coefficients for %d variables", i, len(c.Coef), p.NumVars))
+		}
+	}
+
+	// Split free variables x = x+ - x-. Column layout: for each original
+	// variable i, column col[i] holds x_i (or x_i^+); free variables get an
+	// extra negative-part column appended after the originals.
+	nOrig := p.NumVars
+	negCol := make([]int, nOrig) // -1 if not free
+	nStd := nOrig
+	for i := 0; i < nOrig; i++ {
+		negCol[i] = -1
+		if p.Free != nil && p.Free[i] {
+			negCol[i] = nStd
+			nStd++
+		}
+	}
+
+	expand := func(coef []float64) []float64 {
+		row := make([]float64, nStd)
+		copy(row, coef)
+		for i, nc := range negCol {
+			if nc >= 0 {
+				row[nc] = -coef[i]
+			}
+		}
+		return row
+	}
+
+	m := len(p.Constraints)
+	// Count slack/artificial columns.
+	nSlack := 0
+	nArt := 0
+	type rowSpec struct {
+		a   []float64
+		rhs float64
+		rel Relation
+	}
+	rows := make([]rowSpec, m)
+	for i, c := range p.Constraints {
+		a := expand(c.Coef)
+		rhs := c.RHS
+		rel := c.Rel
+		if rhs < 0 {
+			for j := range a {
+				a[j] = -a[j]
+			}
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows[i] = rowSpec{a, rhs, rel}
+		switch rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+
+	total := nStd + nSlack + nArt
+	// tableau: m rows + 1 objective row (phase 1), columns total+1 (RHS last).
+	t := make([][]float64, m+1)
+	for i := range t {
+		t[i] = make([]float64, total+1)
+	}
+	basis := make([]int, m)
+	artCols := make([]bool, total)
+
+	slackAt := nStd
+	artAt := nStd + nSlack
+	for i, r := range rows {
+		copy(t[i], r.a)
+		t[i][total] = r.rhs
+		switch r.rel {
+		case LE:
+			t[i][slackAt] = 1
+			basis[i] = slackAt
+			slackAt++
+		case GE:
+			t[i][slackAt] = -1
+			slackAt++
+			t[i][artAt] = 1
+			basis[i] = artAt
+			artCols[artAt] = true
+			artAt++
+		case EQ:
+			t[i][artAt] = 1
+			basis[i] = artAt
+			artCols[artAt] = true
+			artAt++
+		}
+	}
+
+	// Phase 1: minimize sum of artificials == maximize -(sum of artificials).
+	if nArt > 0 {
+		obj := t[m]
+		for j := 0; j <= total; j++ {
+			obj[j] = 0
+		}
+		for j := nStd + nSlack; j < total; j++ {
+			obj[j] = -1 // maximize -sum(art)
+		}
+		// Price out basic artificials.
+		for i, b := range basis {
+			if artCols[b] {
+				addRow(obj, t[i], 1)
+			}
+		}
+		if !simplexIterate(t, basis, total, m) {
+			// Phase 1 of a bounded-below objective cannot be unbounded, but be
+			// defensive anyway.
+			return Result{Status: Infeasible}
+		}
+		// With this tableau convention the objective row's RHS equals the
+		// negated objective value, so phase-1 optimum = -t[m][total].
+		if t[m][total] > 1e-7 {
+			return Result{Status: Infeasible}
+		}
+		// Drive remaining artificials out of the basis where possible.
+		for i := 0; i < m; i++ {
+			if !artCols[basis[i]] {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < nStd+nSlack; j++ {
+				if math.Abs(t[i][j]) > 1e-7 {
+					pivot(t, basis, i, j, total, m)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: the artificial stays basic at value ~0.
+				// Zero it so it can never re-enter with a nonzero value.
+				t[i][total] = 0
+			}
+		}
+	}
+
+	// Phase 2: the real objective.
+	obj := t[m]
+	for j := 0; j <= total; j++ {
+		obj[j] = 0
+	}
+	cExp := expand(p.Objective)
+	for j := 0; j < nStd; j++ {
+		obj[j] = cExp[j]
+	}
+	// Forbid artificials from re-entering.
+	for j := nStd + nSlack; j < total; j++ {
+		obj[j] = math.Inf(-1)
+	}
+	// Price out basic variables.
+	for i, b := range basis {
+		if math.Abs(obj[b]) > 0 && !math.IsInf(obj[b], -1) {
+			addRow(obj, t[i], -obj[b])
+		} else if artCols[b] {
+			// Basic artificial at zero: leave objective row consistent by
+			// treating its cost as zero.
+			obj[b] = 0
+		}
+	}
+	// Any remaining -Inf entries in non-basic artificial columns are fine:
+	// they will never be chosen as entering columns. Replace Inf sums safely.
+	for j := nStd + nSlack; j < total; j++ {
+		if math.IsInf(obj[j], -1) {
+			obj[j] = -1e18
+		}
+	}
+
+	if !simplexIterate(t, basis, total, m) {
+		return Result{Status: Unbounded}
+	}
+
+	// Extract solution.
+	xStd := make([]float64, nStd)
+	for i, b := range basis {
+		if b < nStd {
+			xStd[b] = t[i][total]
+		}
+	}
+	x := make([]float64, nOrig)
+	for i := 0; i < nOrig; i++ {
+		x[i] = xStd[i]
+		if negCol[i] >= 0 {
+			x[i] -= xStd[negCol[i]]
+		}
+	}
+	val := 0.0
+	for i, c := range p.Objective {
+		val += c * x[i]
+	}
+	return Result{Status: Optimal, X: x, Value: val}
+}
+
+// addRow does dst += f * src over the full tableau width.
+func addRow(dst, src []float64, f float64) {
+	for j := range dst {
+		dst[j] += f * src[j]
+	}
+}
+
+// pivot performs a pivot on (row, col).
+func pivot(t [][]float64, basis []int, row, col, total, m int) {
+	pv := t[row][col]
+	inv := 1 / pv
+	for j := 0; j <= total; j++ {
+		t[row][j] *= inv
+	}
+	t[row][col] = 1 // exact
+	for i := 0; i <= m; i++ {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			t[i][j] -= f * t[row][j]
+		}
+		t[i][col] = 0 // exact
+	}
+	basis[row] = col
+}
+
+// simplexIterate runs primal simplex on the tableau until optimal or
+// unbounded. Returns false on unboundedness.
+func simplexIterate(t [][]float64, basis []int, total, m int) bool {
+	obj := t[m]
+	for iter := 0; iter < maxIter; iter++ {
+		bland := iter >= blandAfter
+		// Entering column: positive reduced cost (we maximize).
+		col := -1
+		best := eps
+		for j := 0; j < total; j++ {
+			if obj[j] > best {
+				if bland {
+					col = j
+					break
+				}
+				best = obj[j]
+				col = j
+			}
+		}
+		if col < 0 {
+			return true // optimal
+		}
+		// Ratio test.
+		row := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := t[i][col]
+			if a > eps {
+				r := t[i][total] / a
+				if r < bestRatio-eps || (math.Abs(r-bestRatio) <= eps && (row < 0 || basis[i] < basis[row])) {
+					bestRatio = r
+					row = i
+				}
+			}
+		}
+		if row < 0 {
+			return false // unbounded
+		}
+		pivot(t, basis, row, col, total, m)
+	}
+	// Iteration limit: treat the current (feasible) point as optimal enough.
+	return true
+}

@@ -1,0 +1,81 @@
+package lp
+
+// Helpers for linear programs over the utility space: the standard simplex
+// {u : Σu[i] = 1, u >= 0} further cut by homogeneous halfspaces w·u >= 0
+// learned from user feedback.
+
+// MaxOverSimplex maximizes c·u over the simplex intersected with the given
+// halfspaces (each halfspace is w·u >= 0). It returns the optimal value, an
+// optimizer, and whether the region is feasible.
+func MaxOverSimplex(c []float64, halfspaces [][]float64) (float64, []float64, bool) {
+	d := len(c)
+	cons := make([]Constraint, 0, len(halfspaces)+1)
+	one := make([]float64, d)
+	for i := range one {
+		one[i] = 1
+	}
+	cons = append(cons, Constraint{Coef: one, Rel: EQ, RHS: 1})
+	for _, w := range halfspaces {
+		cons = append(cons, Constraint{Coef: w, Rel: GE, RHS: 0})
+	}
+	res := Solve(Problem{NumVars: d, Objective: c, Constraints: cons})
+	if res.Status != Optimal {
+		return 0, nil, false
+	}
+	return res.Value, res.X, true
+}
+
+// MinOverSimplex minimizes c·u over the simplex intersected with the given
+// halfspaces.
+func MinOverSimplex(c []float64, halfspaces [][]float64) (float64, []float64, bool) {
+	neg := make([]float64, len(c))
+	for i, x := range c {
+		neg[i] = -x
+	}
+	v, u, ok := MaxOverSimplex(neg, halfspaces)
+	return -v, u, ok
+}
+
+// FeasibleOverSimplex reports whether the simplex cut by the halfspaces is
+// nonempty and returns a witness utility vector when it is.
+func FeasibleOverSimplex(halfspaces [][]float64, dim int) ([]float64, bool) {
+	zero := make([]float64, dim)
+	_, u, ok := MaxOverSimplex(zero, halfspaces)
+	return u, ok
+}
+
+// InteriorPointOverSimplex finds a point of the region maximizing the minimum
+// slack: max t s.t. u in simplex, w·u >= t for all halfspaces, u[i] >= t.
+// It returns the point and the achieved slack (negative slack means the
+// region has no interior; zero-or-less slack with ok=false means infeasible).
+func InteriorPointOverSimplex(halfspaces [][]float64, dim int) ([]float64, float64, bool) {
+	// Variables: u (dim, nonneg), t (free).
+	n := dim + 1
+	obj := make([]float64, n)
+	obj[dim] = 1
+	cons := make([]Constraint, 0, len(halfspaces)+dim+1)
+	one := make([]float64, n)
+	for i := 0; i < dim; i++ {
+		one[i] = 1
+	}
+	cons = append(cons, Constraint{Coef: one, Rel: EQ, RHS: 1})
+	for _, w := range halfspaces {
+		row := make([]float64, n)
+		copy(row, w)
+		row[dim] = -1
+		cons = append(cons, Constraint{Coef: row, Rel: GE, RHS: 0})
+	}
+	for i := 0; i < dim; i++ {
+		row := make([]float64, n)
+		row[i] = 1
+		row[dim] = -1
+		cons = append(cons, Constraint{Coef: row, Rel: GE, RHS: 0})
+	}
+	free := make([]bool, n)
+	free[dim] = true
+	res := Solve(Problem{NumVars: n, Objective: obj, Constraints: cons, Free: free})
+	if res.Status != Optimal {
+		return nil, 0, false
+	}
+	return res.X[:dim], res.X[dim], true
+}

@@ -1,0 +1,40 @@
+package oracle
+
+import "ist/internal/geom"
+
+// MajorityOracle repeats every question an odd number of times and returns
+// the majority answer — the simplest mistake-mitigation for the noisy users
+// of Section 6.4 (and the "users might make mistakes" future work of the
+// paper's conclusion). Every repetition counts as a question asked of the
+// underlying oracle, so the effort trade-off is visible in the measurements.
+type MajorityOracle struct {
+	inner Oracle
+	votes int
+}
+
+// NewMajorityOracle wraps an oracle with votes-fold repetition; votes must
+// be odd and positive.
+func NewMajorityOracle(inner Oracle, votes int) *MajorityOracle {
+	if votes < 1 || votes%2 == 0 {
+		panic("oracle: majority votes must be odd and positive")
+	}
+	return &MajorityOracle{inner: inner, votes: votes}
+}
+
+// Prefer implements Oracle.
+func (m *MajorityOracle) Prefer(p, q geom.Vector) bool {
+	yes := 0
+	for v := 0; v < m.votes; v++ {
+		if m.inner.Prefer(p, q) {
+			yes++
+		}
+		// Early exit once the majority is decided.
+		if yes > m.votes/2 || v+1-yes > m.votes/2 {
+			break
+		}
+	}
+	return yes > m.votes/2
+}
+
+// Questions implements Oracle: the true user effort, counting repetitions.
+func (m *MajorityOracle) Questions() int { return m.inner.Questions() }

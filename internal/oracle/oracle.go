@@ -1,0 +1,191 @@
+// Package oracle simulates the interacting user of the IST problem: a hidden
+// linear utility vector that answers pairwise preference questions, with an
+// optional per-question mistake rate for the user-study experiments
+// (Sections 6.4 and 6.5.2). It also hosts the ranking helpers (top-k of a
+// dataset w.r.t. a utility vector) shared by algorithms and experiments.
+package oracle
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"ist/internal/geom"
+)
+
+// Oracle answers pairwise preference questions. Implementations count the
+// questions they are asked, which is the paper's primary cost measure.
+type Oracle interface {
+	// Prefer reports whether the user prefers p to q. Ties are reported as
+	// preferring p (the user must pick one of the two displayed tuples).
+	Prefer(p, q geom.Vector) bool
+	// Questions returns the number of questions asked so far.
+	Questions() int
+}
+
+// User is a truthful simulated user with a hidden utility vector.
+type User struct {
+	u         geom.Vector
+	questions int
+}
+
+// NewUser returns a truthful user with the given utility vector.
+func NewUser(u geom.Vector) *User { return &User{u: u.Clone()} }
+
+// RandomUser returns a truthful user with a utility vector drawn uniformly
+// from the standard simplex.
+func RandomUser(rng *rand.Rand, d int) *User {
+	return NewUser(RandomUtility(rng, d))
+}
+
+// Prefer implements Oracle.
+func (o *User) Prefer(p, q geom.Vector) bool {
+	o.questions++
+	return o.u.Dot(p) >= o.u.Dot(q)
+}
+
+// Questions implements Oracle.
+func (o *User) Questions() int { return o.questions }
+
+// Utility exposes the hidden vector for evaluation purposes only (verifying
+// that a returned point really is among the top-k). Algorithms must never
+// touch it.
+func (o *User) Utility() geom.Vector { return o.u.Clone() }
+
+// NoisyUser answers like User but flips each answer independently with the
+// given probability, modelling the user mistakes studied in Section 6.4.
+type NoisyUser struct {
+	User
+	errRate float64
+	rng     *rand.Rand
+	flips   int
+}
+
+// NewNoisyUser returns a user who errs with probability errRate per question.
+func NewNoisyUser(u geom.Vector, errRate float64, rng *rand.Rand) *NoisyUser {
+	return &NoisyUser{User: User{u: u.Clone()}, errRate: errRate, rng: rng}
+}
+
+// Prefer implements Oracle.
+func (o *NoisyUser) Prefer(p, q geom.Vector) bool {
+	ans := o.User.Prefer(p, q)
+	if o.rng.Float64() < o.errRate {
+		o.flips++
+		return !ans
+	}
+	return ans
+}
+
+// Flips returns how many answers were flipped by noise.
+func (o *NoisyUser) Flips() int { return o.flips }
+
+// RandomUtility draws a utility vector uniformly from the standard simplex
+// (via normalized exponentials).
+func RandomUtility(rng *rand.Rand, d int) geom.Vector {
+	u := geom.NewVector(d)
+	s := 0.0
+	for i := range u {
+		u[i] = rng.ExpFloat64() + 1e-12
+		s += u[i]
+	}
+	return u.Scale(1 / s)
+}
+
+// TopK returns the indices of the k highest-utility points w.r.t. u,
+// best first. Ties are broken by index for determinism.
+func TopK(points []geom.Vector, u geom.Vector, k int) []int {
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ua, ub := u.Dot(points[idx[a]]), u.Dot(points[idx[b]])
+		if ua != ub {
+			return ua > ub
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// IsTopK reports whether point p (by value) has one of the k highest
+// utilities in points w.r.t. u. Points with utility equal to the k-th
+// highest count as top-k, matching the paper's tie semantics.
+func IsTopK(points []geom.Vector, u geom.Vector, k int, p geom.Vector) bool {
+	fp := u.Dot(p)
+	better := 0
+	for _, q := range points {
+		if u.Dot(q) > fp+geom.Eps {
+			better++
+			if better >= k {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// KthUtility returns the k-th largest utility among points w.r.t. u.
+func KthUtility(points []geom.Vector, u geom.Vector, k int) float64 {
+	vals := make([]float64, len(points))
+	for i, p := range points {
+		vals[i] = u.Dot(p)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	if k > len(vals) {
+		k = len(vals)
+	}
+	return vals[k-1]
+}
+
+// Accuracy is the paper's result-quality measure (Section 6.1, after [8,10]):
+// f(p)/f(p_k) when f(p) < f(p_k), else 1, where p_k has the k-th largest
+// utility.
+func Accuracy(points []geom.Vector, u geom.Vector, k int, p geom.Vector) float64 {
+	fk := KthUtility(points, u, k)
+	fp := u.Dot(p)
+	if fp >= fk || fk <= 0 {
+		return 1
+	}
+	return fp / fk
+}
+
+// Boredom maps a question count to the paper's 1–10 "degree of boredness"
+// scale. The coefficients are fitted to the (questions, boredness) pairs the
+// paper reports in Figure 16 — (4.1, 1.9), (7.1, 3.0), (45.4, 7.7) — giving
+// boredom ≈ −1.5 + 2.4·ln(questions), clamped to [1, 10].
+func Boredom(questions float64) float64 {
+	if questions < 1 {
+		questions = 1
+	}
+	b := -1.5 + 2.4*math.Log(questions)
+	if b < 1 {
+		b = 1
+	}
+	if b > 10 {
+		b = 10
+	}
+	return b
+}
+
+// RankByBoredom assigns 1-based ranks to algorithms given their average
+// question counts (fewer questions → less boredom → better rank), the
+// ordering participants produced in the user studies. Ties share the better
+// rank.
+func RankByBoredom(questions []float64) []int {
+	n := len(questions)
+	ranks := make([]int, n)
+	for i := range ranks {
+		r := 1
+		for j := range questions {
+			if questions[j] < questions[i]-1e-12 {
+				r++
+			}
+		}
+		ranks[i] = r
+	}
+	return ranks
+}

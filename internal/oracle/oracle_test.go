@@ -1,0 +1,185 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ist/internal/geom"
+)
+
+func TestUserPrefer(t *testing.T) {
+	u := NewUser(geom.Vector{0.4, 0.6})
+	// Table 2 of the paper: f(p3)=0.68 > f(p1)=0.6.
+	if !u.Prefer(geom.Vector{0.5, 0.8}, geom.Vector{0, 1}) {
+		t.Fatal("user must prefer p3 to p1")
+	}
+	if u.Prefer(geom.Vector{0, 1}, geom.Vector{0.5, 0.8}) {
+		t.Fatal("user must not prefer p1 to p3")
+	}
+	if u.Questions() != 2 {
+		t.Fatalf("Questions = %d, want 2", u.Questions())
+	}
+}
+
+func TestUserTieBreak(t *testing.T) {
+	u := NewUser(geom.Vector{0.5, 0.5})
+	a, b := geom.Vector{0.6, 0.4}, geom.Vector{0.4, 0.6}
+	if !u.Prefer(a, b) || !u.Prefer(b, a) {
+		t.Fatal("ties must report the first argument as preferred")
+	}
+}
+
+func TestRandomUtilityOnSimplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		u := RandomUtility(rng, 5)
+		if math.Abs(u.Sum()-1) > 1e-9 {
+			t.Fatalf("sum = %v", u.Sum())
+		}
+		for _, x := range u {
+			if x <= 0 {
+				t.Fatalf("non-positive weight %v", x)
+			}
+		}
+	}
+}
+
+func TestNoisyUserFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	u := NewNoisyUser(geom.Vector{0.4, 0.6}, 0.5, rng)
+	correct := 0
+	trials := 2000
+	truth := NewUser(geom.Vector{0.4, 0.6})
+	p, q := geom.Vector{0.5, 0.8}, geom.Vector{0, 1}
+	want := truth.Prefer(p, q)
+	for i := 0; i < trials; i++ {
+		if u.Prefer(p, q) == want {
+			correct++
+		}
+	}
+	if u.Flips()+correct != trials {
+		t.Fatalf("flips %d + correct %d != %d", u.Flips(), correct, trials)
+	}
+	if correct < trials*2/5 || correct > trials*3/5 {
+		t.Fatalf("error rate 0.5 gave %d/%d correct", correct, trials)
+	}
+	if u.Questions() != trials {
+		t.Fatalf("Questions = %d", u.Questions())
+	}
+	zero := NewNoisyUser(geom.Vector{0.4, 0.6}, 0, rng)
+	for i := 0; i < 50; i++ {
+		if zero.Prefer(p, q) != want {
+			t.Fatal("zero-noise user must answer truthfully")
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	// Table 2, u = (0.4, 0.6): ranking p3, p1, p2, p4, p5.
+	pts := []geom.Vector{{0, 1}, {0.3, 0.7}, {0.5, 0.8}, {0.7, 0.4}, {1, 0}}
+	u := geom.Vector{0.4, 0.6}
+	got := TopK(pts, u, 2)
+	if len(got) != 2 || got[0] != 2 || got[1] != 0 {
+		t.Fatalf("TopK = %v, want [2 0] (p3, p1)", got)
+	}
+	all := TopK(pts, u, 10)
+	want := []int{2, 0, 1, 3, 4}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Fatalf("full ranking = %v, want %v", all, want)
+		}
+	}
+}
+
+func TestIsTopK(t *testing.T) {
+	pts := []geom.Vector{{0, 1}, {0.3, 0.7}, {0.5, 0.8}, {0.7, 0.4}, {1, 0}}
+	u := geom.Vector{0.4, 0.6}
+	if !IsTopK(pts, u, 2, pts[2]) || !IsTopK(pts, u, 2, pts[0]) {
+		t.Fatal("p3 and p1 are top-2")
+	}
+	if IsTopK(pts, u, 2, pts[1]) {
+		t.Fatal("p2 is not top-2")
+	}
+	if !IsTopK(pts, u, 1, pts[2]) {
+		t.Fatal("p3 is top-1")
+	}
+}
+
+func TestKthUtilityAndAccuracy(t *testing.T) {
+	pts := []geom.Vector{{0, 1}, {0.3, 0.7}, {0.5, 0.8}, {0.7, 0.4}, {1, 0}}
+	u := geom.Vector{0.4, 0.6}
+	if got := KthUtility(pts, u, 2); math.Abs(got-0.6) > 1e-9 {
+		t.Fatalf("KthUtility = %v, want 0.6", got)
+	}
+	if got := Accuracy(pts, u, 2, pts[2]); got != 1 {
+		t.Fatalf("Accuracy of top point = %v", got)
+	}
+	// p2 (utility 0.54) vs k-th utility 0.6: 0.9.
+	if got := Accuracy(pts, u, 2, pts[1]); math.Abs(got-0.9) > 1e-9 {
+		t.Fatalf("Accuracy = %v, want 0.9", got)
+	}
+}
+
+func TestBoredomFitsPaperPoints(t *testing.T) {
+	// Figure 16's reported pairs should be reproduced within ~0.5.
+	cases := []struct{ q, b float64 }{{4.1, 1.9}, {7.1, 3.0}, {45.4, 7.7}}
+	for _, c := range cases {
+		if got := Boredom(c.q); math.Abs(got-c.b) > 0.55 {
+			t.Fatalf("Boredom(%v) = %v, want ~%v", c.q, got, c.b)
+		}
+	}
+	if Boredom(0) < 1 || Boredom(1e9) > 10 {
+		t.Fatal("Boredom must clamp to [1,10]")
+	}
+}
+
+func TestRankByBoredom(t *testing.T) {
+	ranks := RankByBoredom([]float64{4.1, 7.1, 4.8, 45.4})
+	want := []int{1, 3, 2, 4}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", ranks, want)
+		}
+	}
+	tied := RankByBoredom([]float64{5, 5, 7})
+	if tied[0] != 1 || tied[1] != 1 || tied[2] != 3 {
+		t.Fatalf("tied ranks = %v", tied)
+	}
+}
+
+// Property: TopK(k)[0..] utilities are non-increasing and IsTopK agrees with
+// membership in TopK for points with distinct utilities.
+func TestQuickTopKConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		d := 2 + rng.Intn(3)
+		pts := make([]geom.Vector, n)
+		for i := range pts {
+			p := geom.NewVector(d)
+			for j := range p {
+				p[j] = rng.Float64()
+			}
+			pts[i] = p
+		}
+		u := RandomUtility(rng, d)
+		k := 1 + rng.Intn(n)
+		top := TopK(pts, u, k)
+		for i := 1; i < len(top); i++ {
+			if u.Dot(pts[top[i-1]]) < u.Dot(pts[top[i]])-1e-12 {
+				return false
+			}
+		}
+		for _, i := range top {
+			if !IsTopK(pts, u, k, pts[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

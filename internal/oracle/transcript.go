@@ -1,0 +1,110 @@
+package oracle
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ist/internal/geom"
+)
+
+// Transcripts record an interaction for auditing, debugging and replay — a
+// production necessity when the oracle is a real person whose answers
+// arrive over days (think of the used-car broker emailing Alice one
+// question at a time). A RecordingOracle wraps any oracle and captures
+// every exchange; a ReplayOracle answers from a saved transcript, which
+// lets a deterministic algorithm resume or reproduce a session exactly.
+
+// Exchange is a single recorded question and its answer.
+type Exchange struct {
+	P          geom.Vector `json:"p"`
+	Q          geom.Vector `json:"q"`
+	PreferredP bool        `json:"preferredP"`
+}
+
+// Transcript is an ordered record of exchanges.
+type Transcript struct {
+	Exchanges []Exchange `json:"exchanges"`
+}
+
+// Save writes the transcript as JSON.
+func (t *Transcript) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// LoadTranscript reads a JSON transcript.
+func LoadTranscript(r io.Reader) (*Transcript, error) {
+	var t Transcript
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("oracle: bad transcript: %w", err)
+	}
+	return &t, nil
+}
+
+// RecordingOracle wraps an oracle and records every exchange.
+type RecordingOracle struct {
+	inner Oracle
+	t     Transcript
+}
+
+// NewRecordingOracle wraps inner with recording.
+func NewRecordingOracle(inner Oracle) *RecordingOracle {
+	return &RecordingOracle{inner: inner}
+}
+
+// Prefer implements Oracle.
+func (r *RecordingOracle) Prefer(p, q geom.Vector) bool {
+	ans := r.inner.Prefer(p, q)
+	r.t.Exchanges = append(r.t.Exchanges, Exchange{P: p.Clone(), Q: q.Clone(), PreferredP: ans})
+	return ans
+}
+
+// Questions implements Oracle.
+func (r *RecordingOracle) Questions() int { return r.inner.Questions() }
+
+// Transcript returns the recorded exchanges so far.
+func (r *RecordingOracle) Transcript() *Transcript { return &r.t }
+
+// ReplayOracle answers questions from a transcript. The questions must
+// arrive in the same order with the same tuples (which deterministic
+// algorithms with fixed seeds guarantee); a mismatch or exhaustion returns
+// an error through Err and a default answer.
+type ReplayOracle struct {
+	t         *Transcript
+	pos       int
+	questions int
+	err       error
+}
+
+// NewReplayOracle builds a replaying oracle.
+func NewReplayOracle(t *Transcript) *ReplayOracle { return &ReplayOracle{t: t} }
+
+// Prefer implements Oracle.
+func (r *ReplayOracle) Prefer(p, q geom.Vector) bool {
+	r.questions++
+	if r.pos >= len(r.t.Exchanges) {
+		r.setErr(fmt.Errorf("oracle: transcript exhausted at question %d", r.questions))
+		return true
+	}
+	ex := r.t.Exchanges[r.pos]
+	r.pos++
+	if !ex.P.Equal(p) || !ex.Q.Equal(q) {
+		r.setErr(fmt.Errorf("oracle: transcript mismatch at question %d", r.questions))
+		return true
+	}
+	return ex.PreferredP
+}
+
+// Questions implements Oracle.
+func (r *ReplayOracle) Questions() int { return r.questions }
+
+// Err reports the first replay failure, if any.
+func (r *ReplayOracle) Err() error { return r.err }
+
+func (r *ReplayOracle) setErr(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}

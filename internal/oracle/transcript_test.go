@@ -1,0 +1,111 @@
+package oracle
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ist/internal/geom"
+)
+
+func TestRecordingOracle(t *testing.T) {
+	u := NewUser(geom.Vector{0.4, 0.6})
+	rec := NewRecordingOracle(u)
+	a, b := geom.Vector{0.5, 0.8}, geom.Vector{0, 1}
+	if !rec.Prefer(a, b) {
+		t.Fatal("wrong answer passthrough")
+	}
+	rec.Prefer(b, a)
+	tr := rec.Transcript()
+	if len(tr.Exchanges) != 2 {
+		t.Fatalf("%d exchanges", len(tr.Exchanges))
+	}
+	if !tr.Exchanges[0].P.Equal(a) || !tr.Exchanges[0].PreferredP {
+		t.Fatalf("exchange 0 = %+v", tr.Exchanges[0])
+	}
+	if tr.Exchanges[1].PreferredP {
+		t.Fatal("exchange 1 answer wrong")
+	}
+	if rec.Questions() != 2 {
+		t.Fatalf("Questions = %d", rec.Questions())
+	}
+}
+
+func TestTranscriptJSONRoundTrip(t *testing.T) {
+	tr := &Transcript{Exchanges: []Exchange{
+		{P: geom.Vector{1, 0}, Q: geom.Vector{0, 1}, PreferredP: true},
+	}}
+	var buf strings.Builder
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTranscript(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Exchanges) != 1 || !back.Exchanges[0].P.Equal(geom.Vector{1, 0}) || !back.Exchanges[0].PreferredP {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if _, err := LoadTranscript(strings.NewReader("{nope")); err == nil {
+		t.Fatal("bad JSON must error")
+	}
+}
+
+func TestReplayOracle(t *testing.T) {
+	a, b := geom.Vector{0.5, 0.8}, geom.Vector{0, 1}
+	tr := &Transcript{Exchanges: []Exchange{
+		{P: a, Q: b, PreferredP: true},
+		{P: b, Q: a, PreferredP: false},
+	}}
+	rep := NewReplayOracle(tr)
+	if !rep.Prefer(a, b) || rep.Prefer(b, a) {
+		t.Fatal("replay answers wrong")
+	}
+	if rep.Err() != nil {
+		t.Fatalf("unexpected error: %v", rep.Err())
+	}
+	// Exhaustion.
+	rep.Prefer(a, b)
+	if rep.Err() == nil {
+		t.Fatal("exhausted replay must error")
+	}
+	if rep.Questions() != 3 {
+		t.Fatalf("Questions = %d", rep.Questions())
+	}
+}
+
+func TestReplayMismatch(t *testing.T) {
+	tr := &Transcript{Exchanges: []Exchange{
+		{P: geom.Vector{1, 0}, Q: geom.Vector{0, 1}, PreferredP: true},
+	}}
+	rep := NewReplayOracle(tr)
+	rep.Prefer(geom.Vector{0.3, 0.3}, geom.Vector{0, 1})
+	if rep.Err() == nil {
+		t.Fatal("mismatched question must error")
+	}
+}
+
+func TestRecordThenReplayReproducesRun(t *testing.T) {
+	// Record a full simulated interaction, then replay it and verify the
+	// same answers come back in the same order.
+	rng := rand.New(rand.NewSource(1))
+	u := RandomUser(rng, 3)
+	rec := NewRecordingOracle(u)
+	pts := make([]geom.Vector, 20)
+	for i := range pts {
+		pts[i] = geom.Vector{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	var answers []bool
+	for i := 0; i+1 < len(pts); i += 2 {
+		answers = append(answers, rec.Prefer(pts[i], pts[i+1]))
+	}
+	rep := NewReplayOracle(rec.Transcript())
+	for i := 0; i+1 < len(pts); i += 2 {
+		if rep.Prefer(pts[i], pts[i+1]) != answers[i/2] {
+			t.Fatalf("replay diverged at question %d", i/2)
+		}
+	}
+	if rep.Err() != nil {
+		t.Fatal(rep.Err())
+	}
+}

@@ -1,0 +1,53 @@
+package polytope
+
+import "math/bits"
+
+// bitset is a growable set of small nonnegative integers used to track which
+// constraints are tight at a vertex.
+type bitset struct {
+	w []uint64
+}
+
+func (b *bitset) set(i int) {
+	word := i >> 6
+	for len(b.w) <= word {
+		b.w = append(b.w, 0)
+	}
+	b.w[word] |= 1 << uint(i&63)
+}
+
+func (b bitset) has(i int) bool {
+	word := i >> 6
+	if word >= len(b.w) {
+		return false
+	}
+	return b.w[word]&(1<<uint(i&63)) != 0
+}
+
+func (b bitset) clone() bitset {
+	c := make([]uint64, len(b.w))
+	copy(c, b.w)
+	return bitset{w: c}
+}
+
+// commonCount returns |b ∩ o|.
+func (b bitset) commonCount(o bitset) int {
+	n := len(b.w)
+	if len(o.w) < n {
+		n = len(o.w)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += bits.OnesCount64(b.w[i] & o.w[i])
+	}
+	return total
+}
+
+// count returns |b|.
+func (b bitset) count() int {
+	total := 0
+	for _, w := range b.w {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}

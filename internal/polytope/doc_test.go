@@ -1,0 +1,24 @@
+package polytope_test
+
+import (
+	"fmt"
+
+	"ist/internal/geom"
+	"ist/internal/polytope"
+)
+
+// A utility range starts as the whole simplex and shrinks with each
+// answered question.
+func ExamplePolytope_Cut() {
+	R := polytope.NewSimplex(3)
+	fmt.Println("vertices:", R.NumVertices())
+
+	// The user prefers p_i with normal p_i − p_j = (0.4, -0.2, -0.1):
+	class := R.Cut(geom.Hyperplane{Normal: geom.Vector{0.4, -0.2, -0.1}})
+	fmt.Println("cut:", class)
+	fmt.Println("still contains the centre?", R.Contains(R.Center()))
+	// Output:
+	// vertices: 3
+	// cut: intersect
+	// still contains the centre? true
+}

@@ -1,0 +1,406 @@
+package polytope
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ist/internal/geom"
+	"ist/internal/lp"
+)
+
+func TestNewSimplex(t *testing.T) {
+	for d := 1; d <= 6; d++ {
+		p := NewSimplex(d)
+		if p.NumVertices() != d {
+			t.Fatalf("d=%d: %d vertices, want %d", d, p.NumVertices(), d)
+		}
+		c := p.Center()
+		for _, x := range c {
+			if math.Abs(x-1/float64(d)) > 1e-9 {
+				t.Fatalf("d=%d: center %v", d, c)
+			}
+		}
+	}
+}
+
+func TestCutHalvesSimplex2D(t *testing.T) {
+	p := NewSimplex(2)
+	// u1 >= u2: normal (1, -1).
+	class := p.Cut(geom.Hyperplane{Normal: geom.Vector{1, -1}})
+	if class != ClassIntersect {
+		t.Fatalf("class = %v, want intersect", class)
+	}
+	// Result: segment from (1,0) to (0.5,0.5).
+	if p.NumVertices() != 2 {
+		t.Fatalf("%d vertices, want 2: %v", p.NumVertices(), p.Vertices())
+	}
+	want := map[string]bool{}
+	for _, v := range p.Vertices() {
+		if v.Equal(geom.Vector{1, 0}) {
+			want["e1"] = true
+		}
+		if v.Equal(geom.Vector{0.5, 0.5}) {
+			want["mid"] = true
+		}
+	}
+	if !want["e1"] || !want["mid"] {
+		t.Fatalf("vertices %v, want (1,0) and (0.5,0.5)", p.Vertices())
+	}
+}
+
+func TestCutBelowEmpties(t *testing.T) {
+	p := NewSimplex(3)
+	// -u1 - u2 - u3 >= 0 is impossible on the simplex.
+	class := p.Cut(geom.Hyperplane{Normal: geom.Vector{-1, -1, -1}})
+	if class != ClassBelow || !p.IsEmpty() {
+		t.Fatalf("class=%v empty=%v, want below/empty", class, p.IsEmpty())
+	}
+}
+
+func TestCutAboveNoChange(t *testing.T) {
+	p := NewSimplex(3)
+	class := p.Cut(geom.Hyperplane{Normal: geom.Vector{1, 1, 1}})
+	if class != ClassAbove || p.NumVertices() != 3 {
+		t.Fatalf("class=%v nv=%d, want above/3", class, p.NumVertices())
+	}
+}
+
+func TestSequentialCuts3D(t *testing.T) {
+	p := NewSimplex(3)
+	// u1 >= u2 and u2 >= u3 leaves the region with vertices
+	// (1,0,0), (1/2,1/2,0), (1/3,1/3,1/3).
+	p.Cut(geom.Hyperplane{Normal: geom.Vector{1, -1, 0}})
+	p.Cut(geom.Hyperplane{Normal: geom.Vector{0, 1, -1}})
+	if p.IsEmpty() {
+		t.Fatal("region must be nonempty")
+	}
+	wants := []geom.Vector{{1, 0, 0}, {0.5, 0.5, 0}, {1.0 / 3, 1.0 / 3, 1.0 / 3}}
+	for _, w := range wants {
+		found := false
+		for _, v := range p.Vertices() {
+			if v.Equal(w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing vertex %v; have %v", w, p.Vertices())
+		}
+	}
+	if p.NumVertices() != 3 {
+		t.Errorf("%d vertices, want 3: %v", p.NumVertices(), p.Vertices())
+	}
+}
+
+func TestOppositeCutsDegenerate(t *testing.T) {
+	p := NewSimplex(3)
+	h := geom.Hyperplane{Normal: geom.Vector{1, -1, 0}}
+	p.Cut(h)
+	class := p.Cut(h.Flip())
+	// After the first cut the polytope is in closed h+, so the opposite cut
+	// classifies Below but must retain the On face u1 == u2.
+	if class != ClassBelow {
+		t.Fatalf("class = %v, want below", class)
+	}
+	if p.IsEmpty() {
+		t.Fatal("face u1=u2 must remain")
+	}
+	for _, v := range p.Vertices() {
+		if math.Abs(v[0]-v[1]) > 1e-9 {
+			t.Fatalf("vertex %v not on u1=u2", v)
+		}
+	}
+	// Now the region is entirely On h.
+	if got := p.Classify(h); got != ClassOn {
+		t.Fatalf("Classify = %v, want on", got)
+	}
+}
+
+func TestCenterSampleContained(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := NewSimplex(4)
+	p.Cut(geom.Hyperplane{Normal: geom.Vector{1, -1, 0.3, -0.2}})
+	p.Cut(geom.Hyperplane{Normal: geom.Vector{-0.5, 1, -1, 0.8}})
+	if p.IsEmpty() {
+		t.Skip("region empty under these cuts")
+	}
+	if !p.Contains(p.Center()) {
+		t.Fatalf("center %v not contained", p.Center())
+	}
+	for i := 0; i < 50; i++ {
+		u := p.Sample(rng)
+		if !p.Contains(u) {
+			t.Fatalf("sample %v not contained", u)
+		}
+		if math.Abs(u.Sum()-1) > 1e-9 {
+			t.Fatalf("sample %v off the simplex", u)
+		}
+	}
+}
+
+func TestBallSide(t *testing.T) {
+	// Shrunken 2D region: segment (1,0)-(0.5,0.5), center (0.75,0.25),
+	// radius ~0.354.
+	p := NewSimplex(2)
+	p.Cut(geom.Hyperplane{Normal: geom.Vector{1, -1}}) // u1 >= u2
+	// Distance from center to plane u1+u2=0 is 1/sqrt(2) ~ 0.707 > radius.
+	if got := p.BallSide(geom.Hyperplane{Normal: geom.Vector{1, 1}}); got != ClassAbove {
+		t.Fatalf("BallSide far-above = %v", got)
+	}
+	if got := p.BallSide(geom.Hyperplane{Normal: geom.Vector{-1, -1}}); got != ClassBelow {
+		t.Fatalf("BallSide far-below = %v", got)
+	}
+	// The plane u1=u2 touches the endpoint (0.5,0.5): inconclusive.
+	if got := p.BallSide(geom.Hyperplane{Normal: geom.Vector{1, -1}}); got != ClassIntersect {
+		t.Fatalf("BallSide touching = %v", got)
+	}
+}
+
+func TestRectSideMatchesFast(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		d := 2 + rng.Intn(4)
+		p := NewSimplex(d)
+		for c := 0; c < rng.Intn(4); c++ {
+			n := geom.NewVector(d)
+			for i := range n {
+				n[i] = rng.Float64()*2 - 1
+			}
+			p.Cut(geom.Hyperplane{Normal: n})
+			if p.IsEmpty() {
+				break
+			}
+		}
+		if p.IsEmpty() {
+			continue
+		}
+		n := geom.NewVector(d)
+		for i := range n {
+			n[i] = rng.Float64()*2 - 1
+		}
+		h := geom.Hyperplane{Normal: n}
+		if a, b := p.RectSide(h), p.RectSideFast(h); a != b {
+			t.Fatalf("trial %d: RectSide=%v RectSideFast=%v (d=%d)", trial, a, b, d)
+		}
+	}
+}
+
+// Bounding tests are sufficient conditions: whenever they are conclusive,
+// the exact classification must agree.
+func TestBoundsAreSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		d := 2 + rng.Intn(4)
+		p := NewSimplex(d)
+		for c := 0; c < rng.Intn(5); c++ {
+			n := geom.NewVector(d)
+			for i := range n {
+				n[i] = rng.Float64()*2 - 1
+			}
+			p.Cut(geom.Hyperplane{Normal: n})
+			if p.IsEmpty() {
+				break
+			}
+		}
+		if p.IsEmpty() {
+			continue
+		}
+		n := geom.NewVector(d)
+		for i := range n {
+			n[i] = rng.Float64()*2 - 1
+		}
+		h := geom.Hyperplane{Normal: n}
+		exact := p.Classify(h)
+		for _, got := range []Class{p.BallSide(h), p.RectSide(h)} {
+			if got == ClassAbove && !(exact == ClassAbove) {
+				t.Fatalf("bound says above, exact %v", exact)
+			}
+			if got == ClassBelow && !(exact == ClassBelow) {
+				t.Fatalf("bound says below, exact %v", exact)
+			}
+		}
+	}
+}
+
+func TestClassifyWithStats(t *testing.T) {
+	p := NewSimplex(2)
+	p.Cut(geom.Hyperplane{Normal: geom.Vector{1, -1}}) // shrink so the ball is conclusive
+	var stats BoundStats
+	// Conclusive for the ball.
+	p.ClassifyWith(geom.Hyperplane{Normal: geom.Vector{1, 1}}, StrategyBall, &stats)
+	// Inconclusive (touches an endpoint), falls back to exact scan.
+	p.ClassifyWith(geom.Hyperplane{Normal: geom.Vector{1, -1}}, StrategyBall, &stats)
+	if stats.Identifications != 2 || stats.ByBound != 1 {
+		t.Fatalf("stats = %+v, want 2/1", stats)
+	}
+	if r := stats.EffectiveRatio(); math.Abs(r-0.5) > 1e-12 {
+		t.Fatalf("EffectiveRatio = %v", r)
+	}
+	if (BoundStats{}).EffectiveRatio() != 0 {
+		t.Fatal("empty stats ratio must be 0")
+	}
+}
+
+// Property: after a sequence of random cuts, the polytope's emptiness agrees
+// with LP feasibility of the same constraint system, and every reported
+// vertex satisfies every constraint.
+func TestQuickCutMatchesLP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(4)
+		p := NewSimplex(d)
+		var hs [][]float64
+		for c := 0; c < 1+rng.Intn(6); c++ {
+			n := geom.NewVector(d)
+			for i := range n {
+				n[i] = rng.Float64()*2 - 1
+			}
+			hs = append(hs, n)
+			p.Cut(geom.Hyperplane{Normal: n})
+		}
+		// Vertices must satisfy all constraints.
+		for _, v := range p.Vertices() {
+			if !p.Contains(v) {
+				return false
+			}
+			if math.Abs(v.Sum()-1) > 1e-7 {
+				return false
+			}
+		}
+		_, feasible := lp.FeasibleOverSimplex(hs, d)
+		if p.IsEmpty() && feasible {
+			// The LP might find a single boundary point that the vertex
+			// machinery dropped as degenerate; accept only interior-empty.
+			_, slack, ok := lp.InteriorPointOverSimplex(hs, d)
+			return !ok || slack <= 1e-7
+		}
+		if !p.IsEmpty() && !feasible {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a cut never enlarges the vertex set's reach: every vertex after
+// the cut is inside the pre-cut polytope.
+func TestQuickCutMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(4)
+		p := NewSimplex(d)
+		for c := 0; c < rng.Intn(4); c++ {
+			n := geom.NewVector(d)
+			for i := range n {
+				n[i] = rng.Float64()*2 - 1
+			}
+			p.Cut(geom.Hyperplane{Normal: n})
+		}
+		before := p.Clone()
+		n := geom.NewVector(d)
+		for i := range n {
+			n[i] = rng.Float64()*2 - 1
+		}
+		p.Cut(geom.Hyperplane{Normal: n})
+		for _, v := range p.Vertices() {
+			if !before.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitset(t *testing.T) {
+	var b bitset
+	b.set(3)
+	b.set(70)
+	if !b.has(3) || !b.has(70) || b.has(4) || b.has(1000) {
+		t.Fatal("bitset membership wrong")
+	}
+	if b.count() != 2 {
+		t.Fatalf("count = %d", b.count())
+	}
+	var c bitset
+	c.set(70)
+	c.set(5)
+	if b.commonCount(c) != 1 {
+		t.Fatalf("commonCount = %d", b.commonCount(c))
+	}
+	cl := b.clone()
+	cl.set(9)
+	if b.has(9) {
+		t.Fatal("clone aliases original")
+	}
+}
+
+// BenchmarkCut measures the incremental halfspace cut across dimensions.
+func BenchmarkCut(b *testing.B) {
+	for _, d := range []int{3, 4, 6} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			normals := make([]geom.Vector, 24)
+			for i := range normals {
+				n := geom.NewVector(d)
+				for j := range n {
+					n[j] = rng.Float64()*2 - 1
+				}
+				normals[i] = n
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := NewSimplex(d)
+				for _, n := range normals {
+					p.Cut(geom.Hyperplane{Normal: n})
+					if p.IsEmpty() {
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClassify compares exact classification with the bounding
+// shortcuts on a realistic cut polytope.
+func BenchmarkClassify(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	d := 5
+	p := NewSimplex(d)
+	for c := 0; c < 8; c++ {
+		n := geom.NewVector(d)
+		for j := range n {
+			n[j] = rng.Float64()*2 - 1
+		}
+		p.Cut(geom.Hyperplane{Normal: n})
+	}
+	h := geom.Hyperplane{Normal: geom.Vector{1, -0.3, 0.2, -0.8, 0.1}}
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.Classify(h)
+		}
+	})
+	b.Run("ball", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.BallSide(h)
+		}
+	})
+	b.Run("rect", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.RectSide(h)
+		}
+	})
+	b.Run("rectfast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.RectSideFast(h)
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package polytope
+
+import (
+	"math/rand"
+
+	"ist/internal/geom"
+)
+
+// Volume and split estimation. The paper's RH selects the hyperplane
+// "dividing R the most evenly" via the cheap distance-to-centre heuristic
+// (Section 5.3.3); the Monte-Carlo estimators here provide the ground truth
+// those heuristics approximate, used by tests and the ablation benchmarks.
+
+// EstimateVolumeShare estimates the fraction of the whole utility simplex
+// occupied by the polytope, by sampling `samples` uniform simplex points
+// and testing containment. The returned value is a share in [0,1] of
+// (d−1)-dimensional measure.
+func (p *Polytope) EstimateVolumeShare(rng *rand.Rand, samples int) float64 {
+	if p.IsEmpty() || samples <= 0 {
+		return 0
+	}
+	in := 0
+	for s := 0; s < samples; s++ {
+		if p.Contains(uniformSimplexPoint(rng, p.dim)) {
+			in++
+		}
+	}
+	return float64(in) / float64(samples)
+}
+
+// EstimateSplitShare estimates how the hyperplane divides the polytope: the
+// fraction of the polytope's sampled points strictly above h. Points are
+// drawn as random convex combinations of the vertices (not exactly uniform
+// over the polytope, but an unbiased-enough probe for evenness checks —
+// exact uniform sampling over a polytope would need its triangulation).
+// Returns 0.5 exactly only in expectation for a perfectly even split.
+func (p *Polytope) EstimateSplitShare(h geom.Hyperplane, rng *rand.Rand, samples int) float64 {
+	if p.IsEmpty() || samples <= 0 {
+		return 0
+	}
+	above := 0
+	for s := 0; s < samples; s++ {
+		if h.SideOf(p.Sample(rng)) == geom.Above {
+			above++
+		}
+	}
+	return float64(above) / float64(samples)
+}
+
+// uniformSimplexPoint draws a uniform point of the standard simplex (via
+// normalized exponentials, the Dirichlet(1,...,1) construction).
+func uniformSimplexPoint(rng *rand.Rand, d int) geom.Vector {
+	u := geom.NewVector(d)
+	s := 0.0
+	for i := range u {
+		u[i] = rng.ExpFloat64() + 1e-300
+		s += u[i]
+	}
+	return u.Scale(1 / s)
+}

@@ -1,0 +1,117 @@
+package polytope
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ist/internal/geom"
+)
+
+func TestEstimateVolumeShareWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewSimplex(3)
+	if got := p.EstimateVolumeShare(rng, 2000); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("whole simplex share = %v, want 1", got)
+	}
+}
+
+func TestEstimateVolumeShareHalf(t *testing.T) {
+	// Cutting the 2-simplex (a segment in u-space) at u1 >= u2 keeps half.
+	rng := rand.New(rand.NewSource(2))
+	p := NewSimplex(2)
+	p.Cut(geom.Hyperplane{Normal: geom.Vector{1, -1}})
+	got := p.EstimateVolumeShare(rng, 20000)
+	if math.Abs(got-0.5) > 0.02 {
+		t.Fatalf("half-simplex share = %v, want ~0.5", got)
+	}
+}
+
+func TestEstimateVolumeShareSymmetricThird(t *testing.T) {
+	// In 3d, u1 >= u2 and u1 >= u3 keeps exactly one third by symmetry.
+	rng := rand.New(rand.NewSource(3))
+	p := NewSimplex(3)
+	p.Cut(geom.Hyperplane{Normal: geom.Vector{1, -1, 0}})
+	p.Cut(geom.Hyperplane{Normal: geom.Vector{1, 0, -1}})
+	got := p.EstimateVolumeShare(rng, 30000)
+	if math.Abs(got-1.0/3) > 0.02 {
+		t.Fatalf("share = %v, want ~1/3", got)
+	}
+}
+
+func TestEstimateVolumeShareEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := NewSimplex(2)
+	p.Cut(geom.Hyperplane{Normal: geom.Vector{-1, -1}})
+	if got := p.EstimateVolumeShare(rng, 100); got != 0 {
+		t.Fatalf("empty polytope share = %v", got)
+	}
+}
+
+func TestEstimateSplitShare(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := NewSimplex(3)
+	// u1 vs u2 splits the whole simplex symmetrically.
+	got := p.EstimateSplitShare(geom.Hyperplane{Normal: geom.Vector{1, -1, 0}}, rng, 20000)
+	if math.Abs(got-0.5) > 0.03 {
+		t.Fatalf("split share = %v, want ~0.5", got)
+	}
+	// A hyperplane with the polytope entirely above it.
+	if got := p.EstimateSplitShare(geom.Hyperplane{Normal: geom.Vector{1, 1, 1}}, rng, 500); got != 1 {
+		t.Fatalf("all-above split share = %v, want 1", got)
+	}
+}
+
+func TestRHDistanceHeuristicTracksEvenSplits(t *testing.T) {
+	// Ablation backing Section 5.3.3: among candidate hyperplanes, the one
+	// closest to the centre should split the region more evenly on average
+	// than the farthest.
+	rng := rand.New(rand.NewSource(6))
+	p := NewSimplex(4)
+	p.Cut(geom.Hyperplane{Normal: geom.Vector{1, -0.5, 0.2, -0.7}})
+	center := p.Center()
+	var cands []cand4
+	for i := 0; i < 40; i++ {
+		n := geom.NewVector(4)
+		for j := range n {
+			n[j] = rng.Float64()*2 - 1
+		}
+		h := geom.Hyperplane{Normal: n}
+		if p.Classify(h) != ClassIntersect {
+			continue
+		}
+		share := p.EstimateSplitShare(h, rng, 3000)
+		cands = append(cands, cand4{h: h, dist: h.Distance(center), evenness: math.Abs(share - 0.5)})
+	}
+	if len(cands) < 8 {
+		t.Skip("not enough intersecting candidates")
+	}
+	// Compare the mean evenness of the closest third vs the farthest third.
+	sortCands(cands)
+	third := len(cands) / 3
+	closeMean, farMean := 0.0, 0.0
+	for i := 0; i < third; i++ {
+		closeMean += cands[i].evenness
+		farMean += cands[len(cands)-1-i].evenness
+	}
+	if closeMean >= farMean {
+		t.Fatalf("distance heuristic failed: close-third evenness %.3f >= far-third %.3f",
+			closeMean/float64(third), farMean/float64(third))
+	}
+}
+
+func sortCands(cands []cand4) {
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].dist < cands[j-1].dist; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+}
+
+// cand4 is a candidate hyperplane with its distance-to-centre and measured
+// split evenness, shared by the heuristic-validation test.
+type cand4 struct {
+	h        geom.Hyperplane
+	dist     float64
+	evenness float64 // |share - 0.5|, lower is more even
+}

@@ -1,0 +1,256 @@
+// Package server implements the HTTP session service behind cmd/istserve:
+// interactive IST sessions (ist.Session) keyed by id, with JSON
+// question/answer exchanges. It demonstrates how a product embeds the
+// library — the algorithm state lives server-side, humans answer one
+// question per round-trip.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"ist"
+)
+
+// Server is the http.Handler managing interactive sessions.
+type Server struct {
+	points []ist.Point
+	k      int
+	ttl    time.Duration
+
+	mu       sync.Mutex
+	sessions map[string]*sessionState
+	nextID   int64
+	seed     int64
+	// now is replaceable for expiry tests.
+	now func() time.Time
+}
+
+type sessionState struct {
+	mu sync.Mutex // serializes question/answer exchanges per session
+	s  *ist.Session
+	// lastUsed is guarded by Server.mu (not st.mu): it is only touched by
+	// lookup/create/expire, which already hold it.
+	lastUsed time.Time
+	curP     ist.Point
+	curQ     ist.Point
+	done     bool
+	result   ist.Point
+	resultID int
+}
+
+// New builds a server over a preprocessed point set.
+func New(points []ist.Point, k int, seed int64, ttl time.Duration) *Server {
+	return &Server{
+		points:   points,
+		k:        k,
+		ttl:      ttl,
+		sessions: map[string]*sessionState{},
+		seed:     seed,
+		now:      time.Now,
+	}
+}
+
+// Question is the JSON shape of one pairwise question.
+type Question struct {
+	Option1 []float64 `json:"option1"`
+	Option2 []float64 `json:"option2"`
+}
+
+// StateResponse is the JSON shape of a session's state.
+type StateResponse struct {
+	ID        string    `json:"id"`
+	Questions int       `json:"questions"`
+	Done      bool      `json:"done"`
+	Question  *Question `json:"question,omitempty"`
+	Result    []float64 `json:"result,omitempty"`
+	ResultID  int       `json:"resultId,omitempty"`
+}
+
+type createRequest struct {
+	Algorithm string `json:"algorithm"`
+}
+
+type answerRequest struct {
+	Prefer int `json:"prefer"`
+}
+
+// ServeHTTP implements http.Handler.
+func (srv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	srv.expire()
+	path := strings.TrimPrefix(r.URL.Path, "/")
+	parts := strings.Split(path, "/")
+	switch {
+	case r.Method == http.MethodPost && path == "sessions":
+		srv.handleCreate(w, r)
+	case len(parts) == 2 && parts[0] == "sessions" && r.Method == http.MethodGet:
+		srv.handleGet(w, parts[1])
+	case len(parts) == 2 && parts[0] == "sessions" && r.Method == http.MethodDelete:
+		srv.handleDelete(w, parts[1])
+	case len(parts) == 3 && parts[0] == "sessions" && parts[2] == "answer" && r.Method == http.MethodPost:
+		srv.handleAnswer(w, r, parts[1])
+	default:
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+func (srv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if r.Body != nil {
+		_ = json.NewDecoder(r.Body).Decode(&req) // empty body = defaults
+	}
+	var alg ist.Algorithm
+	srv.mu.Lock()
+	srv.nextID++
+	id := fmt.Sprintf("s%d", srv.nextID)
+	seed := srv.seed + srv.nextID
+	srv.mu.Unlock()
+	switch req.Algorithm {
+	case "", "rh":
+		alg = ist.NewRH(seed)
+	case "hdpi":
+		alg = ist.NewHDPI(seed)
+	case "hdpi-accurate":
+		alg = ist.NewHDPIAccurate(seed)
+	case "robust":
+		alg = ist.NewRobustHDPI(seed)
+	default:
+		http.Error(w, fmt.Sprintf("unknown algorithm %q", req.Algorithm), http.StatusBadRequest)
+		return
+	}
+
+	st := &sessionState{s: ist.NewSession(alg, srv.points, srv.k), lastUsed: srv.now()}
+	st.mu.Lock()
+	srv.advance(st)
+	st.mu.Unlock()
+	srv.mu.Lock()
+	srv.sessions[id] = st
+	srv.mu.Unlock()
+	srv.writeState(w, id, st, http.StatusCreated)
+}
+
+func (srv *Server) handleGet(w http.ResponseWriter, id string) {
+	st, ok := srv.lookup(id)
+	if !ok {
+		http.Error(w, "no such session", http.StatusNotFound)
+		return
+	}
+	srv.writeState(w, id, st, http.StatusOK)
+}
+
+func (srv *Server) handleDelete(w http.ResponseWriter, id string) {
+	srv.mu.Lock()
+	st, ok := srv.sessions[id]
+	if ok {
+		delete(srv.sessions, id)
+	}
+	srv.mu.Unlock()
+	if !ok {
+		http.Error(w, "no such session", http.StatusNotFound)
+		return
+	}
+	st.s.Close()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (srv *Server) handleAnswer(w http.ResponseWriter, r *http.Request, id string) {
+	st, ok := srv.lookup(id)
+	if !ok {
+		http.Error(w, "no such session", http.StatusNotFound)
+		return
+	}
+	var req answerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad answer body", http.StatusBadRequest)
+		return
+	}
+	if req.Prefer != 1 && req.Prefer != 2 {
+		http.Error(w, "prefer must be 1 or 2", http.StatusBadRequest)
+		return
+	}
+	st.mu.Lock()
+	if st.done {
+		st.mu.Unlock()
+		http.Error(w, "session already finished", http.StatusConflict)
+		return
+	}
+	if err := st.s.Answer(req.Prefer == 1); err != nil {
+		st.mu.Unlock()
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	srv.advance(st)
+	st.mu.Unlock()
+	srv.writeState(w, id, st, http.StatusOK)
+}
+
+// advance pulls the next question (or the result) into the state. The
+// lastUsed stamp is maintained by lookup/create under srv.mu (its guardian),
+// not here.
+func (srv *Server) advance(st *sessionState) {
+	p, q, done := st.s.Next()
+	if done {
+		st.done = true
+		if pt, idx, err := st.s.Result(); err == nil {
+			st.result, st.resultID = pt, idx
+		}
+		return
+	}
+	st.curP, st.curQ = p, q
+}
+
+func (srv *Server) lookup(id string) (*sessionState, bool) {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	st, ok := srv.sessions[id]
+	if ok {
+		st.lastUsed = srv.now()
+	}
+	return st, ok
+}
+
+// expire closes idle sessions past the TTL.
+func (srv *Server) expire() {
+	if srv.ttl <= 0 {
+		return
+	}
+	cutoff := srv.now().Add(-srv.ttl)
+	srv.mu.Lock()
+	var stale []*sessionState
+	for id, st := range srv.sessions {
+		if st.lastUsed.Before(cutoff) {
+			stale = append(stale, st)
+			delete(srv.sessions, id)
+		}
+	}
+	srv.mu.Unlock()
+	for _, st := range stale {
+		st.s.Close()
+	}
+}
+
+// Sessions returns the live session count (for tests and monitoring).
+func (srv *Server) Sessions() int {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return len(srv.sessions)
+}
+
+func (srv *Server) writeState(w http.ResponseWriter, id string, st *sessionState, code int) {
+	st.mu.Lock()
+	resp := StateResponse{ID: id, Questions: st.s.Questions(), Done: st.done}
+	if st.done {
+		resp.Result = st.result
+		resp.ResultID = st.resultID
+	} else {
+		resp.Question = &Question{Option1: st.curP, Option2: st.curQ}
+	}
+	st.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(resp)
+}

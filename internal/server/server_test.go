@@ -1,0 +1,185 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ist"
+)
+
+func newTestServer(t *testing.T) (*Server, []ist.Point, ist.Point) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	ds := ist.CarLike(rng, 300)
+	k := 10
+	band := ist.Preprocess(ds.Points, k)
+	hidden := ist.RandomUtility(rng, 4)
+	return New(band, k, 1, time.Minute), band, hidden
+}
+
+func do(t *testing.T, srv *Server, method, path string, body interface{}) (*httptest.ResponseRecorder, StateResponse) {
+	if t != nil {
+		t.Helper()
+	}
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	var st StateResponse
+	if rec.Code < 300 && rec.Body.Len() > 0 {
+		_ = json.Unmarshal(rec.Body.Bytes(), &st)
+	}
+	return rec, st
+}
+
+func TestFullSessionOverHTTP(t *testing.T) {
+	srv, band, hidden := newTestServer(t)
+	rec, st := do(t, srv, http.MethodPost, "/sessions", map[string]string{"algorithm": "rh"})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body.String())
+	}
+	if st.ID == "" {
+		t.Fatal("missing session id")
+	}
+	steps := 0
+	for !st.Done {
+		if st.Question == nil {
+			t.Fatal("undone session without a question")
+		}
+		p := ist.Point(st.Question.Option1)
+		q := ist.Point(st.Question.Option2)
+		prefer := 2
+		if hidden.Dot(p) >= hidden.Dot(q) {
+			prefer = 1
+		}
+		rec, st = do(t, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": prefer})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("answer: %d %s", rec.Code, rec.Body.String())
+		}
+		steps++
+		if steps > 5000 {
+			t.Fatal("session never finished")
+		}
+	}
+	if st.Result == nil {
+		t.Fatal("done without result")
+	}
+	if !ist.IsTopK(band, hidden, 10, ist.Point(st.Result)) {
+		t.Fatal("HTTP session returned non-top-k point")
+	}
+	if st.Questions != steps {
+		t.Fatalf("questions %d != answered %d", st.Questions, steps)
+	}
+}
+
+func TestCreateUnknownAlgorithm(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	rec, _ := do(t, srv, http.MethodPost, "/sessions", map[string]string{"algorithm": "nope"})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("code = %d", rec.Code)
+	}
+}
+
+func TestAnswerValidation(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	_, st := do(t, srv, http.MethodPost, "/sessions", nil)
+	rec, _ := do(t, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": 3})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("prefer=3: code %d", rec.Code)
+	}
+	rec, _ = do(t, srv, http.MethodPost, "/sessions/nope/answer", map[string]int{"prefer": 1})
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown id: code %d", rec.Code)
+	}
+}
+
+func TestGetAndDelete(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	_, st := do(t, srv, http.MethodPost, "/sessions", nil)
+	rec, got := do(t, srv, http.MethodGet, "/sessions/"+st.ID, nil)
+	if rec.Code != http.StatusOK || got.ID != st.ID {
+		t.Fatalf("get: %d %+v", rec.Code, got)
+	}
+	rec, _ = do(t, srv, http.MethodDelete, "/sessions/"+st.ID, nil)
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("delete: %d", rec.Code)
+	}
+	if srv.Sessions() != 0 {
+		t.Fatalf("sessions remaining: %d", srv.Sessions())
+	}
+	rec, _ = do(t, srv, http.MethodGet, "/sessions/"+st.ID, nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("get after delete: %d", rec.Code)
+	}
+}
+
+func TestSessionExpiry(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	srv.ttl = time.Second
+	fake := time.Now()
+	srv.now = func() time.Time { return fake }
+	_, _ = do(t, srv, http.MethodPost, "/sessions", nil)
+	if srv.Sessions() != 1 {
+		t.Fatal("session not created")
+	}
+	fake = fake.Add(2 * time.Second)
+	// Any request triggers expiry.
+	do(t, srv, http.MethodGet, "/sessions/whatever", nil)
+	if srv.Sessions() != 0 {
+		t.Fatalf("expired session still alive: %d", srv.Sessions())
+	}
+}
+
+func TestNotFoundRoutes(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	for _, tc := range []struct{ method, path string }{
+		{http.MethodGet, "/"},
+		{http.MethodPut, "/sessions"},
+		{http.MethodPost, "/sessions/x/y/z"},
+	} {
+		rec, _ := do(t, srv, tc.method, tc.path, nil)
+		if rec.Code != http.StatusNotFound {
+			t.Fatalf("%s %s: code %d", tc.method, tc.path, rec.Code)
+		}
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	srv, band, _ := newTestServer(t)
+	const users = 8
+	done := make(chan bool, users)
+	for u := 0; u < users; u++ {
+		go func(u int) {
+			rng := rand.New(rand.NewSource(int64(100 + u)))
+			hidden := ist.RandomUtility(rng, 4)
+			// Pass a nil *testing.T: its methods are not safe for use from
+			// extra goroutines.
+			_, st := do(nil, srv, http.MethodPost, "/sessions", map[string]string{"algorithm": "rh"})
+			for steps := 0; !st.Done && steps < 5000; steps++ {
+				p := ist.Point(st.Question.Option1)
+				q := ist.Point(st.Question.Option2)
+				prefer := 2
+				if hidden.Dot(p) >= hidden.Dot(q) {
+					prefer = 1
+				}
+				_, st = do(nil, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": prefer})
+			}
+			done <- st.Done && ist.IsTopK(band, hidden, 10, ist.Point(st.Result))
+		}(u)
+	}
+	for u := 0; u < users; u++ {
+		if !<-done {
+			t.Fatal("a concurrent session failed")
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package sweep
+
+import "ist/internal/geom"
+
+// UpperEnvelope computes the top-1 structure of 2-d points over the utility
+// parameter x = u[1] ∈ [0,1]: the sequence of points that are top-1 on
+// consecutive intervals, and the breakpoints between them.
+//
+// The returned order has one entry per envelope segment (left to right) and
+// breaks has len(order)-1 entries; order[i] is top-1 on
+// [breaks[i-1], breaks[i]] (with breaks[-1] = 0 and breaks[len] = 1).
+// Used by the Median/Hull baselines of [36].
+func UpperEnvelope(points []geom.Vector) (order []int, breaks []float64) {
+	n := len(points)
+	if n == 0 {
+		return nil, nil
+	}
+	lines := make([]Line, n)
+	for i, p := range points {
+		lines[i] = LineOf(p)
+	}
+	// Start at x = 0 with the highest line; ties broken by larger slope
+	// (the winner just right of 0), then by index.
+	cur := 0
+	for i := 1; i < n; i++ {
+		li, lc := lines[i], lines[cur]
+		if li.Intercept > lc.Intercept ||
+			(li.Intercept == lc.Intercept && li.Slope > lc.Slope) {
+			cur = i
+		}
+	}
+	x := 0.0
+	order = append(order, cur)
+	for {
+		// Next breakpoint: the earliest crossing after x where some line
+		// overtakes the current top.
+		nextX, nextI := 2.0, -1
+		for i := 0; i < n; i++ {
+			if i == cur || lines[i].Slope <= lines[cur].Slope {
+				continue // only faster-rising lines can overtake
+			}
+			cx, ok := CrossingX(lines[cur], lines[i])
+			if !ok || cx <= x+tieEps || cx > 1 {
+				continue
+			}
+			if cx < nextX-tieEps ||
+				(cx < nextX+tieEps && (nextI < 0 || lines[i].Slope > lines[nextI].Slope)) {
+				nextX, nextI = cx, i
+			}
+		}
+		if nextI < 0 {
+			return order, breaks
+		}
+		x = nextX
+		cur = nextI
+		order = append(order, cur)
+		breaks = append(breaks, x)
+	}
+}

@@ -1,0 +1,59 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+
+	"ist/internal/geom"
+	"ist/internal/oracle"
+)
+
+// FuzzPartitionUtilitySpace feeds arbitrary byte-derived 2-d datasets into
+// Algorithm 1 and checks the structural invariants: full [0,1] coverage, no
+// gaps, valid associated points, and the Theorem 4.5 partition bound.
+func FuzzPartitionUtilitySpace(f *testing.F) {
+	f.Add([]byte{10, 20, 30, 40, 50, 60}, uint8(1))
+	f.Add([]byte{1, 1, 1, 1}, uint8(2))
+	f.Add([]byte{255, 0, 0, 255, 128, 128}, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw uint8) {
+		if len(data) < 4 || len(data) > 120 {
+			return
+		}
+		n := len(data) / 2
+		pts := make([]geom.Vector, n)
+		for i := 0; i < n; i++ {
+			// Map bytes to (0,1]; duplicates and ties are the point of the fuzz.
+			pts[i] = geom.Vector{
+				(float64(data[2*i]) + 1) / 256,
+				(float64(data[2*i+1]) + 1) / 256,
+			}
+		}
+		k := int(kRaw)%8 + 1
+		parts := PartitionUtilitySpace(pts, k)
+		if len(parts) == 0 {
+			t.Fatal("no partitions")
+		}
+		if parts[0].L != 0 || parts[len(parts)-1].R != 1 {
+			t.Fatalf("cover broken: %+v", parts)
+		}
+		if k < n {
+			bound := int(math.Ceil(2 * float64(n) / float64(k+1)))
+			if len(parts) > bound {
+				t.Fatalf("%d partitions exceed bound %d (n=%d k=%d)", len(parts), bound, n, k)
+			}
+		}
+		for i, part := range parts {
+			if i > 0 && math.Abs(part.L-parts[i-1].R) > 1e-12 {
+				t.Fatalf("gap at partition %d", i)
+			}
+			if part.R < part.L-1e-12 {
+				t.Fatalf("inverted partition %d", i)
+			}
+			mid := (part.L + part.R) / 2
+			u := geom.Vector{mid, 1 - mid}
+			if !oracle.IsTopK(pts, u, k, pts[part.Point]) {
+				t.Fatalf("partition %d point %d not top-%d at %v", i, part.Point, k, mid)
+			}
+		}
+	})
+}

@@ -1,0 +1,255 @@
+// Package sweep implements Algorithm 1 of the paper: 2-dimensional utility
+// space partitioning by plane sweeping.
+//
+// Every 2-d point p maps to the line v_p(x) = (p[0]−p[1])·x + p[1] over the
+// utility parameter x = u[1] ∈ [0,1]; the ranking of points at utility
+// vector (x, 1−x) is the top-to-bottom order of the lines at x. The sweep
+// maintains that order in a queue Q and a min-heap of the crossing events of
+// adjacent lines, and labels the current top-k points so that each output
+// partition Θ = [l, r] carries a point that stays inside the top-k for every
+// x ∈ [l, r]. Algorithm 1 produces the least possible number of partitions
+// (Lemma 4.3), and at most ⌈2n/(k+1)⌉ of them (Theorem 4.5).
+package sweep
+
+import (
+	"container/heap"
+	"fmt"
+
+	"ist/internal/geom"
+)
+
+// Partition is one interval of the utility space with its associated point.
+type Partition struct {
+	// L and R delimit the interval [L, R] of u[1] values.
+	L, R float64
+	// Point is the index (into the input slice) of the associated point,
+	// which is among the top-k w.r.t. every utility vector (x, 1−x), x ∈ [L,R].
+	Point int
+	// BoundaryI and BoundaryJ are the indices of the two points whose line
+	// crossing defines R; BoundaryI ranks higher than BoundaryJ for x < R.
+	// They are -1 for the rightmost partition (R = 1 is not a crossing).
+	BoundaryI, BoundaryJ int
+}
+
+type event struct {
+	x    float64
+	a, b int // expected adjacent pair: a directly above b in Q
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].x < h[j].x }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Line is the dual of a 2-d point.
+type Line struct {
+	Slope, Intercept float64
+}
+
+// LineOf maps a 2-d point to its dual line (Section 4.1).
+func LineOf(p geom.Vector) Line {
+	return Line{Slope: p[0] - p[1], Intercept: p[1]}
+}
+
+// At evaluates the line at x.
+func (l Line) At(x float64) float64 { return l.Slope*x + l.Intercept }
+
+// CrossingX returns the x where two lines cross and whether they do
+// (parallel lines never cross).
+func CrossingX(a, b Line) (float64, bool) {
+	ds := a.Slope - b.Slope
+	if ds == 0 {
+		return 0, false
+	}
+	return (b.Intercept - a.Intercept) / ds, true
+}
+
+const tieEps = 1e-12
+
+// PartitionUtilitySpace runs Algorithm 1 on 2-d points and returns the
+// partitions left to right. It panics on empty input or non-2-d points. For
+// k >= n the whole utility space is a single partition.
+func PartitionUtilitySpace(points []geom.Vector, k int) []Partition {
+	n := len(points)
+	if n == 0 {
+		panic("sweep: empty point set")
+	}
+	if len(points[0]) != 2 {
+		panic(fmt.Sprintf("sweep: need 2-d points, got %d-d", len(points[0])))
+	}
+	if k < 1 {
+		panic("sweep: k must be >= 1")
+	}
+	lines := make([]Line, n)
+	for i, p := range points {
+		lines[i] = LineOf(p)
+	}
+	if k >= n {
+		// Everything is always in the top-k: one partition, any point.
+		return []Partition{{L: 0, R: 1, Point: 0, BoundaryI: -1, BoundaryJ: -1}}
+	}
+
+	// Q: order of lines at x=0, ties broken by slope (the order just after
+	// 0) so that tied lines never need to swap at x=0, then by index.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	lessAtStart := func(a, b int) bool {
+		la, lb := lines[a], lines[b]
+		if la.Intercept != lb.Intercept {
+			return la.Intercept > lb.Intercept
+		}
+		if la.Slope != lb.Slope {
+			return la.Slope > lb.Slope
+		}
+		return a < b
+	}
+	sortInts(order, lessAtStart)
+	pos := make([]int, n)
+	for i, p := range order {
+		pos[p] = i
+	}
+
+	// Labels: label[i] = partition number whose candidate set point i
+	// belongs to, or 0 for unlabeled. labelCount[x] = #points with label x.
+	label := make([]int, n)
+	labelCount := map[int]int{}
+	cur := 1
+	for i := 0; i < k; i++ {
+		label[order[i]] = cur
+		labelCount[cur]++
+	}
+
+	var h eventHeap
+	t := 0.0
+	pushEvent := func(ia, ib int) {
+		// ia directly above ib in Q. They swap in the future iff ib's line
+		// rises faster.
+		la, lb := lines[ia], lines[ib]
+		if lb.Slope <= la.Slope {
+			return
+		}
+		x, ok := CrossingX(la, lb)
+		if !ok {
+			return
+		}
+		if x < t-tieEps || x > 1 {
+			return
+		}
+		if x < t {
+			x = t
+		}
+		heap.Push(&h, event{x: x, a: ia, b: ib})
+	}
+	for i := 0; i+1 < n; i++ {
+		pushEvent(order[i], order[i+1])
+	}
+
+	var parts []Partition
+	l := 0.0
+
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(event)
+		// Stale events: the pair must still be adjacent with a above b.
+		pa, pb := pos[e.a], pos[e.b]
+		if pb != pa+1 {
+			continue
+		}
+		t = e.x
+		// Swap in Q.
+		order[pa], order[pb] = e.b, e.a
+		pos[e.a], pos[e.b] = pb, pa
+		// New adjacencies: (above-neighbor, b) and (a, below-neighbor).
+		if pa > 0 {
+			pushEvent(order[pa-1], e.b)
+		}
+		if pb+1 < n {
+			pushEvent(e.a, order[pb+1])
+		}
+		// Label maintenance for a swap across the top-k boundary
+		// (0-indexed: positions k-1 and k are the k-th and (k+1)-th).
+		if pa == k-1 {
+			leaving, entering := e.a, e.b
+			lv := label[leaving]
+			if lv != 0 {
+				labelCount[lv]--
+				label[leaving] = 0
+			}
+			if label[entering] != 0 {
+				labelCount[label[entering]]--
+			}
+			label[entering] = cur + 1
+			labelCount[cur+1]++
+			if lv == cur && labelCount[cur] == 0 {
+				parts = append(parts, Partition{
+					L: l, R: t, Point: leaving,
+					BoundaryI: leaving, BoundaryJ: entering,
+				})
+				delete(labelCount, cur)
+				cur++
+				l = t
+			}
+		}
+	}
+
+	// Close the final partition: any point still holding the current label
+	// has been in the top-k from l through 1.
+	final := -1
+	for i := 0; i < n; i++ {
+		if label[i] == cur {
+			final = i
+			break
+		}
+	}
+	if final < 0 {
+		// The current partition just started at the very last event; all
+		// top-k points are labeled cur+1 and stay top-k through x=1.
+		for i := 0; i < n; i++ {
+			if label[i] == cur+1 {
+				final = i
+				break
+			}
+		}
+	}
+	if final < 0 {
+		// Cannot happen: the top-k is always fully labeled.
+		panic("sweep: no labeled point at end of sweep")
+	}
+	parts = append(parts, Partition{L: l, R: 1, Point: final, BoundaryI: -1, BoundaryJ: -1})
+	return parts
+}
+
+// sortInts sorts idx with the provided less function (tiny insertion-free
+// wrapper around sort.Slice without pulling reflect into the hot path).
+func sortInts(idx []int, less func(a, b int) bool) {
+	// simple merge sort for determinism and O(n log n)
+	if len(idx) < 2 {
+		return
+	}
+	mid := len(idx) / 2
+	left := append([]int(nil), idx[:mid]...)
+	right := append([]int(nil), idx[mid:]...)
+	sortInts(left, less)
+	sortInts(right, less)
+	i, j := 0, 0
+	for k := range idx {
+		switch {
+		case i < len(left) && (j >= len(right) || !less(right[j], left[i])):
+			idx[k] = left[i]
+			i++
+		default:
+			idx[k] = right[j]
+			j++
+		}
+	}
+}

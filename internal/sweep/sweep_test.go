@@ -1,0 +1,348 @@
+package sweep
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ist/internal/geom"
+	"ist/internal/oracle"
+)
+
+// paperPoints is Table 2 of the paper.
+var paperPoints = []geom.Vector{
+	{0, 1},     // p1
+	{0.3, 0.7}, // p2
+	{0.5, 0.8}, // p3
+	{0.7, 0.4}, // p4
+	{1, 0},     // p5
+}
+
+func TestLineOf(t *testing.T) {
+	// p2 = (0.3, 0.7) -> l2: f = -0.4x + 0.7 (Section 4.1).
+	l := LineOf(paperPoints[1])
+	if math.Abs(l.Slope+0.4) > 1e-12 || math.Abs(l.Intercept-0.7) > 1e-12 {
+		t.Fatalf("LineOf(p2) = %+v", l)
+	}
+}
+
+func TestPaperExampleK2(t *testing.T) {
+	// Example 4.1 / Figure 1: k=2 gives two partitions, [0, ~0.67] with p3
+	// and [~0.67, 1] with p4.
+	parts := PartitionUtilitySpace(paperPoints, 2)
+	if len(parts) != 2 {
+		t.Fatalf("got %d partitions %+v, want 2", len(parts), parts)
+	}
+	if parts[0].L != 0 || parts[1].R != 1 {
+		t.Fatalf("bad cover: %+v", parts)
+	}
+	if math.Abs(parts[0].R-parts[1].L) > 1e-12 {
+		t.Fatalf("gap between partitions: %+v", parts)
+	}
+	// Boundary at the crossing of l3 and l4: -0.3x+0.8 = 0.3x+0.4 -> x=2/3.
+	if math.Abs(parts[0].R-2.0/3) > 1e-9 {
+		t.Fatalf("boundary = %v, want 2/3", parts[0].R)
+	}
+	if parts[0].Point != 2 {
+		t.Fatalf("partition 1 point = p%d, want p3", parts[0].Point+1)
+	}
+	if parts[1].Point != 3 {
+		t.Fatalf("partition 2 point = p%d, want p4", parts[1].Point+1)
+	}
+	// The boundary pair is (p3, p4) with p3 ranked higher on the left.
+	if parts[0].BoundaryI != 2 || parts[0].BoundaryJ != 3 {
+		t.Fatalf("boundary pair = (%d,%d), want (2,3)", parts[0].BoundaryI, parts[0].BoundaryJ)
+	}
+}
+
+func TestRankingAtUtility(t *testing.T) {
+	// Figure 1: ranking w.r.t. u=(0.1, 0.9) is p1, p3, p2, p4, p5.
+	u := geom.Vector{0.1, 0.9}
+	got := oracle.TopK(paperPoints, u, 5)
+	want := []int{0, 2, 1, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranking = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKAtLeastN(t *testing.T) {
+	parts := PartitionUtilitySpace(paperPoints, 5)
+	if len(parts) != 1 || parts[0].L != 0 || parts[0].R != 1 {
+		t.Fatalf("k>=n must give the single full partition, got %+v", parts)
+	}
+	parts = PartitionUtilitySpace(paperPoints, 50)
+	if len(parts) != 1 {
+		t.Fatalf("k>n: %+v", parts)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty": func() { PartitionUtilitySpace(nil, 1) },
+		"3d":    func() { PartitionUtilitySpace([]geom.Vector{{1, 2, 3}}, 1) },
+		"badK":  func() { PartitionUtilitySpace(paperPoints, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	// Theorem 3.2's dataset: duplicates never cross, so with k copies per
+	// group the partitioning must still succeed.
+	pts := []geom.Vector{
+		{0.9, 0.1}, {0.9, 0.1},
+		{0.5, 0.5}, {0.5, 0.5},
+		{0.1, 0.9}, {0.1, 0.9},
+	}
+	parts := PartitionUtilitySpace(pts, 2)
+	validatePartitions(t, pts, 2, parts)
+}
+
+// validatePartitions checks the structural invariants: partitions tile
+// [0,1] and each associated point is among the top-k throughout its
+// partition (verified at boundary-adjusted sample points).
+func validatePartitions(t *testing.T, pts []geom.Vector, k int, parts []Partition) {
+	t.Helper()
+	if len(parts) == 0 {
+		t.Fatal("no partitions")
+	}
+	if parts[0].L != 0 || parts[len(parts)-1].R != 1 {
+		t.Fatalf("partitions do not span [0,1]: %+v", parts)
+	}
+	for i := 1; i < len(parts); i++ {
+		if math.Abs(parts[i].L-parts[i-1].R) > 1e-12 {
+			t.Fatalf("gap between partitions %d and %d", i-1, i)
+		}
+	}
+	for pi, part := range parts {
+		if part.R < part.L-1e-12 {
+			t.Fatalf("partition %d inverted: %+v", pi, part)
+		}
+		for _, frac := range []float64{0.001, 0.25, 0.5, 0.75, 0.999} {
+			x := part.L + (part.R-part.L)*frac
+			u := geom.Vector{x, 1 - x}
+			if !oracle.IsTopK(pts, u, k, pts[part.Point]) {
+				t.Fatalf("partition %d: point %d not top-%d at x=%v", pi, part.Point, k, x)
+			}
+		}
+	}
+}
+
+// bruteMinPartitions computes the true minimum number of partitions by
+// elementary-interval decomposition + greedy interval covering.
+func bruteMinPartitions(pts []geom.Vector, k int) int {
+	// Collect all pairwise crossings in (0,1).
+	xs := []float64{0, 1}
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if x, ok := CrossingX(LineOf(pts[i]), LineOf(pts[j])); ok && x > 0 && x < 1 {
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	// Elementary intervals between consecutive distinct xs; top-k set is
+	// constant inside each.
+	type interval struct{ topk map[int]bool }
+	var intervals []interval
+	for i := 0; i+1 < len(xs); i++ {
+		if xs[i+1]-xs[i] < 1e-12 {
+			continue
+		}
+		mid := (xs[i] + xs[i+1]) / 2
+		u := geom.Vector{mid, 1 - mid}
+		set := map[int]bool{}
+		kth := oracle.KthUtility(pts, u, k)
+		for idx, p := range pts {
+			if u.Dot(p) >= kth-1e-12 {
+				set[idx] = true
+			}
+		}
+		intervals = append(intervals, interval{topk: set})
+	}
+	// Greedy: extend the current partition while some point is top-k in
+	// every elementary interval so far.
+	count := 0
+	var live map[int]bool
+	for _, iv := range intervals {
+		if live == nil {
+			live = copySet(iv.topk)
+			count++
+			continue
+		}
+		next := map[int]bool{}
+		for p := range live {
+			if iv.topk[p] {
+				next[p] = true
+			}
+		}
+		if len(next) == 0 {
+			live = copySet(iv.topk)
+			count++
+		} else {
+			live = next
+		}
+	}
+	if count == 0 {
+		count = 1
+	}
+	return count
+}
+
+func copySet(s map[int]bool) map[int]bool {
+	c := make(map[int]bool, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+// Property: the sweep output is valid and achieves the minimal partition
+// count (Lemma 4.3), within the Theorem 4.5 bound.
+func TestQuickSweepMinimalAndValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(25)
+		k := 1 + rng.Intn(4)
+		pts := make([]geom.Vector, n)
+		for i := range pts {
+			pts[i] = geom.Vector{rng.Float64(), rng.Float64()}
+		}
+		parts := PartitionUtilitySpace(pts, k)
+		// Theorem 4.5 bound.
+		bound := int(math.Ceil(2 * float64(n) / float64(k+1)))
+		if len(parts) > bound {
+			t.Logf("seed %d: %d partitions > bound %d", seed, len(parts), bound)
+			return false
+		}
+		// Validity at midpoints of each partition.
+		for _, part := range parts {
+			mid := (part.L + part.R) / 2
+			u := geom.Vector{mid, 1 - mid}
+			if !oracle.IsTopK(pts, u, k, pts[part.Point]) {
+				t.Logf("seed %d: invalid partition %+v", seed, part)
+				return false
+			}
+		}
+		// Minimality (Lemma 4.3).
+		if want := bruteMinPartitions(pts, k); len(parts) != want {
+			t.Logf("seed %d: got %d partitions, brute force says %d", seed, len(parts), want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidatePaperPartitionsAllK(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		parts := PartitionUtilitySpace(paperPoints, k)
+		validatePartitions(t, paperPoints, k, parts)
+	}
+}
+
+func TestBoundaryPairsCrossAtR(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := make([]geom.Vector, 40)
+	for i := range pts {
+		pts[i] = geom.Vector{rng.Float64(), rng.Float64()}
+	}
+	for k := 1; k <= 5; k++ {
+		parts := PartitionUtilitySpace(pts, k)
+		for _, part := range parts[:len(parts)-1] {
+			if part.BoundaryI < 0 || part.BoundaryJ < 0 {
+				t.Fatalf("interior partition missing boundary pair: %+v", part)
+			}
+			x, ok := CrossingX(LineOf(pts[part.BoundaryI]), LineOf(pts[part.BoundaryJ]))
+			if !ok || math.Abs(x-part.R) > 1e-9 {
+				t.Fatalf("boundary pair crossing %v != R %v", x, part.R)
+			}
+			// BoundaryI must rank higher than BoundaryJ just left of R.
+			xl := part.R - 1e-6
+			u := geom.Vector{xl, 1 - xl}
+			if u.Dot(pts[part.BoundaryI]) < u.Dot(pts[part.BoundaryJ]) {
+				t.Fatalf("boundary orientation wrong at %+v", part)
+			}
+		}
+	}
+}
+
+func TestPencilOfConcurrentLines(t *testing.T) {
+	// Ultimate degeneracy: points (t, 1-t) dualize to lines all passing
+	// through (0.5, 0.5) — every pairwise crossing coincides. Algorithm 1
+	// must process the simultaneous swaps without losing the invariants.
+	var pts []geom.Vector
+	for i := 0; i <= 20; i++ {
+		tt := float64(i) / 20
+		pts = append(pts, geom.Vector{tt, 1 - tt})
+	}
+	// Plus a few generic points to mix crossings at and away from 0.5.
+	pts = append(pts, geom.Vector{0.9, 0.3}, geom.Vector{0.2, 0.85}, geom.Vector{0.55, 0.5})
+	for _, k := range []int{1, 2, 5, 10} {
+		parts := PartitionUtilitySpace(pts, k)
+		validatePartitions(t, pts, k, parts)
+	}
+}
+
+func TestAllIdenticalPoints(t *testing.T) {
+	pts := make([]geom.Vector, 10)
+	for i := range pts {
+		pts[i] = geom.Vector{0.4, 0.7}
+	}
+	for _, k := range []int{1, 3, 10} {
+		parts := PartitionUtilitySpace(pts, k)
+		validatePartitions(t, pts, k, parts)
+		if len(parts) != 1 {
+			t.Fatalf("identical points: %d partitions, want 1", len(parts))
+		}
+	}
+}
+
+func TestUpperEnvelopeBasics(t *testing.T) {
+	// Table 2 again: envelope is p1, p3, p5 left to right.
+	order, breaks := UpperEnvelope(paperPoints)
+	want := []int{0, 2, 4}
+	if len(order) != len(want) {
+		t.Fatalf("envelope = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("envelope = %v, want %v", order, want)
+		}
+	}
+	if len(breaks) != 2 {
+		t.Fatalf("breaks = %v", breaks)
+	}
+	// The envelope winner at each sampled x must be the true top-1.
+	for s := 0; s <= 100; s++ {
+		x := float64(s) / 100
+		u := geom.Vector{x, 1 - x}
+		seg := 0
+		for seg < len(breaks) && x > breaks[seg] {
+			seg++
+		}
+		if !oracle.IsTopK(paperPoints, u, 1, paperPoints[order[seg]]) {
+			t.Fatalf("envelope winner at x=%v is not top-1", x)
+		}
+	}
+}
+
+func TestUpperEnvelopeEmpty(t *testing.T) {
+	order, breaks := UpperEnvelope(nil)
+	if order != nil || breaks != nil {
+		t.Fatal("empty input must give empty envelope")
+	}
+}

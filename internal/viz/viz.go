@@ -1,0 +1,184 @@
+// Package viz renders experiment series as ASCII charts, so that
+// `istbench -plot` can show a figure's *shape* (the thing this reproduction
+// is about) directly in the terminal next to the numeric table.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart is a simple multi-series ASCII chart over a shared x axis.
+type Chart struct {
+	Title  string
+	XLabel string
+	X      []float64
+	Series []Series
+	// Width and Height of the plotting area in characters (defaults 60×16).
+	Width, Height int
+	// LogY plots log10 of the values (useful for execution times spanning
+	// orders of magnitude).
+	LogY bool
+}
+
+// markers distinguish series in the plot area.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&', '~', '^'}
+
+// Render writes the chart.
+func (c *Chart) Render(w io.Writer) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+	if len(c.X) == 0 || len(c.Series) == 0 {
+		fmt.Fprintf(w, "%s: (no data)\n", c.Title)
+		return
+	}
+
+	transform := func(v float64) (float64, bool) {
+		if !c.LogY {
+			return v, true
+		}
+		if v <= 0 {
+			return 0, false
+		}
+		return math.Log10(v), true
+	}
+
+	// Value range.
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			tv, ok := transform(v)
+			if !ok {
+				continue
+			}
+			if tv < minV {
+				minV = tv
+			}
+			if tv > maxV {
+				maxV = tv
+			}
+		}
+	}
+	if math.IsInf(minV, 1) {
+		fmt.Fprintf(w, "%s: (no plottable data)\n", c.Title)
+		return
+	}
+	if maxV-minV < 1e-12 {
+		maxV = minV + 1
+	}
+	minX, maxX := c.X[0], c.X[0]
+	for _, x := range c.X {
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+	}
+	if maxX-minX < 1e-12 {
+		maxX = minX + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for xi, v := range s.Values {
+			if xi >= len(c.X) {
+				break
+			}
+			tv, ok := transform(v)
+			if !ok {
+				continue
+			}
+			col := int((c.X[xi] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((tv-minV)/(maxV-minV)*float64(height-1))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = m
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "%s\n", c.Title)
+	yTop, yBot := maxV, minV
+	suffix := ""
+	if c.LogY {
+		suffix = " (log10)"
+	}
+	for r, line := range grid {
+		label := "          "
+		if r == 0 {
+			label = fmt.Sprintf("%9.3g ", yTop)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%9.3g ", yBot)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%10s+%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, "%10s %-.4g%s%.4g  (%s)%s\n", "", minX,
+		strings.Repeat(" ", max(1, width-12)), maxX, c.XLabel, suffix)
+	for si, s := range c.Series {
+		fmt.Fprintf(w, "%10s %c %s\n", "", markers[si%len(markers)], s.Name)
+	}
+}
+
+// String renders to a string.
+func (c *Chart) String() string {
+	var b strings.Builder
+	c.Render(&b)
+	return b.String()
+}
+
+// Bars renders a horizontal bar chart for single-valued series (used for
+// the user-study figures where the x axis is the algorithm).
+func Bars(w io.Writer, title string, names []string, values []float64, width int) {
+	if width <= 0 {
+		width = 40
+	}
+	fmt.Fprintln(w, title)
+	maxV := 0.0
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	nameW := 0
+	for _, n := range names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	for i, n := range names {
+		v := 0.0
+		if i < len(values) {
+			v = values[i]
+		}
+		bar := int(v / maxV * float64(width))
+		fmt.Fprintf(w, "  %-*s %s %.3g\n", nameW, n, strings.Repeat("#", bar), v)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

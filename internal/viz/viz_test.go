@@ -1,0 +1,128 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRenders(t *testing.T) {
+	c := &Chart{
+		Title:  "questions vs k",
+		XLabel: "k",
+		X:      []float64{1, 20, 40, 60},
+		Series: []Series{
+			{Name: "HD-PI", Values: []float64{8, 7, 6, 5}},
+			{Name: "RH", Values: []float64{30, 9, 8, 6}},
+		},
+	}
+	out := c.String()
+	if !strings.Contains(out, "questions vs k") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "HD-PI") || !strings.Contains(out, "RH") {
+		t.Fatal("missing legend entries")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("missing series markers")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 16 {
+		t.Fatalf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestChartMarkersPlacedMonotonically(t *testing.T) {
+	// A strictly decreasing series must place later markers on lower rows.
+	c := &Chart{
+		Title: "t", XLabel: "x",
+		X:      []float64{0, 1, 2, 3},
+		Series: []Series{{Name: "s", Values: []float64{10, 7, 4, 1}}},
+		Width:  40, Height: 10,
+	}
+	out := c.String()
+	lines := strings.Split(out, "\n")
+	var rows []int
+	var cols []int
+	for r, line := range lines {
+		if !strings.Contains(line, "|") {
+			continue // only the plot area, not the legend
+		}
+		for col := strings.IndexByte(line, '*'); col >= 0; {
+			rows = append(rows, r)
+			cols = append(cols, col)
+			next := strings.IndexByte(line[col+1:], '*')
+			if next < 0 {
+				break
+			}
+			col += 1 + next
+		}
+	}
+	if len(rows) != 4 {
+		t.Fatalf("found %d markers, want 4", len(rows))
+	}
+	// Sort by column (x order) and check rows increase (screen-down = lower value).
+	for i := 1; i < len(cols); i++ {
+		if cols[i] <= cols[i-1] {
+			t.Fatalf("marker columns not increasing: %v", cols)
+		}
+		if rows[i] <= rows[i-1] {
+			t.Fatalf("marker rows not descending on screen: %v", rows)
+		}
+	}
+}
+
+func TestChartLogY(t *testing.T) {
+	c := &Chart{
+		Title: "time", XLabel: "k", LogY: true,
+		X:      []float64{1, 2},
+		Series: []Series{{Name: "a", Values: []float64{0.001, 10}}},
+	}
+	out := c.String()
+	if !strings.Contains(out, "log10") {
+		t.Fatal("log marker missing")
+	}
+	// Zero/negative values are skipped without panicking.
+	c2 := &Chart{Title: "t", XLabel: "x", LogY: true, X: []float64{1}, Series: []Series{{Name: "z", Values: []float64{0}}}}
+	if !strings.Contains(c2.String(), "no plottable data") {
+		t.Fatal("all-zero log chart must degrade gracefully")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := &Chart{Title: "empty", XLabel: "x"}
+	if !strings.Contains(c.String(), "no data") {
+		t.Fatal("empty chart must say so")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	c := &Chart{Title: "c", XLabel: "x", X: []float64{1, 2}, Series: []Series{{Name: "s", Values: []float64{5, 5}}}}
+	out := c.String()
+	if !strings.Contains(out, "*") {
+		t.Fatal("constant series must still plot")
+	}
+}
+
+func TestBars(t *testing.T) {
+	var b strings.Builder
+	Bars(&b, "questions", []string{"HD-PI", "Active-Ranking"}, []float64{4.1, 45.4}, 40)
+	out := b.String()
+	if !strings.Contains(out, "questions") || !strings.Contains(out, "HD-PI") {
+		t.Fatal("bars missing labels")
+	}
+	// Active-Ranking's bar must be much longer than HD-PI's.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	hd := strings.Count(lines[1], "#")
+	ar := strings.Count(lines[2], "#")
+	if ar <= hd*5 {
+		t.Fatalf("bar proportions wrong: hd=%d ar=%d", hd, ar)
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	var b strings.Builder
+	Bars(&b, "t", []string{"a"}, []float64{0}, 10)
+	if !strings.Contains(b.String(), "a") {
+		t.Fatal("zero bars must render labels")
+	}
+}

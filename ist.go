@@ -1,0 +1,259 @@
+// Package ist is a Go implementation of "Interactive Search for One of the
+// Top-k" (Wang, Wong, Xie — SIGMOD 2021).
+//
+// Given a dataset of tuples with d numeric attributes (normalized to (0,1],
+// larger preferred) and a user whose preference is an unknown linear utility
+// function, the IST problem asks the user as few pairwise "which do you
+// prefer?" questions as possible until a tuple guaranteed to be among the
+// user's top-k can be returned.
+//
+// The package exposes the paper's three algorithms —
+//
+//   - TwoDPI: asymptotically optimal in 2 dimensions (Section 4),
+//   - HDPI: the partition-based d-dimensional algorithm that asks the
+//     fewest questions in practice (Section 5.2),
+//   - RH: the hyperplane-walking d-dimensional algorithm with an expected
+//     O(d log n) question bound, fastest in wall-clock time (Section 5.3),
+//
+// plus the adapted competitor algorithms of the paper's evaluation, dataset
+// generators, skyline/k-skyband preprocessing, and simulated users (exact
+// and noisy). See the examples/ directory for runnable walkthroughs and
+// EXPERIMENTS.md for the reproduction of every figure in the paper.
+//
+// Quick start:
+//
+//	points := ist.AntiCorrelated(rng, 1000, 4).Points
+//	band := ist.Preprocess(points, 10)            // 10-skyband
+//	user := ist.NewUser(hiddenUtility)            // or a real io-based oracle
+//	res := ist.Solve(ist.NewRH(42), band, 10, user)
+//	fmt.Println(res.Point, res.Questions)
+package ist
+
+import (
+	"math/rand"
+	"time"
+
+	"ist/internal/baseline"
+	"ist/internal/core"
+	"ist/internal/dataset"
+	"ist/internal/geom"
+	"ist/internal/oracle"
+	"ist/internal/polytope"
+	"ist/internal/skyband"
+)
+
+// Point is a tuple as a vector of attribute values in (0,1], larger
+// preferred in every dimension.
+type Point = geom.Vector
+
+// Oracle answers pairwise preference questions; it is how algorithms talk
+// to the (real or simulated) user.
+type Oracle = oracle.Oracle
+
+// Algorithm is an interactive IST solver returning the index of a point
+// among the user's top-k.
+type Algorithm = core.Algorithm
+
+// MultiAlgorithm returns several of the user's top-k points (the AllTopK /
+// SomeTopK variants of Section 6.5).
+type MultiAlgorithm = core.MultiAlgorithm
+
+// Dataset is a named point collection.
+type Dataset = dataset.Dataset
+
+// User is a truthful simulated user with a hidden utility vector.
+type User = oracle.User
+
+// NoisyUser is a simulated user who errs with some probability per question.
+type NoisyUser = oracle.NoisyUser
+
+// NewUser returns a truthful simulated user.
+func NewUser(utility Point) *User { return oracle.NewUser(utility) }
+
+// NewNoisyUser returns a simulated user who flips each answer independently
+// with probability errRate.
+func NewNoisyUser(utility Point, errRate float64, rng *rand.Rand) *NoisyUser {
+	return oracle.NewNoisyUser(utility, errRate, rng)
+}
+
+// RandomUtility draws a utility vector uniformly from the standard simplex.
+func RandomUtility(rng *rand.Rand, d int) Point { return oracle.RandomUtility(rng, d) }
+
+// Preprocess reduces points to their k-skyband — the set of all possible
+// top-k points for any linear utility — exactly as the paper's experiments
+// preprocess every dataset (Section 6).
+func Preprocess(points []Point, k int) []Point {
+	return skyband.Filter(points, skyband.KSkyband(points, k))
+}
+
+// TopK returns the indices of the k highest-utility points w.r.t. u.
+func TopK(points []Point, u Point, k int) []int { return oracle.TopK(points, u, k) }
+
+// IsTopK reports whether p is among the k highest-utility points.
+func IsTopK(points []Point, u Point, k int, p Point) bool {
+	return oracle.IsTopK(points, u, k, p)
+}
+
+// Accuracy is the paper's result-quality measure f(p)/f(p_k), capped at 1.
+func Accuracy(points []Point, u Point, k int, p Point) float64 {
+	return oracle.Accuracy(points, u, k, p)
+}
+
+// Result is the outcome of a Solve call.
+type Result struct {
+	// Index is the returned point's index into the input slice.
+	Index int
+	// Point is the returned point.
+	Point Point
+	// Questions is how many questions the user answered.
+	Questions int
+	// Duration is the algorithm's processing time (excluding nothing: the
+	// simulated oracle answers in ~0, so this matches the paper's
+	// "execution time").
+	Duration time.Duration
+}
+
+// Solve runs an algorithm against the oracle and packages the outcome.
+func Solve(alg Algorithm, points []Point, k int, o Oracle) Result {
+	before := o.Questions()
+	start := time.Now()
+	idx := alg.Run(points, k, o)
+	return Result{
+		Index:     idx,
+		Point:     points[idx].Clone(),
+		Questions: o.Questions() - before,
+		Duration:  time.Since(start),
+	}
+}
+
+// NewTwoDPI returns the asymptotically optimal 2-dimensional algorithm.
+func NewTwoDPI() Algorithm { return core.TwoDPI{} }
+
+// NewHDPI returns HD-PI in sampling mode (the paper's practical default)
+// with the given seed.
+func NewHDPI(seed int64) Algorithm {
+	return core.NewHDPI(core.HDPIOptions{
+		Mode: core.ConvexSampling,
+		Rng:  rand.New(rand.NewSource(seed)),
+	})
+}
+
+// NewHDPIAccurate returns HD-PI with exact convex-point detection.
+func NewHDPIAccurate(seed int64) Algorithm {
+	return core.NewHDPI(core.HDPIOptions{
+		Mode: core.ConvexExact,
+		Rng:  rand.New(rand.NewSource(seed)),
+	})
+}
+
+// NewRH returns the RH algorithm with the given seed.
+func NewRH(seed int64) Algorithm { return core.NewRHDefault(seed) }
+
+// NewRHMulti returns the multi-answer RH variant (Section 6.5).
+func NewRHMulti(seed int64) MultiAlgorithm {
+	return core.NewRHMulti(core.RHOptions{Rng: rand.New(rand.NewSource(seed)), UseBall: true})
+}
+
+// NewHDPIMulti returns the multi-answer HD-PI variant (Section 6.5).
+func NewHDPIMulti(seed int64) MultiAlgorithm {
+	return core.NewHDPIMulti(core.HDPIOptions{
+		Mode: core.ConvexSampling,
+		Rng:  rand.New(rand.NewSource(seed)),
+	})
+}
+
+// Baseline constructors (the adapted competitors of Section 6).
+
+// NewMedian returns the 2-d Median baseline of [36].
+func NewMedian() Algorithm { return baseline.Median{} }
+
+// NewHull returns the 2-d Hull baseline of [36].
+func NewHull() Algorithm { return baseline.Hull{} }
+
+// NewMedianAdapt returns Median with the paper's top-k adaptation.
+func NewMedianAdapt() Algorithm { return baseline.MedianAdapt{} }
+
+// NewHullAdapt returns Hull with the paper's top-k adaptation.
+func NewHullAdapt() Algorithm { return baseline.HullAdapt{} }
+
+// NewUHRandom returns UH-Random [36] with regret threshold eps.
+func NewUHRandom(eps float64, seed int64) Algorithm {
+	return &baseline.UH{Eps: eps, Rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewUHSimplex returns UH-Simplex [36] with regret threshold eps.
+func NewUHSimplex(eps float64, seed int64) Algorithm {
+	return &baseline.UH{Simplex: true, Eps: eps, Rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewUHRandomAdapt returns the adapted UH-Random.
+func NewUHRandomAdapt(seed int64) Algorithm {
+	return &baseline.UH{Adapt: true, Rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewUHSimplexAdapt returns the adapted UH-Simplex.
+func NewUHSimplexAdapt(seed int64) Algorithm {
+	return &baseline.UH{Simplex: true, Adapt: true, Rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewUtilityApprox returns UtilityApprox [22] with regret threshold eps.
+func NewUtilityApprox(eps float64) Algorithm { return &baseline.UtilityApprox{Eps: eps} }
+
+// NewPreferenceLearning returns Preference-Learning [27].
+func NewPreferenceLearning(seed int64) Algorithm {
+	return &baseline.PreferenceLearning{Rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewActiveRanking returns Active-Ranking [14].
+func NewActiveRanking(seed int64) Algorithm {
+	return &baseline.ActiveRanking{Rng: rand.New(rand.NewSource(seed))}
+}
+
+// EpsilonForTopK computes the paper's adapted regret threshold
+// ε = 1 − f(p_k)/f(p₁) from the hidden utility vector. It is how the
+// experiments configure UtilityApprox / UH-Random / UH-Simplex so that
+// their regret-based stopping implies a top-k answer (Section 6).
+func EpsilonForTopK(points []Point, u Point, k int) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	f1 := u.Dot(points[oracle.TopK(points, u, 1)[0]])
+	if f1 <= 0 {
+		return 0
+	}
+	return 1 - oracle.KthUtility(points, u, k)/f1
+}
+
+// Dataset generators (Section 6 workloads; see DESIGN.md for the real
+// dataset stand-ins).
+
+// AntiCorrelated generates the paper's default synthetic workload.
+func AntiCorrelated(rng *rand.Rand, n, d int) *Dataset { return dataset.AntiCorrelated(rng, n, d) }
+
+// Correlated generates positively correlated points.
+func Correlated(rng *rand.Rand, n, d int) *Dataset { return dataset.Correlated(rng, n, d) }
+
+// Independent generates uniform points.
+func Independent(rng *rand.Rand, n, d int) *Dataset { return dataset.Independent(rng, n, d) }
+
+// IslandLike generates the 2-d Island stand-in.
+func IslandLike(rng *rand.Rand, n int) *Dataset { return dataset.IslandLike(rng, n) }
+
+// WeatherLike generates the 4-d Weather stand-in.
+func WeatherLike(rng *rand.Rand, n int) *Dataset { return dataset.WeatherLike(rng, n) }
+
+// CarLike generates the 4-d used-car stand-in.
+func CarLike(rng *rand.Rand, n int) *Dataset { return dataset.CarLike(rng, n) }
+
+// NBALike generates the 6-d NBA stand-in.
+func NBALike(rng *rand.Rand, n int) *Dataset { return dataset.NBALike(rng, n) }
+
+// DatasetByName builds a dataset by its experiment name
+// (anti|corr|indep|island|weather|car|nba).
+func DatasetByName(name string, rng *rand.Rand, n, d int) (*Dataset, error) {
+	return dataset.ByName(name, rng, n, d)
+}
+
+// BoundStats re-exports the bounding-strategy effectiveness counters used by
+// the Figure 5 reproduction.
+type BoundStats = polytope.BoundStats

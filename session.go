@@ -1,0 +1,165 @@
+package ist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Session drives an interactive algorithm one question at a time, inverting
+// control: instead of handing the algorithm an Oracle and blocking until it
+// finishes, the caller pulls the next question with Next, ships it to a real
+// user (an HTTP round-trip, a chat message, a survey widget...), and pushes
+// the answer back with Answer. This is how a web service embeds the library
+// without holding a goroutine per user... almost: internally the algorithm
+// still runs on its own goroutine, parked on an unbuffered channel between
+// questions, which costs a few KiB and no CPU while waiting.
+//
+//	s := ist.NewSession(ist.NewHDPI(1), band, k)
+//	for {
+//	    p, q, done := s.Next()
+//	    if done { break }
+//	    s.Answer(askHuman(p, q))
+//	}
+//	fmt.Println(s.Result())
+//
+// Sessions must be finished (Next returning done, or Close) to release the
+// underlying goroutine. A Session is not safe for concurrent use.
+type Session struct {
+	questions chan sessionQuestion
+	answers   chan bool
+	result    chan int
+
+	pending  bool
+	curP     Point
+	curQ     Point
+	done     bool
+	resIdx   int
+	points   []Point
+	asked    int
+	closed   bool
+	closeSig chan struct{}
+}
+
+type sessionQuestion struct {
+	p, q Point
+}
+
+// ErrNoPendingQuestion is returned by Answer when Next has not produced an
+// unanswered question.
+var ErrNoPendingQuestion = errors.New("ist: no pending question to answer")
+
+// sessionOracle adapts the channel plumbing to the Oracle interface.
+type sessionOracle struct {
+	s *Session
+}
+
+func (o sessionOracle) Prefer(p, q Point) bool {
+	select {
+	case o.s.questions <- sessionQuestion{p: p, q: q}:
+	case <-o.s.closeSig:
+		panic(sessionClosed{})
+	}
+	select {
+	case ans := <-o.s.answers:
+		return ans
+	case <-o.s.closeSig:
+		panic(sessionClosed{})
+	}
+}
+
+func (o sessionOracle) Questions() int { return o.s.asked }
+
+// sessionClosed aborts the algorithm goroutine when the caller closes the
+// session early; recovered at the goroutine top.
+type sessionClosed struct{}
+
+// NewSession starts an interactive session for the algorithm on the given
+// (preprocessed) points. The algorithm begins computing immediately; the
+// first Next call may therefore take as long as the algorithm's setup
+// (partitioning, convex points, ...).
+func NewSession(alg Algorithm, points []Point, k int) *Session {
+	s := &Session{
+		questions: make(chan sessionQuestion),
+		answers:   make(chan bool),
+		result:    make(chan int, 1),
+		points:    points,
+		closeSig:  make(chan struct{}),
+	}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(sessionClosed); ok {
+					return // caller closed the session; swallow
+				}
+				panic(r)
+			}
+		}()
+		idx := alg.Run(points, k, sessionOracle{s: s})
+		select {
+		case s.result <- idx:
+		case <-s.closeSig:
+		}
+	}()
+	return s
+}
+
+// Next returns the next question (two points for the user to compare) or
+// done=true once the algorithm has finished. Calling Next again without
+// answering returns the same pending question.
+func (s *Session) Next() (p, q Point, done bool) {
+	if s.done {
+		return nil, nil, true
+	}
+	if s.pending {
+		return s.curP, s.curQ, false
+	}
+	select {
+	case question := <-s.questions:
+		s.pending = true
+		s.curP, s.curQ = question.p, question.q
+		return s.curP, s.curQ, false
+	case idx := <-s.result:
+		s.done = true
+		s.resIdx = idx
+		return nil, nil, true
+	}
+}
+
+// Answer resolves the pending question: preferFirst is true when the user
+// prefers the first point of the pair returned by Next.
+func (s *Session) Answer(preferFirst bool) error {
+	if s.closed {
+		return errors.New("ist: session closed")
+	}
+	if !s.pending {
+		return ErrNoPendingQuestion
+	}
+	s.pending = false
+	s.asked++
+	s.answers <- preferFirst
+	return nil
+}
+
+// Questions returns how many questions have been answered so far.
+func (s *Session) Questions() int { return s.asked }
+
+// Result returns the found point after Next has reported done. It errors if
+// the session is still in progress.
+func (s *Session) Result() (Point, int, error) {
+	if !s.done {
+		return nil, 0, fmt.Errorf("ist: session still in progress after %d questions", s.asked)
+	}
+	return s.points[s.resIdx].Clone(), s.resIdx, nil
+}
+
+// Close aborts an in-progress session and releases its goroutine. It is a
+// no-op on a finished or already-closed session.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if !s.done {
+		close(s.closeSig)
+	}
+}

@@ -1,0 +1,163 @@
+package ist
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestSessionDrivesToCompletion(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := AntiCorrelated(rng, 400, 3)
+	k := 5
+	band := Preprocess(ds.Points, k)
+	hidden := RandomUtility(rng, 3)
+
+	s := NewSession(NewRH(9), band, k)
+	defer s.Close()
+	questions := 0
+	for {
+		p, q, done := s.Next()
+		if done {
+			break
+		}
+		if err := s.Answer(hidden.Dot(p) >= hidden.Dot(q)); err != nil {
+			t.Fatal(err)
+		}
+		questions++
+		if questions > 10000 {
+			t.Fatal("session never finished")
+		}
+	}
+	pt, idx, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx < 0 || idx >= len(band) || !pt.Equal(band[idx]) {
+		t.Fatalf("bad result %v / %d", pt, idx)
+	}
+	if !IsTopK(band, hidden, k, pt) {
+		t.Fatal("session result not top-k")
+	}
+	if s.Questions() != questions {
+		t.Fatalf("Questions = %d, want %d", s.Questions(), questions)
+	}
+}
+
+func TestSessionMatchesDirectRun(t *testing.T) {
+	// Driving via Session must produce the same answer and question count
+	// as a direct Solve with the same seed and the same user.
+	rng := rand.New(rand.NewSource(2))
+	ds := AntiCorrelated(rng, 300, 3)
+	k := 4
+	band := Preprocess(ds.Points, k)
+	hidden := RandomUtility(rng, 3)
+
+	direct := Solve(NewRH(33), band, k, NewUser(hidden))
+
+	s := NewSession(NewRH(33), band, k)
+	defer s.Close()
+	for {
+		p, q, done := s.Next()
+		if done {
+			break
+		}
+		s.Answer(hidden.Dot(p) >= hidden.Dot(q))
+	}
+	_, idx, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != direct.Index || s.Questions() != direct.Questions {
+		t.Fatalf("session (%d, %dq) != direct (%d, %dq)",
+			idx, s.Questions(), direct.Index, direct.Questions)
+	}
+}
+
+func TestSessionNextIdempotentWhilePending(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := AntiCorrelated(rng, 200, 3)
+	band := Preprocess(ds.Points, 3)
+	s := NewSession(NewRH(1), band, 3)
+	defer s.Close()
+	p1, q1, done := s.Next()
+	if done {
+		t.Skip("algorithm finished without questions")
+	}
+	p2, q2, done2 := s.Next()
+	if done2 || !p1.Equal(p2) || !q1.Equal(q2) {
+		t.Fatal("Next must repeat the pending question until answered")
+	}
+}
+
+func TestSessionAnswerWithoutQuestion(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds := AntiCorrelated(rng, 100, 2)
+	band := Preprocess(ds.Points, 2)
+	s := NewSession(NewRH(1), band, 2)
+	defer s.Close()
+	if err := s.Answer(true); err != ErrNoPendingQuestion {
+		t.Fatalf("Answer before Next: err = %v, want ErrNoPendingQuestion", err)
+	}
+}
+
+func TestSessionResultBeforeDone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := AntiCorrelated(rng, 200, 3)
+	band := Preprocess(ds.Points, 3)
+	s := NewSession(NewRH(1), band, 3)
+	defer s.Close()
+	if _, _, done := s.Next(); done {
+		t.Skip("no interaction needed")
+	}
+	if _, _, err := s.Result(); err == nil {
+		t.Fatal("Result before done must error")
+	}
+}
+
+func TestSessionCloseReleasesGoroutine(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ds := AntiCorrelated(rng, 500, 4)
+	band := Preprocess(ds.Points, 5)
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		s := NewSession(NewRH(int64(i)), band, 5)
+		s.Next() // force at least the setup
+		s.Close()
+	}
+	// Give the aborted goroutines a moment to unwind.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+func TestSessionWithHDPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ds := CarLike(rng, 400)
+	k := 10
+	band := Preprocess(ds.Points, k)
+	hidden := RandomUtility(rng, 4)
+	s := NewSession(NewHDPI(2), band, k)
+	defer s.Close()
+	for {
+		p, q, done := s.Next()
+		if done {
+			break
+		}
+		s.Answer(hidden.Dot(p) >= hidden.Dot(q))
+	}
+	pt, _, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsTopK(band, hidden, k, pt) {
+		t.Fatal("HD-PI session result not top-k")
+	}
+}

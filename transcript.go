@@ -1,0 +1,31 @@
+package ist
+
+import (
+	"io"
+
+	"ist/internal/oracle"
+)
+
+// Interaction transcripts: record real sessions for auditing, reproduce
+// them deterministically later (same algorithm, same seed).
+
+// Transcript is an ordered record of question/answer exchanges.
+type Transcript = oracle.Transcript
+
+// RecordingOracle wraps an oracle and records every exchange.
+type RecordingOracle = oracle.RecordingOracle
+
+// ReplayOracle answers questions from a saved transcript.
+type ReplayOracle = oracle.ReplayOracle
+
+// NewRecordingOracle wraps inner with transcript recording.
+func NewRecordingOracle(inner Oracle) *RecordingOracle {
+	return oracle.NewRecordingOracle(inner)
+}
+
+// NewReplayOracle answers from a transcript; pair with the same algorithm
+// and seed that produced it.
+func NewReplayOracle(t *Transcript) *ReplayOracle { return oracle.NewReplayOracle(t) }
+
+// LoadTranscript reads a JSON transcript.
+func LoadTranscript(r io.Reader) (*Transcript, error) { return oracle.LoadTranscript(r) }
