@@ -2,7 +2,7 @@
 // product would embed the library: the server holds the algorithm state,
 // the client (a web page, an app) relays questions to a human.
 //
-//	istserve -addr :8080 -dataset car -n 1000 -k 20
+//	istserve -addr :8080 -dataset car -n 1000 -k 20 -store sessions.jsonl
 //
 // API (JSON):
 //
@@ -10,19 +10,28 @@
 //	POST /sessions/{id}/answer    {"prefer":1}                -> next question or {"result":{...}}
 //	GET  /sessions/{id}                                       -> current state
 //	DELETE /sessions/{id}                                     -> abort
+//	GET  /healthz                                             -> liveness, session count, build info
 //
 // A question shows the two tuples' attribute values; answer with prefer 1
-// or 2. The server is a demonstration: sessions live in memory and expire
-// after -session-ttl.
+// or 2. Sessions idle longer than -session-ttl are collected by a
+// background reaper, creation is capped at -max-sessions, and with -store
+// every in-flight session is persisted to an append-only JSONL log and
+// rehydrated (by deterministic transcript replay) when the server restarts
+// — a kill -9 mid-session costs the user no re-asked questions. SIGINT or
+// SIGTERM drains connections and shuts down gracefully.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 	"time"
 
 	"ist"
@@ -31,13 +40,16 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		name = flag.String("dataset", "car", "anti|corr|indep|island|weather|car|nba")
-		n    = flag.Int("n", 1000, "number of candidate tuples")
-		d    = flag.Int("d", 4, "dimensionality (synthetic families only)")
-		k    = flag.Int("k", 20, "return one of the user's top-k")
-		seed = flag.Int64("seed", 1, "random seed")
-		ttl  = flag.Duration("session-ttl", 15*time.Minute, "idle session expiry")
+		addr        = flag.String("addr", ":8080", "listen address")
+		name        = flag.String("dataset", "car", "anti|corr|indep|island|weather|car|nba")
+		n           = flag.Int("n", 1000, "number of candidate tuples")
+		d           = flag.Int("d", 4, "dimensionality (synthetic families only)")
+		k           = flag.Int("k", 20, "return one of the user's top-k")
+		seed        = flag.Int64("seed", 1, "random seed")
+		ttl         = flag.Duration("session-ttl", 15*time.Minute, "idle session expiry")
+		reap        = flag.Duration("reap-interval", time.Minute, "how often the reaper scans for idle sessions")
+		maxSessions = flag.Int("max-sessions", 1024, "maximum live sessions; creation beyond it returns 429 (0 = unlimited)")
+		storePath   = flag.String("store", "", "append-only JSONL session store for crash recovery (empty = memory only)")
 	)
 	flag.Parse()
 
@@ -48,9 +60,60 @@ func main() {
 		os.Exit(1)
 	}
 	band := ist.Preprocess(ds.Points, *k)
-	log.Printf("istserve: %s, %d tuples (%d in the %d-skyband), listening on %s",
-		ds.Name, ds.Size(), len(band), *k, *addr)
 
-	srv := server.New(band, *k, *seed, *ttl)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	var store server.SessionStore
+	if *storePath != "" {
+		js, err := server.OpenJSONLStore(*storePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "istserve:", err)
+			os.Exit(1)
+		}
+		store = js
+	}
+	srv, err := server.New(band, *k, server.Options{
+		Seed:         *seed,
+		TTL:          *ttl,
+		ReapInterval: *reap,
+		MaxSessions:  *maxSessions,
+		Store:        store,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "istserve:", err)
+		os.Exit(1)
+	}
+	log.Printf("istserve %s (%s): %s, %d tuples (%d in the %d-skyband), %d sessions rehydrated",
+		server.BuildVersion(), runtime.Version(), ds.Name, ds.Size(), len(band), *k, srv.Sessions())
+	log.Printf("istserve: listening on %s (health at /healthz, max %d sessions, ttl %s)",
+		*addr, *maxSessions, *ttl)
+
+	// Per-request read/write deadlines bound a stalled or malicious client;
+	// the handler work itself is sub-second, so generous values only guard
+	// the transport.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal("istserve: ", err)
+	case sig := <-sigc:
+		log.Printf("istserve: %v: draining connections", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("istserve: shutdown: %v", err)
+		}
+		// Sessions close but (with -store) stay persisted: the next start
+		// resumes them where the users left off.
+		srv.Close()
+		log.Print("istserve: bye")
+	}
 }

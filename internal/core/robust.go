@@ -208,15 +208,18 @@ func (a *RobustHDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
 		}
 		// Posterior-style reweight: partitions entirely on the
 		// contradicted side decay by Eta (≈ p/(1-p) for assumed error p);
-		// straddling partitions split the difference. With a truthful user
-		// the true partition is never entirely contradicted, so repeated
-		// questions let it out-weigh every wrong cell.
+		// straddling partitions split the difference. A degenerate ClassOn
+		// cell lies in the hyperplane itself, so the answer carries no
+		// evidence against it — it gets the same mild treatment as a
+		// straddler, not the full contradiction penalty. With a truthful
+		// user the true partition is never entirely contradicted, so
+		// repeated questions let it out-weigh every wrong cell.
 		mild := (1 + a.opt.Eta) / 2
 		for ci, part := range C {
 			switch part.poly.ClassifyWith(h, polytope.StrategyBall, nil) {
-			case polytope.ClassBelow, polytope.ClassOn:
+			case polytope.ClassBelow:
 				w[ci] *= a.opt.Eta
-			case polytope.ClassIntersect:
+			case polytope.ClassIntersect, polytope.ClassOn:
 				w[ci] *= mild
 			}
 		}

@@ -1,0 +1,99 @@
+// Package faultinject schedules deliberate faults so the fault-tolerance of
+// the session layer can be exercised deterministically: an Oracle wrapper
+// that delays or panics on the Nth question, an Algorithm wrapper that
+// poisons one session's goroutine with it, and an HTTP middleware that
+// drops, delays, or panics on the Nth request. Production code paths never
+// construct these; tests (and manual hardening experiments) do.
+package faultinject
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"ist/internal/core"
+	"ist/internal/geom"
+	"ist/internal/oracle"
+)
+
+// Plan schedules faults by 1-based event index (oracle questions for
+// Oracle/Algorithm, requests for Middleware). A zero index disables that
+// fault; independent faults may be combined in one plan.
+type Plan struct {
+	// PanicAt panics on the Nth event.
+	PanicAt int
+	// DelayAt sleeps for Delay before the Nth event.
+	DelayAt int
+	Delay   time.Duration
+	// DropAt makes the Middleware reject the Nth request with 503 without
+	// reaching the wrapped handler. Ignored by Oracle/Algorithm.
+	DropAt int
+}
+
+// Oracle wraps an oracle and injects the plan's faults into its question
+// stream. It is not safe for concurrent use, matching the Oracle contract.
+type Oracle struct {
+	Inner oracle.Oracle
+	Plan  Plan
+	n     int
+}
+
+// Prefer implements oracle.Oracle.
+func (o *Oracle) Prefer(p, q geom.Vector) bool {
+	o.n++
+	if o.Plan.DelayAt == o.n && o.Plan.Delay > 0 {
+		time.Sleep(o.Plan.Delay)
+	}
+	if o.Plan.PanicAt == o.n {
+		panic(fmt.Sprintf("faultinject: scheduled panic at question %d", o.n))
+	}
+	return o.Inner.Prefer(p, q)
+}
+
+// Questions implements oracle.Oracle.
+func (o *Oracle) Questions() int { return o.Inner.Questions() }
+
+// Algorithm wraps an algorithm so that every oracle it is run against is
+// poisoned with the plan. Wrapping the algorithm (rather than the oracle) is
+// what lets a server inject a fault into one specific session: the fault
+// rides inside that session's algorithm goroutine.
+type Algorithm struct {
+	Inner core.Algorithm
+	Plan  Plan
+}
+
+// Name implements core.Algorithm.
+func (a *Algorithm) Name() string { return a.Inner.Name() + "+faults" }
+
+// Run implements core.Algorithm.
+func (a *Algorithm) Run(points []geom.Vector, k int, o oracle.Oracle) int {
+	return a.Inner.Run(points, k, &Oracle{Inner: o, Plan: a.Plan})
+}
+
+// Middleware injects the plan's faults into an HTTP handler: the DropAt-th
+// request is rejected with 503 Service Unavailable, the DelayAt-th stalls
+// for Delay, and the PanicAt-th panics inside the handler (net/http recovers
+// per-connection, so this exercises a dropped response, not a crash). Safe
+// for concurrent use.
+type Middleware struct {
+	Next http.Handler
+	Plan Plan
+	n    atomic.Int64
+}
+
+// ServeHTTP implements http.Handler.
+func (m *Middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := int(m.n.Add(1))
+	if m.Plan.DelayAt == n && m.Plan.Delay > 0 {
+		time.Sleep(m.Plan.Delay)
+	}
+	switch {
+	case m.Plan.DropAt == n:
+		http.Error(w, "faultinject: request dropped", http.StatusServiceUnavailable)
+	case m.Plan.PanicAt == n:
+		panic(fmt.Sprintf("faultinject: scheduled panic at request %d", n))
+	default:
+		m.Next.ServeHTTP(w, r)
+	}
+}

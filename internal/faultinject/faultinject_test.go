@@ -1,0 +1,85 @@
+package faultinject
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ist/internal/geom"
+	"ist/internal/oracle"
+)
+
+func TestOraclePanicsOnSchedule(t *testing.T) {
+	u := oracle.NewUser(geom.Vector{0.5, 0.5})
+	o := &Oracle{Inner: u, Plan: Plan{PanicAt: 3}}
+	p := geom.Vector{0.9, 0.1}
+	q := geom.Vector{0.1, 0.9}
+	for i := 1; i <= 2; i++ {
+		o.Prefer(p, q) // questions 1 and 2 pass through
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("question 3 did not panic")
+		}
+		if !strings.Contains(r.(string), "question 3") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	o.Prefer(p, q)
+}
+
+func TestOracleDelaysOnSchedule(t *testing.T) {
+	u := oracle.NewUser(geom.Vector{0.5, 0.5})
+	o := &Oracle{Inner: u, Plan: Plan{DelayAt: 1, Delay: 50 * time.Millisecond}}
+	start := time.Now()
+	o.Prefer(geom.Vector{0.9, 0.1}, geom.Vector{0.1, 0.9})
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("question 1 not delayed: took %v", elapsed)
+	}
+}
+
+func TestOraclePassesAnswersThrough(t *testing.T) {
+	u := oracle.NewUser(geom.Vector{1, 0})
+	o := &Oracle{Inner: u, Plan: Plan{}}
+	if !o.Prefer(geom.Vector{0.9, 0.1}, geom.Vector{0.1, 0.9}) {
+		t.Fatal("answer flipped by the passthrough wrapper")
+	}
+	if o.Questions() != u.Questions() {
+		t.Fatal("question count not delegated")
+	}
+}
+
+func TestMiddlewareDropAndPassthrough(t *testing.T) {
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	})
+	m := &Middleware{Next: next, Plan: Plan{DropAt: 2}}
+	codes := []int{}
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		m.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+		codes = append(codes, rec.Code)
+	}
+	want := []int{http.StatusTeapot, http.StatusServiceUnavailable, http.StatusTeapot}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("request %d: code %d, want %d", i+1, codes[i], want[i])
+		}
+	}
+}
+
+func TestMiddlewarePanicsOnSchedule(t *testing.T) {
+	m := &Middleware{
+		Next: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}),
+		Plan: Plan{PanicAt: 1},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("request 1 did not panic")
+		}
+	}()
+	m.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+}

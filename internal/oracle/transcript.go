@@ -43,6 +43,18 @@ func LoadTranscript(r io.Reader) (*Transcript, error) {
 	return &t, nil
 }
 
+// Answers extracts just the answer bits of the transcript, in order. For a
+// deterministic algorithm with a known seed this is the minimal state needed
+// to reproduce a session — the questions are re-derived by the algorithm
+// itself — which is what makes compact crash-recovery logs possible.
+func (t *Transcript) Answers() []bool {
+	out := make([]bool, len(t.Exchanges))
+	for i, ex := range t.Exchanges {
+		out[i] = ex.PreferredP
+	}
+	return out
+}
+
 // RecordingOracle wraps an oracle and records every exchange.
 type RecordingOracle struct {
 	inner Oracle

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+
+	"ist"
+	"ist/internal/faultinject"
+)
+
+// TestPanicIsolatedToOneSession is the headline fault-tolerance guarantee:
+// a panic injected into one session's algorithm goroutine turns into a 500
+// for that session (then 404 once it is torn down) while every other
+// session — and the process — carries on to a correct result.
+func TestPanicIsolatedToOneSession(t *testing.T) {
+	band, k, _ := testBand(t)
+	const victim = "s2"
+	srv, err := New(band, k, Options{
+		Seed: 1,
+		TTL:  time.Minute,
+		WrapAlgorithm: func(id string, alg ist.Algorithm) ist.Algorithm {
+			if id == victim {
+				return &faultinject.Algorithm{Inner: alg, Plan: faultinject.Plan{PanicAt: 3}}
+			}
+			return alg
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var states [3]StateResponse
+	for i := range states {
+		rec, st := do(t, srv, http.MethodPost, "/sessions", map[string]string{"algorithm": "rh"})
+		if rec.Code != http.StatusCreated {
+			t.Fatalf("create %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+		states[i] = st
+	}
+	if states[1].ID != victim {
+		t.Fatalf("expected deterministic id %q, got %q", victim, states[1].ID)
+	}
+
+	// Drive the poisoned session: the scheduled panic must surface as a 500
+	// on an answer (the algorithm dies computing the next question).
+	rng := rand.New(rand.NewSource(42))
+	hidden := ist.RandomUtility(rng, 4)
+	st := states[1]
+	saw500 := false
+	for steps := 0; steps < 50 && !saw500; steps++ {
+		p := ist.Point(st.Question.Option1)
+		q := ist.Point(st.Question.Option2)
+		prefer := 2
+		if hidden.Dot(p) >= hidden.Dot(q) {
+			prefer = 1
+		}
+		rec, next := do(t, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": prefer})
+		switch rec.Code {
+		case http.StatusOK:
+			st = next
+		case http.StatusInternalServerError:
+			saw500 = true
+		default:
+			t.Fatalf("poisoned session: unexpected code %d %s", rec.Code, rec.Body.String())
+		}
+	}
+	if !saw500 {
+		t.Fatal("scheduled panic never surfaced as a 500")
+	}
+	// The failed session is torn down: subsequent requests see 404.
+	rec, _ := do(t, srv, http.MethodGet, "/sessions/"+victim, nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("get after failure: code %d, want 404", rec.Code)
+	}
+
+	// The other sessions are untouched and complete correctly.
+	for _, i := range []int{0, 2} {
+		rng := rand.New(rand.NewSource(int64(100 + i)))
+		hidden := ist.RandomUtility(rng, 4)
+		final, ok := drive(t, srv, states[i], hidden)
+		if !ok {
+			t.Fatalf("session %s did not survive its neighbour's panic", states[i].ID)
+		}
+		if !ist.IsTopK(band, hidden, k, ist.Point(final.Result)) {
+			t.Fatalf("session %s returned a non-top-k point after neighbour panic", states[i].ID)
+		}
+	}
+}
+
+// TestPanicDuringCreate covers the nastier window: the algorithm panics in
+// its setup phase, before the first question exists. The create request
+// itself must report the failure (500), leaving no zombie session behind.
+func TestPanicDuringCreate(t *testing.T) {
+	band, k, _ := testBand(t)
+	srv, err := New(band, k, Options{
+		Seed: 1,
+		TTL:  time.Minute,
+		WrapAlgorithm: func(id string, alg ist.Algorithm) ist.Algorithm {
+			return &faultinject.Algorithm{Inner: alg, Plan: faultinject.Plan{PanicAt: 1}}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rec, _ := do(t, srv, http.MethodPost, "/sessions", nil)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("create with instant panic: code %d, want 500", rec.Code)
+	}
+	if srv.Sessions() != 0 {
+		t.Fatalf("failed create left %d zombie sessions", srv.Sessions())
+	}
+}

@@ -1,14 +1,27 @@
 // Package server implements the HTTP session service behind cmd/istserve:
 // interactive IST sessions (ist.Session) keyed by id, with JSON
-// question/answer exchanges. It demonstrates how a product embeds the
-// library — the algorithm state lives server-side, humans answer one
-// question per round-trip.
+// question/answer exchanges. The algorithm state lives server-side; humans
+// answer one question per round-trip.
+//
+// The layer is built to survive a production interaction loop: a panic in
+// one session's algorithm goroutine is isolated (that session returns 500
+// and is torn down; every other session and the process continue), sessions
+// are optionally persisted to a SessionStore and rehydrated after a restart
+// by deterministic transcript replay, idle sessions are collected by a
+// background reaper, and session creation is capped (429 + Retry-After)
+// so a client flood cannot exhaust memory.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -16,18 +29,46 @@ import (
 	"ist"
 )
 
+// Options configures a Server beyond its dataset.
+type Options struct {
+	// Seed is the base random seed; session i runs with Seed+i, which is
+	// what makes a persisted session replayable after a restart.
+	Seed int64
+	// TTL expires sessions idle longer than this (0 disables expiry).
+	TTL time.Duration
+	// ReapInterval is how often the background reaper scans for idle
+	// sessions (0 disables the reaper; expiry then only happens on an
+	// explicit call, as in tests with fake clocks).
+	ReapInterval time.Duration
+	// MaxSessions caps concurrently live sessions; creation beyond it
+	// returns 429 with a Retry-After header (0 = unlimited).
+	MaxSessions int
+	// Store persists sessions for crash recovery (nil = memory only, no
+	// rehydration).
+	Store SessionStore
+	// WrapAlgorithm, if set, wraps every session's algorithm at creation
+	// and rehydration — the fault-injection hook used by the hardening
+	// tests (see internal/faultinject).
+	WrapAlgorithm func(id string, alg ist.Algorithm) ist.Algorithm
+}
+
 // Server is the http.Handler managing interactive sessions.
 type Server struct {
 	points []ist.Point
 	k      int
-	ttl    time.Duration
+	opt    Options
+	fp     uint64
+	start  time.Time
 
 	mu       sync.Mutex
 	sessions map[string]*sessionState
 	nextID   int64
-	seed     int64
+	closed   bool
 	// now is replaceable for expiry tests.
 	now func() time.Time
+
+	reapStop chan struct{}
+	reapDone chan struct{}
 }
 
 type sessionState struct {
@@ -39,19 +80,143 @@ type sessionState struct {
 	curP     ist.Point
 	curQ     ist.Point
 	done     bool
+	failed   error
 	result   ist.Point
 	resultID int
 }
 
-// New builds a server over a preprocessed point set.
-func New(points []ist.Point, k int, seed int64, ttl time.Duration) *Server {
-	return &Server{
+// New builds a server over a preprocessed point set. If opt.Store is set,
+// unfinished persisted sessions are rehydrated by replaying their answer
+// logs through identically seeded algorithms before the server accepts any
+// traffic; a record whose dataset fingerprint does not match the current
+// points is skipped (resuming it would silently diverge).
+func New(points []ist.Point, k int, opt Options) (*Server, error) {
+	srv := &Server{
 		points:   points,
 		k:        k,
-		ttl:      ttl,
+		opt:      opt,
+		fp:       ist.Fingerprint(points, k),
+		start:    time.Now(),
 		sessions: map[string]*sessionState{},
-		seed:     seed,
 		now:      time.Now,
+	}
+	if opt.Store != nil {
+		if err := srv.rehydrate(); err != nil {
+			return nil, err
+		}
+	}
+	if opt.TTL > 0 && opt.ReapInterval > 0 {
+		srv.reapStop = make(chan struct{})
+		srv.reapDone = make(chan struct{})
+		go srv.reapLoop()
+	}
+	return srv, nil
+}
+
+// algorithmByName maps the API's algorithm names to seeded constructors.
+func algorithmByName(name string, seed int64) (ist.Algorithm, error) {
+	switch name {
+	case "", "rh":
+		return ist.NewRH(seed), nil
+	case "hdpi":
+		return ist.NewHDPI(seed), nil
+	case "hdpi-accurate":
+		return ist.NewHDPIAccurate(seed), nil
+	case "robust":
+		return ist.NewRobustHDPI(seed), nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q", name)
+}
+
+// rehydrate rebuilds every unfinished persisted session by transcript
+// replay. Called from New before the server serves traffic, so it needs no
+// locking discipline beyond the store's own.
+func (srv *Server) rehydrate() error {
+	recs, lastID, err := srv.opt.Store.Load()
+	if err != nil {
+		return fmt.Errorf("server: rehydrate: %w", err)
+	}
+	srv.nextID = lastID
+	for _, rec := range recs {
+		if rec.Fingerprint != srv.fp {
+			log.Printf("server: session %s recorded against a different dataset (fingerprint %x != %x); dropping",
+				rec.ID, rec.Fingerprint, srv.fp)
+			_ = srv.opt.Store.Finish(rec.ID)
+			continue
+		}
+		alg, err := algorithmByName(rec.Algorithm, rec.Seed)
+		if err != nil {
+			log.Printf("server: session %s: %v; dropping", rec.ID, err)
+			_ = srv.opt.Store.Finish(rec.ID)
+			continue
+		}
+		if srv.opt.WrapAlgorithm != nil {
+			alg = srv.opt.WrapAlgorithm(rec.ID, alg)
+		}
+		s, err := ist.ResumeSession(alg, srv.points, srv.k, rec.Answers)
+		if err != nil {
+			log.Printf("server: session %s failed to replay: %v; dropping", rec.ID, err)
+			_ = srv.opt.Store.Finish(rec.ID)
+			continue
+		}
+		st := &sessionState{s: s, lastUsed: srv.now()}
+		srv.advance(rec.ID, st)
+		if st.failed != nil {
+			s.Close()
+			_ = srv.opt.Store.Finish(rec.ID)
+			continue
+		}
+		srv.sessions[rec.ID] = st
+	}
+	return nil
+}
+
+// reapLoop runs expiry in the background so idle sessions are collected
+// even when no request ever arrives again — the expire-on-request scheme it
+// replaces leaked every session of a traffic lull.
+func (srv *Server) reapLoop() {
+	defer close(srv.reapDone)
+	t := time.NewTicker(srv.opt.ReapInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			srv.expire()
+		case <-srv.reapStop:
+			return
+		}
+	}
+}
+
+// Close stops the reaper, releases every live session's goroutine, and
+// closes the store. It does not Finish persisted sessions: a graceful
+// shutdown keeps them replayable by the next process.
+func (srv *Server) Close() {
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		return
+	}
+	srv.closed = true
+	live := make([]*sessionState, 0, len(srv.sessions))
+	for _, st := range srv.sessions {
+		live = append(live, st)
+	}
+	srv.sessions = map[string]*sessionState{}
+	srv.mu.Unlock()
+	if srv.reapStop != nil {
+		close(srv.reapStop)
+		<-srv.reapDone
+	}
+	for _, st := range live {
+		st.mu.Lock()
+		if st.s != nil {
+			st.s.Close()
+		}
+		st.mu.Unlock()
+	}
+	if srv.opt.Store != nil {
+		_ = srv.opt.Store.Close()
 	}
 }
 
@@ -71,6 +236,15 @@ type StateResponse struct {
 	ResultID  int       `json:"resultId,omitempty"`
 }
 
+// HealthResponse is the JSON shape of GET /healthz.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	Sessions      int     `json:"sessions"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	GoVersion     string  `json:"goVersion"`
+	Version       string  `json:"version"`
+}
+
 type createRequest struct {
 	Algorithm string `json:"algorithm"`
 }
@@ -81,10 +255,11 @@ type answerRequest struct {
 
 // ServeHTTP implements http.Handler.
 func (srv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	srv.expire()
 	path := strings.TrimPrefix(r.URL.Path, "/")
 	parts := strings.Split(path, "/")
 	switch {
+	case r.Method == http.MethodGet && path == "healthz":
+		srv.handleHealthz(w)
 	case r.Method == http.MethodPost && path == "sessions":
 		srv.handleCreate(w, r)
 	case len(parts) == 2 && parts[0] == "sessions" && r.Method == http.MethodGet:
@@ -98,38 +273,87 @@ func (srv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// BuildVersion reports the main module's version as baked in by the Go
+// toolchain ("devel" for a plain source build).
+func BuildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
+}
+
+func (srv *Server) handleHealthz(w http.ResponseWriter) {
+	resp := HealthResponse{
+		Status:        "ok",
+		Sessions:      srv.Sessions(),
+		UptimeSeconds: time.Since(srv.start).Seconds(),
+		GoVersion:     runtime.Version(),
+		Version:       BuildVersion(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
 func (srv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req createRequest
 	if r.Body != nil {
-		_ = json.NewDecoder(r.Body).Decode(&req) // empty body = defaults
+		// An empty body means defaults, but a malformed one is a client
+		// bug; silently falling back to the default algorithm would mask it.
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			http.Error(w, "malformed JSON body", http.StatusBadRequest)
+			return
+		}
 	}
-	var alg ist.Algorithm
-	srv.mu.Lock()
-	srv.nextID++
-	id := fmt.Sprintf("s%d", srv.nextID)
-	seed := srv.seed + srv.nextID
-	srv.mu.Unlock()
-	switch req.Algorithm {
-	case "", "rh":
-		alg = ist.NewRH(seed)
-	case "hdpi":
-		alg = ist.NewHDPI(seed)
-	case "hdpi-accurate":
-		alg = ist.NewHDPIAccurate(seed)
-	case "robust":
-		alg = ist.NewRobustHDPI(seed)
-	default:
-		http.Error(w, fmt.Sprintf("unknown algorithm %q", req.Algorithm), http.StatusBadRequest)
+	name := req.Algorithm
+	if name == "" {
+		name = "rh"
+	}
+	if _, err := algorithmByName(name, 0); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 
-	st := &sessionState{s: ist.NewSession(alg, srv.points, srv.k), lastUsed: srv.now()}
-	st.mu.Lock()
-	srv.advance(st)
-	st.mu.Unlock()
 	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	if srv.opt.MaxSessions > 0 && len(srv.sessions) >= srv.opt.MaxSessions {
+		srv.mu.Unlock()
+		w.Header().Set("Retry-After", srv.retryAfter())
+		http.Error(w, "session limit reached", http.StatusTooManyRequests)
+		return
+	}
+	srv.nextID++
+	id := fmt.Sprintf("s%d", srv.nextID)
+	seed := srv.opt.Seed + srv.nextID
+	st := &sessionState{lastUsed: srv.now()}
+	// Reserve the slot (and the id) under st.mu before the algorithm's
+	// setup runs: concurrent requests for this id block until it is ready,
+	// and concurrent creates see the capacity they are competing for.
+	st.mu.Lock()
 	srv.sessions[id] = st
 	srv.mu.Unlock()
+
+	alg, _ := algorithmByName(name, seed)
+	if srv.opt.WrapAlgorithm != nil {
+		alg = srv.opt.WrapAlgorithm(id, alg)
+	}
+	st.s = ist.NewSession(alg, srv.points, srv.k)
+	if srv.opt.Store != nil {
+		if err := srv.opt.Store.Create(SessionRecord{ID: id, Algorithm: name, Seed: seed, Fingerprint: srv.fp}); err != nil {
+			log.Printf("server: persist create %s: %v", id, err)
+		}
+	}
+	srv.advance(id, st)
+	failed := st.failed
+	st.mu.Unlock()
+	if failed != nil {
+		srv.teardown(id, st)
+		http.Error(w, "session failed: "+failed.Error(), http.StatusInternalServerError)
+		return
+	}
 	srv.writeState(w, id, st, http.StatusCreated)
 }
 
@@ -137,6 +361,14 @@ func (srv *Server) handleGet(w http.ResponseWriter, id string) {
 	st, ok := srv.lookup(id)
 	if !ok {
 		http.Error(w, "no such session", http.StatusNotFound)
+		return
+	}
+	st.mu.Lock()
+	failed := st.failed
+	st.mu.Unlock()
+	if failed != nil {
+		srv.teardown(id, st)
+		http.Error(w, "session failed: "+failed.Error(), http.StatusInternalServerError)
 		return
 	}
 	srv.writeState(w, id, st, http.StatusOK)
@@ -153,7 +385,14 @@ func (srv *Server) handleDelete(w http.ResponseWriter, id string) {
 		http.Error(w, "no such session", http.StatusNotFound)
 		return
 	}
-	st.s.Close()
+	st.mu.Lock()
+	if st.s != nil {
+		st.s.Close()
+	}
+	st.mu.Unlock()
+	if srv.opt.Store != nil {
+		_ = srv.opt.Store.Finish(id)
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -173,34 +412,93 @@ func (srv *Server) handleAnswer(w http.ResponseWriter, r *http.Request, id strin
 		return
 	}
 	st.mu.Lock()
+	if st.failed != nil {
+		failed := st.failed
+		st.mu.Unlock()
+		srv.teardown(id, st)
+		http.Error(w, "session failed: "+failed.Error(), http.StatusInternalServerError)
+		return
+	}
 	if st.done {
 		st.mu.Unlock()
 		http.Error(w, "session already finished", http.StatusConflict)
 		return
 	}
 	if err := st.s.Answer(req.Prefer == 1); err != nil {
+		if algErr := st.s.Err(); algErr != nil {
+			st.failed = algErr
+			st.mu.Unlock()
+			srv.teardown(id, st)
+			http.Error(w, "session failed: "+algErr.Error(), http.StatusInternalServerError)
+			return
+		}
 		st.mu.Unlock()
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
-	srv.advance(st)
+	if srv.opt.Store != nil {
+		if err := srv.opt.Store.Answer(id, req.Prefer == 1); err != nil {
+			log.Printf("server: persist answer %s: %v", id, err)
+		}
+	}
+	srv.advance(id, st)
+	failed := st.failed
 	st.mu.Unlock()
+	if failed != nil {
+		srv.teardown(id, st)
+		http.Error(w, "session failed: "+failed.Error(), http.StatusInternalServerError)
+		return
+	}
 	srv.writeState(w, id, st, http.StatusOK)
 }
 
-// advance pulls the next question (or the result) into the state. The
-// lastUsed stamp is maintained by lookup/create under srv.mu (its guardian),
-// not here.
-func (srv *Server) advance(st *sessionState) {
+// advance pulls the next question (or the result) into the state, detecting
+// a failed algorithm goroutine. Callers hold st.mu. The lastUsed stamp is
+// maintained by lookup/create under srv.mu (its guardian), not here.
+func (srv *Server) advance(id string, st *sessionState) {
 	p, q, done := st.s.Next()
+	if err := st.s.Err(); err != nil {
+		st.failed = err
+		return
+	}
 	if done {
 		st.done = true
 		if pt, idx, err := st.s.Result(); err == nil {
 			st.result, st.resultID = pt, idx
 		}
+		// Completed sessions need no replay on restart; drop the record.
+		if srv.opt.Store != nil {
+			_ = srv.opt.Store.Finish(id)
+		}
 		return
 	}
 	st.curP, st.curQ = p, q
+}
+
+// teardown removes a failed session, releases its goroutine, and forgets
+// its persisted record. Callers must NOT hold st.mu.
+func (srv *Server) teardown(id string, st *sessionState) {
+	srv.mu.Lock()
+	delete(srv.sessions, id)
+	srv.mu.Unlock()
+	st.mu.Lock()
+	if st.s != nil {
+		st.s.Close()
+	}
+	st.mu.Unlock()
+	if srv.opt.Store != nil {
+		_ = srv.opt.Store.Finish(id)
+	}
+}
+
+// retryAfter suggests how long a rejected client should wait: a fraction of
+// the TTL (idle sessions free slots at that horizon), floored at 1s.
+func (srv *Server) retryAfter() string {
+	secs := int(srv.opt.TTL.Seconds() / 4)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 func (srv *Server) lookup(id string) (*sessionState, bool) {
@@ -213,23 +511,35 @@ func (srv *Server) lookup(id string) (*sessionState, bool) {
 	return st, ok
 }
 
-// expire closes idle sessions past the TTL.
+// expire closes idle sessions past the TTL. The background reaper calls it
+// on a ticker; tests with fake clocks call it directly.
 func (srv *Server) expire() {
-	if srv.ttl <= 0 {
+	if srv.opt.TTL <= 0 {
 		return
 	}
-	cutoff := srv.now().Add(-srv.ttl)
+	cutoff := srv.now().Add(-srv.opt.TTL)
+	type expired struct {
+		id string
+		st *sessionState
+	}
 	srv.mu.Lock()
-	var stale []*sessionState
+	var stale []expired
 	for id, st := range srv.sessions {
 		if st.lastUsed.Before(cutoff) {
-			stale = append(stale, st)
+			stale = append(stale, expired{id, st})
 			delete(srv.sessions, id)
 		}
 	}
 	srv.mu.Unlock()
-	for _, st := range stale {
-		st.s.Close()
+	for _, e := range stale {
+		e.st.mu.Lock()
+		if e.st.s != nil {
+			e.st.s.Close()
+		}
+		e.st.mu.Unlock()
+		if srv.opt.Store != nil {
+			_ = srv.opt.Store.Finish(e.id)
+		}
 	}
 }
 

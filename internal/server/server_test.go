@@ -6,20 +6,32 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
 	"ist"
 )
 
-func newTestServer(t *testing.T) (*Server, []ist.Point, ist.Point) {
+func testBand(t *testing.T) ([]ist.Point, int, ist.Point) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(1))
 	ds := ist.CarLike(rng, 300)
 	k := 10
 	band := ist.Preprocess(ds.Points, k)
 	hidden := ist.RandomUtility(rng, 4)
-	return New(band, k, 1, time.Minute), band, hidden
+	return band, k, hidden
+}
+
+func newTestServer(t *testing.T) (*Server, []ist.Point, ist.Point) {
+	t.Helper()
+	band, k, hidden := testBand(t)
+	srv, err := New(band, k, Options{Seed: 1, TTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, band, hidden
 }
 
 func do(t *testing.T, srv *Server, method, path string, body interface{}) (*httptest.ResponseRecorder, StateResponse) {
@@ -40,6 +52,40 @@ func do(t *testing.T, srv *Server, method, path string, body interface{}) (*http
 		_ = json.Unmarshal(rec.Body.Bytes(), &st)
 	}
 	return rec, st
+}
+
+// doRaw sends a raw body without JSON-encoding it (for malformed payloads).
+func doRaw(t *testing.T, srv *Server, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec
+}
+
+// drive answers a session's questions according to hidden until done,
+// returning the final state. Pass a nil *testing.T from extra goroutines.
+func drive(t *testing.T, srv *Server, st StateResponse, hidden ist.Point) (StateResponse, bool) {
+	if t != nil {
+		t.Helper()
+	}
+	for steps := 0; !st.Done; steps++ {
+		if steps > 5000 || st.Question == nil {
+			return st, false
+		}
+		p := ist.Point(st.Question.Option1)
+		q := ist.Point(st.Question.Option2)
+		prefer := 2
+		if hidden.Dot(p) >= hidden.Dot(q) {
+			prefer = 1
+		}
+		rec, next := do(t, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": prefer})
+		if rec.Code != http.StatusOK {
+			return st, false
+		}
+		st = next
+	}
+	return st, true
 }
 
 func TestFullSessionOverHTTP(t *testing.T) {
@@ -90,6 +136,23 @@ func TestCreateUnknownAlgorithm(t *testing.T) {
 	}
 }
 
+func TestCreateMalformedJSON(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	// A malformed body must be rejected, not silently fall back to defaults.
+	rec := doRaw(t, srv, http.MethodPost, "/sessions", `{"algorithm":`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: code %d, want 400", rec.Code)
+	}
+	if srv.Sessions() != 0 {
+		t.Fatalf("malformed create leaked a session: %d live", srv.Sessions())
+	}
+	// An empty body still means defaults.
+	rec = doRaw(t, srv, http.MethodPost, "/sessions", "")
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("empty body: code %d, want 201", rec.Code)
+	}
+}
+
 func TestAnswerValidation(t *testing.T) {
 	srv, _, _ := newTestServer(t)
 	_, st := do(t, srv, http.MethodPost, "/sessions", nil)
@@ -125,7 +188,7 @@ func TestGetAndDelete(t *testing.T) {
 
 func TestSessionExpiry(t *testing.T) {
 	srv, _, _ := newTestServer(t)
-	srv.ttl = time.Second
+	srv.opt.TTL = time.Second
 	fake := time.Now()
 	srv.now = func() time.Time { return fake }
 	_, _ = do(t, srv, http.MethodPost, "/sessions", nil)
@@ -133,10 +196,73 @@ func TestSessionExpiry(t *testing.T) {
 		t.Fatal("session not created")
 	}
 	fake = fake.Add(2 * time.Second)
-	// Any request triggers expiry.
-	do(t, srv, http.MethodGet, "/sessions/whatever", nil)
+	srv.expire() // what the background reaper runs on its ticker
 	if srv.Sessions() != 0 {
 		t.Fatalf("expired session still alive: %d", srv.Sessions())
+	}
+}
+
+func TestBackgroundReaper(t *testing.T) {
+	band, k, _ := testBand(t)
+	srv, err := New(band, k, Options{Seed: 1, TTL: 50 * time.Millisecond, ReapInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_, _ = do(t, srv, http.MethodPost, "/sessions", nil)
+	if srv.Sessions() != 1 {
+		t.Fatal("session not created")
+	}
+	// No further requests: only the background reaper can collect it.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Sessions() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("reaper never collected the idle session: %d live", srv.Sessions())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestMaxSessions(t *testing.T) {
+	band, k, _ := testBand(t)
+	srv, err := New(band, k, Options{Seed: 1, TTL: time.Minute, MaxSessions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_, st1 := do(t, srv, http.MethodPost, "/sessions", nil)
+	_, _ = do(t, srv, http.MethodPost, "/sessions", nil)
+	rec, _ := do(t, srv, http.MethodPost, "/sessions", nil)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("create beyond cap: code %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	// Freeing a slot makes creation work again.
+	do(t, srv, http.MethodDelete, "/sessions/"+st1.ID, nil)
+	rec, _ = do(t, srv, http.MethodPost, "/sessions", nil)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create after delete: code %d, want 201", rec.Code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	_, _ = do(t, srv, http.MethodPost, "/sessions", nil)
+	rec := doRaw(t, srv, http.MethodGet, "/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz: code %d", rec.Code)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Sessions != 1 || h.GoVersion == "" || h.Version == "" {
+		t.Fatalf("healthz payload: %+v", h)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Fatalf("negative uptime: %v", h.UptimeSeconds)
 	}
 }
 
@@ -146,6 +272,7 @@ func TestNotFoundRoutes(t *testing.T) {
 		{http.MethodGet, "/"},
 		{http.MethodPut, "/sessions"},
 		{http.MethodPost, "/sessions/x/y/z"},
+		{http.MethodPost, "/healthz"},
 	} {
 		rec, _ := do(t, srv, tc.method, tc.path, nil)
 		if rec.Code != http.StatusNotFound {
@@ -165,16 +292,8 @@ func TestConcurrentSessions(t *testing.T) {
 			// Pass a nil *testing.T: its methods are not safe for use from
 			// extra goroutines.
 			_, st := do(nil, srv, http.MethodPost, "/sessions", map[string]string{"algorithm": "rh"})
-			for steps := 0; !st.Done && steps < 5000; steps++ {
-				p := ist.Point(st.Question.Option1)
-				q := ist.Point(st.Question.Option2)
-				prefer := 2
-				if hidden.Dot(p) >= hidden.Dot(q) {
-					prefer = 1
-				}
-				_, st = do(nil, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": prefer})
-			}
-			done <- st.Done && ist.IsTopK(band, hidden, 10, ist.Point(st.Result))
+			st, ok := drive(nil, srv, st, hidden)
+			done <- ok && ist.IsTopK(band, hidden, 10, ist.Point(st.Result))
 		}(u)
 	}
 	for u := 0; u < users; u++ {

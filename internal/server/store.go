@@ -1,0 +1,242 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// SessionRecord is everything needed to deterministically rebuild an
+// in-flight session: the identity of its algorithm (name + seed), the
+// fingerprint of the dataset it was recorded against (replaying on other
+// data would silently diverge), and the ordered answer log. Questions are
+// not stored — the seeded algorithm re-derives them during replay.
+type SessionRecord struct {
+	ID          string `json:"id"`
+	Algorithm   string `json:"algorithm"`
+	Seed        int64  `json:"seed"`
+	Fingerprint uint64 `json:"fingerprint"`
+	Answers     []bool `json:"answers,omitempty"`
+}
+
+// SessionStore persists session state incrementally so a restarted server
+// can rehydrate in-flight sessions by transcript replay. Implementations
+// must be safe for concurrent use.
+type SessionStore interface {
+	// Create persists a new session's identity (with an empty answer log).
+	Create(rec SessionRecord) error
+	// Answer appends one answer to the session's log.
+	Answer(id string, preferFirst bool) error
+	// Finish forgets a session — completed, deleted, expired, or failed —
+	// so it will not be rehydrated on restart.
+	Finish(id string) error
+	// Load returns the record of every unfinished session plus the highest
+	// numeric session id ever created (so a restarted server never reuses
+	// an id a client may still be polling).
+	Load() ([]SessionRecord, int64, error)
+	// Close releases any backing resources. Close does NOT finish live
+	// sessions: a graceful shutdown keeps them replayable.
+	Close() error
+}
+
+// sessionIDNum extracts the numeric part of an "s<n>" session id (0 if the
+// id has some other shape).
+func sessionIDNum(id string) int64 {
+	var n int64
+	if _, err := fmt.Sscanf(id, "s%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// MemStore is an in-memory SessionStore: no crash durability, but it gives
+// tests and single-process deployments the same code path as the JSONL
+// store.
+type MemStore struct {
+	mu     sync.Mutex
+	recs   map[string]*SessionRecord
+	lastID int64
+}
+
+// NewMemStore builds an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{recs: map[string]*SessionRecord{}} }
+
+// Create implements SessionStore.
+func (m *MemStore) Create(rec SessionRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cp := rec
+	cp.Answers = append([]bool(nil), rec.Answers...)
+	m.recs[rec.ID] = &cp
+	if n := sessionIDNum(rec.ID); n > m.lastID {
+		m.lastID = n
+	}
+	return nil
+}
+
+// Answer implements SessionStore.
+func (m *MemStore) Answer(id string, preferFirst bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.recs[id]
+	if !ok {
+		return fmt.Errorf("server: store: answer for unknown session %q", id)
+	}
+	rec.Answers = append(rec.Answers, preferFirst)
+	return nil
+}
+
+// Finish implements SessionStore.
+func (m *MemStore) Finish(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.recs, id)
+	return nil
+}
+
+// Load implements SessionStore.
+func (m *MemStore) Load() ([]SessionRecord, int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]SessionRecord, 0, len(m.recs))
+	for _, rec := range m.recs {
+		cp := *rec
+		cp.Answers = append([]bool(nil), rec.Answers...)
+		out = append(out, cp)
+	}
+	return out, m.lastID, nil
+}
+
+// Close implements SessionStore.
+func (m *MemStore) Close() error { return nil }
+
+// storeEvent is one line of the JSONL store: an append-only event log that
+// is folded back into per-session records on Load. Appending one small line
+// per answer (instead of rewriting a snapshot) keeps the write path O(1)
+// and makes a torn write affect at most the final line.
+type storeEvent struct {
+	Op     string         `json:"op"` // "create" | "answer" | "finish"
+	ID     string         `json:"id"`
+	Rec    *SessionRecord `json:"rec,omitempty"`
+	Answer *bool          `json:"answer,omitempty"`
+}
+
+// JSONLStore is an append-only newline-delimited-JSON SessionStore. Events
+// are written unbuffered so a crash loses at most the event being written;
+// Load tolerates a torn final line (the signature of a mid-write crash) by
+// ignoring it.
+type JSONLStore struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenJSONLStore opens (creating if needed) an append-only JSONL store.
+func OpenJSONLStore(path string) (*JSONLStore, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: store: %w", err)
+	}
+	return &JSONLStore{f: f, path: path}, nil
+}
+
+func (s *JSONLStore) append(ev storeEvent) error {
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("server: store: %w", err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Write(line); err != nil {
+		return fmt.Errorf("server: store: %w", err)
+	}
+	return nil
+}
+
+// Create implements SessionStore.
+func (s *JSONLStore) Create(rec SessionRecord) error {
+	cp := rec
+	return s.append(storeEvent{Op: "create", ID: rec.ID, Rec: &cp})
+}
+
+// Answer implements SessionStore.
+func (s *JSONLStore) Answer(id string, preferFirst bool) error {
+	return s.append(storeEvent{Op: "answer", ID: id, Answer: &preferFirst})
+}
+
+// Finish implements SessionStore.
+func (s *JSONLStore) Finish(id string) error {
+	return s.append(storeEvent{Op: "finish", ID: id})
+}
+
+// Load implements SessionStore. It reads the whole event log and folds it
+// into the latest state of every unfinished session.
+func (s *JSONLStore) Load() ([]SessionRecord, int64, error) {
+	f, err := os.Open(s.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("server: store: %w", err)
+	}
+	defer f.Close()
+
+	recs := map[string]*SessionRecord{}
+	var order []string
+	var lastID int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev storeEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// A torn final line from a crash mid-write; anything after it
+			// was never acknowledged, so stop folding here.
+			break
+		}
+		switch ev.Op {
+		case "create":
+			if ev.Rec == nil {
+				continue
+			}
+			cp := *ev.Rec
+			cp.Answers = append([]bool(nil), ev.Rec.Answers...)
+			if _, seen := recs[ev.ID]; !seen {
+				order = append(order, ev.ID)
+			}
+			recs[ev.ID] = &cp
+			if n := sessionIDNum(ev.ID); n > lastID {
+				lastID = n
+			}
+		case "answer":
+			if rec, ok := recs[ev.ID]; ok && ev.Answer != nil {
+				rec.Answers = append(rec.Answers, *ev.Answer)
+			}
+		case "finish":
+			delete(recs, ev.ID)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("server: store: %w", err)
+	}
+	out := make([]SessionRecord, 0, len(recs))
+	for _, id := range order {
+		if rec, ok := recs[id]; ok {
+			out = append(out, *rec)
+		}
+	}
+	return out, lastID, nil
+}
+
+// Close implements SessionStore.
+func (s *JSONLStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

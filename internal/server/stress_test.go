@@ -1,0 +1,137 @@
+package server
+
+import (
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"ist"
+)
+
+// TestConcurrentStressWithReaper hammers the server from many goroutines —
+// creating, answering, deleting, and abandoning sessions — while the
+// background reaper runs on a tight interval and a session cap forces 429s.
+// Run under -race this is the concurrency contract of the whole layer: no
+// data race, no deadlock, and every session that completes is correct.
+func TestConcurrentStressWithReaper(t *testing.T) {
+	band, k, _ := testBand(t)
+	store := NewMemStore() // exercise the store's own locking too
+	srv, err := New(band, k, Options{
+		Seed:         3,
+		TTL:          150 * time.Millisecond,
+		ReapInterval: 10 * time.Millisecond,
+		MaxSessions:  32,
+		Store:        store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const workers = 12
+	const perWorker = 6
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*perWorker)
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + wkr)))
+			for s := 0; s < perWorker; s++ {
+				hidden := ist.RandomUtility(rng, 4)
+				rec, st := do(nil, srv, http.MethodPost, "/sessions", map[string]string{"algorithm": "rh"})
+				if rec.Code == http.StatusTooManyRequests {
+					continue // cap reached; a valid outcome under load
+				}
+				if rec.Code != http.StatusCreated {
+					errs <- "create: " + rec.Body.String()
+					continue
+				}
+				switch s % 3 {
+				case 0: // drive to completion and verify the answer
+					for steps := 0; !st.Done && steps < 5000; steps++ {
+						p := ist.Point(st.Question.Option1)
+						q := ist.Point(st.Question.Option2)
+						prefer := 2
+						if hidden.Dot(p) >= hidden.Dot(q) {
+							prefer = 1
+						}
+						rec, st = do(nil, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": prefer})
+						if rec.Code == http.StatusNotFound {
+							break // reaped mid-drive under an aggressive TTL; acceptable
+						}
+						if rec.Code != http.StatusOK {
+							errs <- "answer: " + rec.Body.String()
+							break
+						}
+					}
+					if st.Done && !ist.IsTopK(band, hidden, k, ist.Point(st.Result)) {
+						errs <- "completed session returned non-top-k point"
+					}
+				case 1: // answer a few, then delete mid-flight
+					for steps := 0; !st.Done && steps < 3; steps++ {
+						p := ist.Point(st.Question.Option1)
+						q := ist.Point(st.Question.Option2)
+						prefer := 2
+						if hidden.Dot(p) >= hidden.Dot(q) {
+							prefer = 1
+						}
+						rec, st = do(nil, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": prefer})
+						if rec.Code != http.StatusOK {
+							break
+						}
+					}
+					do(nil, srv, http.MethodDelete, "/sessions/"+st.ID, nil)
+				case 2: // abandon: the reaper must collect it
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	// Every abandoned session must eventually be reaped.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Sessions() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("reaper left %d sessions alive", srv.Sessions())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestCloseRacesInFlightRequests shuts the server down while requests are
+// still arriving; nothing may deadlock or race, and late creates are turned
+// away cleanly.
+func TestCloseRacesInFlightRequests(t *testing.T) {
+	band, k, _ := testBand(t)
+	srv, err := New(band, k, Options{Seed: 5, TTL: time.Minute, ReapInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				_, st := do(nil, srv, http.MethodPost, "/sessions", nil)
+				if st.ID != "" {
+					do(nil, srv, http.MethodGet, "/sessions/"+st.ID, nil)
+				}
+			}
+		}(w)
+	}
+	time.Sleep(5 * time.Millisecond)
+	srv.Close()
+	wg.Wait()
+	// After Close every remaining create is refused, not deadlocked.
+	rec, _ := do(t, srv, http.MethodPost, "/sessions", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("create after close: code %d, want 503", rec.Code)
+	}
+}

@@ -3,6 +3,7 @@ package ist
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Session drives an interactive algorithm one question at a time, inverting
@@ -23,21 +24,37 @@ import (
 //	fmt.Println(s.Result())
 //
 // Sessions must be finished (Next returning done, or Close) to release the
-// underlying goroutine. A Session is not safe for concurrent use.
+// underlying goroutine.
+//
+// Fault tolerance: a panic inside the algorithm goroutine does not crash the
+// process and does not strand the caller. The panic is recovered, the session
+// enters a terminal error state, Next reports done, and Answer/Result return
+// the error, available from Err. Every answered question is also appended to
+// an answer log (AnswerLog) — together with the algorithm's name and seed
+// this is enough to rebuild the session deterministically via ResumeSession.
+//
+// Concurrency: one goroutine drives Next/Answer/Result at a time, but Close
+// may be called concurrently from any goroutine (e.g. an expiry reaper); a
+// Close racing an in-flight Answer makes Answer return ErrSessionClosed
+// rather than deadlock.
 type Session struct {
 	questions chan sessionQuestion
 	answers   chan bool
 	result    chan int
+	closeSig  chan struct{}
+	errSig    chan struct{}
 
-	pending  bool
-	curP     Point
-	curQ     Point
-	done     bool
-	resIdx   int
-	points   []Point
-	asked    int
-	closed   bool
-	closeSig chan struct{}
+	mu      sync.Mutex
+	pending bool
+	curP    Point
+	curQ    Point
+	done    bool
+	resIdx  int
+	points  []Point
+	asked   int
+	log     []bool
+	closed  bool
+	err     error
 }
 
 type sessionQuestion struct {
@@ -47,6 +64,10 @@ type sessionQuestion struct {
 // ErrNoPendingQuestion is returned by Answer when Next has not produced an
 // unanswered question.
 var ErrNoPendingQuestion = errors.New("ist: no pending question to answer")
+
+// ErrSessionClosed is returned by Answer when the session has been closed,
+// including a Close racing the Answer from another goroutine.
+var ErrSessionClosed = errors.New("ist: session closed")
 
 // sessionOracle adapts the channel plumbing to the Oracle interface.
 type sessionOracle struct {
@@ -67,7 +88,7 @@ func (o sessionOracle) Prefer(p, q Point) bool {
 	}
 }
 
-func (o sessionOracle) Questions() int { return o.s.asked }
+func (o sessionOracle) Questions() int { return o.s.Questions() }
 
 // sessionClosed aborts the algorithm goroutine when the caller closes the
 // session early; recovered at the goroutine top.
@@ -84,6 +105,7 @@ func NewSession(alg Algorithm, points []Point, k int) *Session {
 		result:    make(chan int, 1),
 		points:    points,
 		closeSig:  make(chan struct{}),
+		errSig:    make(chan struct{}),
 	}
 	go func() {
 		defer func() {
@@ -91,7 +113,12 @@ func NewSession(alg Algorithm, points []Point, k int) *Session {
 				if _, ok := r.(sessionClosed); ok {
 					return // caller closed the session; swallow
 				}
-				panic(r)
+				// Isolate the fault: record it and wake any caller parked
+				// in Next/Answer instead of taking the process down.
+				s.mu.Lock()
+				s.err = fmt.Errorf("ist: session algorithm panicked: %v", r)
+				s.mu.Unlock()
+				close(s.errSig)
 			}
 		}()
 		idx := alg.Run(points, k, sessionOracle{s: s})
@@ -104,48 +131,105 @@ func NewSession(alg Algorithm, points []Point, k int) *Session {
 }
 
 // Next returns the next question (two points for the user to compare) or
-// done=true once the algorithm has finished. Calling Next again without
-// answering returns the same pending question.
+// done=true once the algorithm has finished — or failed or was closed; check
+// Err (and Result's error) to tell the cases apart. Calling Next again
+// without answering returns the same pending question.
 func (s *Session) Next() (p, q Point, done bool) {
-	if s.done {
+	s.mu.Lock()
+	if s.done || s.closed || s.err != nil {
+		s.mu.Unlock()
 		return nil, nil, true
 	}
 	if s.pending {
-		return s.curP, s.curQ, false
+		p, q = s.curP, s.curQ
+		s.mu.Unlock()
+		return p, q, false
 	}
+	s.mu.Unlock()
 	select {
 	case question := <-s.questions:
-		s.pending = true
-		s.curP, s.curQ = question.p, question.q
-		return s.curP, s.curQ, false
+		s.mu.Lock()
+		s.pending, s.curP, s.curQ = true, question.p, question.q
+		s.mu.Unlock()
+		return question.p, question.q, false
 	case idx := <-s.result:
-		s.done = true
-		s.resIdx = idx
+		s.mu.Lock()
+		s.done, s.resIdx = true, idx
+		s.mu.Unlock()
+		return nil, nil, true
+	case <-s.errSig:
+		return nil, nil, true
+	case <-s.closeSig:
 		return nil, nil, true
 	}
 }
 
 // Answer resolves the pending question: preferFirst is true when the user
-// prefers the first point of the pair returned by Next.
+// prefers the first point of the pair returned by Next. On a failed session
+// it returns the algorithm's error; on a closed one, ErrSessionClosed.
 func (s *Session) Answer(preferFirst bool) error {
+	s.mu.Lock()
 	if s.closed {
-		return errors.New("ist: session closed")
+		s.mu.Unlock()
+		return ErrSessionClosed
+	}
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		return err
 	}
 	if !s.pending {
+		s.mu.Unlock()
 		return ErrNoPendingQuestion
 	}
+	s.mu.Unlock()
+	select {
+	case s.answers <- preferFirst:
+	case <-s.closeSig:
+		return ErrSessionClosed
+	case <-s.errSig:
+		return s.Err()
+	}
+	s.mu.Lock()
 	s.pending = false
 	s.asked++
-	s.answers <- preferFirst
+	s.log = append(s.log, preferFirst)
+	s.mu.Unlock()
 	return nil
 }
 
 // Questions returns how many questions have been answered so far.
-func (s *Session) Questions() int { return s.asked }
+func (s *Session) Questions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.asked
+}
+
+// Err reports the terminal error of a failed session (an algorithm panic),
+// or nil while the session is healthy.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// AnswerLog returns a copy of every answer given so far, in order. Replaying
+// it through an identically constructed algorithm (same name, same seed,
+// same points) reproduces the session exactly; see ResumeSession.
+func (s *Session) AnswerLog() []bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]bool(nil), s.log...)
+}
 
 // Result returns the found point after Next has reported done. It errors if
-// the session is still in progress.
+// the session is still in progress or has failed.
 func (s *Session) Result() (Point, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return nil, 0, s.err
+	}
 	if !s.done {
 		return nil, 0, fmt.Errorf("ist: session still in progress after %d questions", s.asked)
 	}
@@ -153,13 +237,18 @@ func (s *Session) Result() (Point, int, error) {
 }
 
 // Close aborts an in-progress session and releases its goroutine. It is a
-// no-op on a finished or already-closed session.
+// no-op on a finished or already-closed session and is safe to call
+// concurrently with Next/Answer.
 func (s *Session) Close() {
+	s.mu.Lock()
 	if s.closed {
+		s.mu.Unlock()
 		return
 	}
 	s.closed = true
-	if !s.done {
+	stop := !s.done && s.err == nil
+	s.mu.Unlock()
+	if stop {
 		close(s.closeSig)
 	}
 }

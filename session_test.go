@@ -1,10 +1,14 @@
 package ist
 
 import (
+	"errors"
 	"math/rand"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
+
+	"ist/internal/faultinject"
 )
 
 func TestSessionDrivesToCompletion(t *testing.T) {
@@ -136,6 +140,196 @@ func TestSessionCloseReleasesGoroutine(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+func TestSessionPanicBeforeFirstQuestion(t *testing.T) {
+	// The algorithm dies in setup, before any question exists. The old
+	// behaviour re-panicked on the session goroutine and took the process
+	// down; now the session enters a terminal error state and every call
+	// returns instead of blocking.
+	rng := rand.New(rand.NewSource(8))
+	ds := AntiCorrelated(rng, 200, 3)
+	band := Preprocess(ds.Points, 3)
+	alg := &faultinject.Algorithm{Inner: NewRH(1), Plan: faultinject.Plan{PanicAt: 1}}
+	s := NewSession(alg, band, 3)
+	defer s.Close()
+	if _, _, done := s.Next(); !done {
+		t.Fatal("Next on a failed session must report done")
+	}
+	if s.Err() == nil {
+		t.Fatal("Err must report the panic")
+	}
+	if err := s.Answer(true); err == nil {
+		t.Fatal("Answer on a failed session must error, not block")
+	}
+	if _, _, err := s.Result(); err == nil {
+		t.Fatal("Result on a failed session must return the error")
+	}
+}
+
+func TestSessionPanicMidInteraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ds := AntiCorrelated(rng, 400, 3)
+	k := 5
+	band := Preprocess(ds.Points, k)
+	hidden := RandomUtility(rng, 3)
+	alg := &faultinject.Algorithm{Inner: NewRH(3), Plan: faultinject.Plan{PanicAt: 2}}
+	s := NewSession(alg, band, k)
+	defer s.Close()
+	for i := 0; i < 100; i++ {
+		p, q, done := s.Next()
+		if done {
+			if s.Err() == nil {
+				t.Fatal("session finished without surfacing the scheduled panic")
+			}
+			if s.Questions() != 1 {
+				t.Fatalf("answered %d questions before the question-2 panic, want 1", s.Questions())
+			}
+			return
+		}
+		if err := s.Answer(hidden.Dot(p) >= hidden.Dot(q)); err != nil {
+			// The panic can also surface here, racing the next question.
+			if s.Err() == nil {
+				t.Fatalf("Answer failed without a session error: %v", err)
+			}
+			return
+		}
+	}
+	t.Fatal("scheduled panic never surfaced")
+}
+
+func TestSessionCloseRacesAnswer(t *testing.T) {
+	// A Close (e.g. from an expiry reaper) racing an in-flight Answer must
+	// never deadlock: Answer returns nil or ErrSessionClosed promptly.
+	rng := rand.New(rand.NewSource(10))
+	ds := AntiCorrelated(rng, 300, 3)
+	k := 4
+	band := Preprocess(ds.Points, k)
+	for i := 0; i < 30; i++ {
+		s := NewSession(NewRH(int64(i)), band, k)
+		_, _, done := s.Next()
+		if done {
+			s.Close()
+			continue
+		}
+		raced := make(chan error, 1)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			raced <- s.Answer(true)
+		}()
+		go func() {
+			defer wg.Done()
+			s.Close()
+		}()
+		finished := make(chan struct{})
+		go func() { wg.Wait(); close(finished) }()
+		select {
+		case <-finished:
+		case <-time.After(10 * time.Second):
+			t.Fatal("Close racing Answer deadlocked")
+		}
+		if err := <-raced; err != nil && !errors.Is(err, ErrSessionClosed) {
+			t.Fatalf("racing Answer returned unexpected error: %v", err)
+		}
+	}
+}
+
+func TestResumeSessionReplaysToSameResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ds := CarLike(rng, 400)
+	k := 10
+	band := Preprocess(ds.Points, k)
+	hidden := RandomUtility(rng, 4)
+
+	// Run a session partway, "crash", and resume from the answer log.
+	s := NewSession(NewRH(21), band, k)
+	answered := 0
+	for answered < 4 {
+		p, q, done := s.Next()
+		if done {
+			t.Skip("session too short to interrupt")
+		}
+		if err := s.Answer(hidden.Dot(p) >= hidden.Dot(q)); err != nil {
+			t.Fatal(err)
+		}
+		answered++
+	}
+	log := s.AnswerLog()
+	if len(log) != answered {
+		t.Fatalf("AnswerLog has %d entries, want %d", len(log), answered)
+	}
+	s.Close() // the "crash": the original session is gone
+
+	resumed, err := ResumeSession(NewRH(21), band, k, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if resumed.Questions() != answered {
+		t.Fatalf("resumed session at %d questions, want %d", resumed.Questions(), answered)
+	}
+	for {
+		p, q, done := resumed.Next()
+		if done {
+			break
+		}
+		if err := resumed.Answer(hidden.Dot(p) >= hidden.Dot(q)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, idx, err := resumed.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := Solve(NewRH(21), band, k, NewUser(hidden))
+	if idx != direct.Index || resumed.Questions() != direct.Questions {
+		t.Fatalf("resumed (%d, %dq) != crash-free (%d, %dq)",
+			idx, resumed.Questions(), direct.Index, direct.Questions)
+	}
+}
+
+func TestResumeSessionDetectsDivergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	ds := AntiCorrelated(rng, 300, 3)
+	k := 4
+	band := Preprocess(ds.Points, k)
+	hidden := RandomUtility(rng, 3)
+	// A full transcript plus surplus answers cannot replay cleanly: the
+	// algorithm finishes with answers left over.
+	direct := Solve(NewRH(5), band, k, NewUser(hidden))
+	log := make([]bool, direct.Questions+3)
+	u := NewUser(hidden)
+	s := NewSession(NewRH(5), band, k)
+	for i := 0; ; i++ {
+		p, q, done := s.Next()
+		if done {
+			break
+		}
+		ans := u.Prefer(p, q)
+		log[i] = ans
+		s.Answer(ans)
+	}
+	s.Close()
+	if _, err := ResumeSession(NewRH(5), band, k, log); err == nil {
+		t.Fatal("replay with surplus answers must report divergence")
+	}
+}
+
+func TestFingerprintDistinguishesDatasets(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := Preprocess(CarLike(rng, 300).Points, 10)
+	b := Preprocess(NBALike(rng, 300).Points, 10)
+	if Fingerprint(a, 10) == Fingerprint(b, 10) {
+		t.Fatal("different datasets share a fingerprint")
+	}
+	if Fingerprint(a, 10) == Fingerprint(a, 11) {
+		t.Fatal("different k shares a fingerprint")
+	}
+	if Fingerprint(a, 10) != Fingerprint(a, 10) {
+		t.Fatal("fingerprint not deterministic")
+	}
 }
 
 func TestSessionWithHDPI(t *testing.T) {

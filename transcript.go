@@ -1,7 +1,11 @@
 package ist
 
 import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
 
 	"ist/internal/oracle"
 )
@@ -29,3 +33,55 @@ func NewReplayOracle(t *Transcript) *ReplayOracle { return oracle.NewReplayOracl
 
 // LoadTranscript reads a JSON transcript.
 func LoadTranscript(r io.Reader) (*Transcript, error) { return oracle.LoadTranscript(r) }
+
+// ResumeSession rebuilds an in-flight interactive session by replaying a
+// recorded answer log (Session.AnswerLog, or Transcript.Answers) through a
+// freshly constructed algorithm. The algorithm must be the same kind with
+// the same seed over the same points as the one that produced the log —
+// deterministic algorithms then re-ask exactly the recorded questions, so
+// only the answers need to be stored. It returns an error if the replay
+// diverges (the algorithm finishes or fails before the log is exhausted);
+// the partially replayed session is closed in that case.
+//
+// This is the crash-recovery primitive behind the HTTP server's session
+// store: persist (algorithm, seed, answers), and after a restart resume
+// every in-flight session without re-asking the user anything.
+func ResumeSession(alg Algorithm, points []Point, k int, answers []bool) (*Session, error) {
+	s := NewSession(alg, points, k)
+	for i, ans := range answers {
+		if _, _, done := s.Next(); done {
+			err := s.Err()
+			s.Close()
+			if err == nil {
+				err = fmt.Errorf("ist: replay diverged: algorithm finished after %d of %d recorded answers", i, len(answers))
+			}
+			return nil, err
+		}
+		if err := s.Answer(ans); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("ist: replay failed at answer %d of %d: %w", i+1, len(answers), err)
+		}
+	}
+	return s, nil
+}
+
+// Fingerprint hashes a point set and k into a stable identifier. A replayed
+// answer log is only meaningful against the exact data it was recorded on;
+// persisting the fingerprint next to the log lets a restarted service refuse
+// to resume sessions against a different (re-generated, re-ordered, or
+// re-parameterized) dataset instead of silently diverging.
+func Fingerprint(points []Point, k int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(k))
+	h.Write(buf[:])
+	for _, p := range points {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(p)))
+		h.Write(buf[:])
+		for _, v := range p {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
