@@ -1,0 +1,69 @@
+// Command istlint runs the repository's custom static-analysis suite
+// (internal/analysis): the floatcmp, lpstatus, detrand, epsconst and
+// errdrop analyzers that enforce the numeric, LP and determinism invariants
+// the compiler cannot see. See DESIGN.md §7 "Static invariants".
+//
+// Usage:
+//
+//	go run ./cmd/istlint ./...          # lint the whole module
+//	go run ./cmd/istlint ./internal/lp  # lint one package
+//	go run ./cmd/istlint -list          # describe the analyzers
+//
+// istlint exits 1 when any diagnostic is reported. A finding can be
+// suppressed with a justified directive on the offending line or the line
+// above:
+//
+//	//lint:ignore floatcmp exact tie-break keeps the comparator a strict weak order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ist/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "run a single analyzer by name")
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		a := analysis.ByName(*only)
+		if a == nil {
+			fmt.Fprintf(os.Stderr, "istlint: unknown analyzer %q (try -list)\n", *only)
+			os.Exit(2)
+		}
+		analyzers = []*analysis.Analyzer{a}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "istlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Check(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "istlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "istlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,122 @@
+// Package analysistest runs istlint analyzers over testdata packages and
+// checks their diagnostics against // want annotations, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A testdata source line carrying an expected diagnostic is annotated with a
+// trailing comment of quoted regular expressions:
+//
+//	res := lp.Solve(p).X // want `read directly off the Solve call`
+//
+// Every diagnostic must match a want on its line and every want must be
+// matched by a diagnostic; //lint:ignore suppression is applied first, so
+// testdata can also assert that justified suppressions are honored.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ist/internal/analysis"
+)
+
+// Run loads testdata/src/<pkg> (relative to the calling test's directory),
+// applies the analyzer, and reports any mismatch between diagnostics and
+// want annotations as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	loaded, err := analysis.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := analysis.Check([]*analysis.Package{loaded}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	wants, err := parseWants(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	matched := map[*want]bool{}
+diag:
+	for _, d := range diags {
+		for _, w := range wants {
+			if !matched[w] && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				matched[w] = true
+				continue diag
+			}
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for _, w := range wants {
+		if !matched[w] {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+func parseWants(pkg *analysis.Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := parsePatterns(strings.TrimSpace(text[idx+len("want "):]))
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// parsePatterns reads a space-separated sequence of Go string literals
+// (double- or back-quoted).
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("expected quoted pattern, got %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern in %q", s)
+		}
+		lit := s[:end+2]
+		p, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %q: %v", lit, err)
+		}
+		out = append(out, p)
+		s = s[end+2:]
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want")
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// Check runs every analyzer over every package and returns the surviving
+// diagnostics, ordered by file, line and column. Diagnostics matched by a
+// justified //lint:ignore directive are dropped.
+func Check(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := checkPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all, nil
+}
+
+func checkPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			PkgPath:  pkg.PkgPath,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	ig := collectIgnores(pkg)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ig.suppresses(d) {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}
+
+// ignoreSet records //lint:ignore directives: per file, the set of lines a
+// given analyzer is suppressed on.
+type ignoreSet map[string]map[int]map[string]bool // file -> line -> analyzer
+
+// collectIgnores gathers justified ignore directives. A directive written as
+//
+//	//lint:ignore name1,name2 reason
+//
+// suppresses the named analyzers (or every analyzer, for the name "all") on
+// its own line and on the following line, so it works both as a trailing
+// comment and as a directive line above the offending statement. Directives
+// without a reason are ignored — the justification is the point.
+func collectIgnores(pkg *Package) ignoreSet {
+	ig := ignoreSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					continue // no justifying reason: not honored
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := ig[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					ig[pos.Filename] = lines
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						if lines[line] == nil {
+							lines[line] = map[string]bool{}
+						}
+						lines[line][name] = true
+					}
+				}
+			}
+		}
+	}
+	return ig
+}
+
+func (ig ignoreSet) suppresses(d Diagnostic) bool {
+	names := ig[d.Pos.Filename][d.Pos.Line]
+	return names != nil && (names[d.Analyzer] || names["all"])
+}
+
+// isTestFile reports whether the file's basename ends in _test.go. The
+// loader skips test files, but analyzers guard on it anyway so they stay
+// correct if the loading policy ever changes.
+func isTestFile(pass *Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}

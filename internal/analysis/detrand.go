@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetRandAnalyzer enforces the determinism contract behind transcript-replay
+// recovery (PR 1): library code must take randomness from an injected,
+// seeded *rand.Rand. Global math/rand functions draw from process-wide
+// state shared across sessions, and wall-clock seeds make replay produce a
+// different question sequence than the recorded one — both silently corrupt
+// ResumeSession.
+//
+// Flagged in non-test, non-main packages:
+//
+//   - calls to package-level math/rand (and math/rand/v2) functions such as
+//     rand.Float64, rand.Intn, rand.Shuffle, rand.Seed;
+//   - rand source construction seeded from the wall clock
+//     (rand.NewSource(time.Now().UnixNano()) and variants).
+//
+// Constructors (rand.New, rand.NewSource, ...) with deterministic seeds are
+// fine — they are how the injected generators get built.
+var DetRandAnalyzer = &Analyzer{
+	Name: "detrand",
+	Doc:  "flags global math/rand state and wall-clock seeding in library packages",
+	Run:  runDetRand,
+}
+
+// randConstructors are the math/rand package-level functions that build
+// independent generators rather than touching global state.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+func runDetRand(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil // CLIs may legitimately default to wall-clock seeds
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, isPkg := packageOf(pass, sel)
+			if !isPkg || (pkgPath != "math/rand" && pkgPath != "math/rand/v2") {
+				return true
+			}
+			name := sel.Sel.Name
+			if !randConstructors[name] {
+				if _, isFunc := pass.Info.ObjectOf(sel.Sel).(*types.Func); isFunc {
+					pass.Reportf(call.Pos(), "global math/rand.%s uses process-wide state; inject a seeded *rand.Rand so transcript replay stays deterministic", name)
+				}
+				return true
+			}
+			for _, arg := range call.Args {
+				if at, found := findWallClock(pass, arg); found {
+					pass.Reportf(at.Pos(), "rand.%s seeded from the wall clock; derive seeds from configuration so transcript replay stays deterministic", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findWallClock locates a call into the time package (time.Now and friends)
+// inside e, skipping subtrees that are themselves rand constructor calls
+// (those are flagged at their own site).
+func findWallClock(pass *Pass, e ast.Expr) (ast.Node, bool) {
+	var at ast.Node
+	ast.Inspect(e, func(n ast.Node) bool {
+		if at != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkgPath, isPkg := packageOf(pass, sel); isPkg {
+			switch pkgPath {
+			case "time":
+				at = call
+				return false
+			case "math/rand", "math/rand/v2":
+				if randConstructors[sel.Sel.Name] {
+					return false // inner constructor reports for itself
+				}
+			}
+		}
+		return true
+	})
+	return at, at != nil
+}
+
+// packageOf resolves sel's base to an imported package, returning its path.
+func packageOf(pass *Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.Info.ObjectOf(id).(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}

@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ist/internal/analysis"
+	"ist/internal/analysis/analysistest"
+)
+
+func TestDetRand(t *testing.T) {
+	analysistest.Run(t, analysis.DetRandAnalyzer, "detrand")
+}
+
+// TestDetRandSkipsMain asserts that package main (CLI binaries) is exempt:
+// the testdata package seeds from the wall clock and must produce no
+// diagnostics.
+func TestDetRandSkipsMain(t *testing.T) {
+	analysistest.Run(t, analysis.DetRandAnalyzer, "detrandmain")
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strings"
+)
+
+// EpsConstAnalyzer keeps every tolerance constant in internal/geom. A
+// hardcoded 1e-9 in one package and 1e-8 in another make "equal within
+// tolerance" mean different things on the two sides of a package boundary —
+// the exact failure mode the shared geom.Eps exists to prevent (DESIGN §6).
+//
+// Any float literal whose value lies in the tolerance range
+// [1e-15, 1e-5] outside internal/geom is flagged; refer to geom.Eps,
+// geom.TieEps or geom.FeasEps instead, or add a named constant in geom.
+// Magnitudes below 1e-15 (underflow guards like 1e-300) and above 1e-5
+// (ordinary small numbers) are not tolerances and are left alone.
+var EpsConstAnalyzer = &Analyzer{
+	Name: "epsconst",
+	Doc:  "flags hardcoded tolerance literals (1e-9-style) outside internal/geom",
+	Run:  runEpsConst,
+}
+
+const (
+	epsRangeLo = 1e-15
+	epsRangeHi = 1e-5
+)
+
+func runEpsConst(pass *Pass) error {
+	// internal/geom owns the tolerances; internal/analysis describes their
+	// range (epsRangeLo/Hi above) without being one.
+	if strings.HasSuffix(pass.PkgPath, "internal/geom") || strings.HasSuffix(pass.PkgPath, "internal/analysis") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.FLOAT {
+				return true
+			}
+			tv, ok := pass.Info.Types[lit]
+			if !ok || tv.Value == nil {
+				return true
+			}
+			v, _ := constant.Float64Val(tv.Value)
+			if v < 0 {
+				v = -v
+			}
+			if v >= epsRangeLo && v <= epsRangeHi {
+				pass.Reportf(lit.Pos(), "hardcoded tolerance literal %s outside internal/geom; use geom.Eps / geom.TieEps / geom.FeasEps (or add a named geom constant)", lit.Value)
+			}
+			return true
+		})
+	}
+	return nil
+}

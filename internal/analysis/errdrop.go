@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDropAnalyzer flags bare call statements that silently discard an error
+// returned by this module's own APIs — Session and SessionStore operations,
+// dataset IO, transcript save/load. A dropped store error is exactly how a
+// "crash-safe" session log quietly stops being crash-safe.
+//
+// Only calls whose callee is declared inside module "ist" are considered;
+// dropping stdlib errors (fmt.Fprintf, deferred file closes on read paths)
+// is left to staticcheck. An explicit `_ = f()` assignment is treated as a
+// deliberate, reviewable discard and is not flagged.
+var ErrDropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flags silently discarded error returns from the module's own APIs",
+	Run:  runErrDrop,
+}
+
+// errDropModule scopes the check to callees declared in this module.
+const errDropModule = "ist"
+
+func runErrDrop(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = st.Call
+			case *ast.GoStmt:
+				call = st.Call
+			}
+			if call == nil {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != errDropModule && !strings.HasPrefix(path, errDropModule+"/") {
+				return true
+			}
+			if !returnsError(fn) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error returned by %s.%s is silently discarded; handle it or assign to _ with a justifying comment", path, fn.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves the called function or method, or nil for indirect
+// calls, conversions and builtins.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// returnsError reports whether any result of fn is the error type.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), types.Universe.Lookup("error").Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatCmpAnalyzer flags raw floating-point comparisons that bypass the
+// shared geom tolerance (DESIGN §6). Exact float64 comparison silently
+// breaks the consistency of "on / above / below a hyperplane" across
+// packages, and with it the paper's question-count guarantees.
+//
+// Rules:
+//
+//   - ==/!= between two float expressions is flagged unless one side is a
+//     constant zero (a structural sentinel check, e.g. testing a value that
+//     was explicitly zeroed) or the comparison already involves a tolerance
+//     term (an identifier matching eps/tol).
+//   - </>/<=/>= is flagged only when a side is a direct utility evaluation —
+//     a Dot product, a Hyperplane.Value or a Line.At call — with no
+//     tolerance term anywhere in the comparison. Ranking two raw utilities
+//     without an epsilon is exactly the tie-handling bug class of Section 4;
+//     plain float ordering (max-tracking loops, constant thresholds) is
+//     allowed.
+//
+// The analyzer does not run on internal/geom itself: that package is where
+// the tolerance predicates live.
+var FloatCmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags raw float64 comparisons that bypass the shared geom.Eps tolerance",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) error {
+	if strings.HasSuffix(pass.PkgPath, "internal/geom") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+			default:
+				return true
+			}
+			if !isFloat(pass.TypeOf(be.X)) || !isFloat(pass.TypeOf(be.Y)) {
+				return true
+			}
+			if hasToleranceTerm(be) {
+				return true
+			}
+			switch be.Op {
+			case token.EQL, token.NEQ:
+				if isConstantZero(pass, be.X) || isConstantZero(pass, be.Y) {
+					return true // structural sentinel check against exact zero
+				}
+				pass.Reportf(be.OpPos, "raw float64 %s comparison; use a geom.Eps-based predicate (geom.Eq) or justify with //lint:ignore floatcmp", be.Op)
+			default:
+				if isConstant(pass, be.X) || isConstant(pass, be.Y) {
+					return true
+				}
+				if isUtilityEval(pass, be.X) || isUtilityEval(pass, be.Y) {
+					pass.Reportf(be.OpPos, "ordering raw utility values with %s and no tolerance; use geom.Less/geom.LessEq or add an explicit eps term", be.Op)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConstant(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isConstantZero(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil && constant.Sign(tv.Value) == 0
+}
+
+// hasToleranceTerm reports whether any identifier in the comparison looks
+// like a tolerance (eps, Eps, epsilon, tieEps, tol, tolerance, ...). Such
+// comparisons are already tolerance-aware.
+func hasToleranceTerm(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			name := strings.ToLower(id.Name)
+			if strings.Contains(name, "eps") || strings.Contains(name, "tol") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isUtilityEval reports whether the expression contains a direct utility
+// evaluation: a call to a method named Dot, a Hyperplane.Value, or a
+// Line.At.
+func isUtilityEval(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Dot":
+			found = true
+		case "Value", "At":
+			// Only the geometric evaluators, not arbitrary Value/At methods.
+			if recv := receiverNamed(pass, sel); recv == "Hyperplane" || recv == "Line" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// receiverNamed returns the name of the named type of the selector's
+// receiver (dereferencing one pointer level), or "".
+func receiverNamed(pass *Pass, sel *ast.SelectorExpr) string {
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package, ready for analysis.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// loader loads module-local packages from source, resolving stdlib imports
+// through the compiler export-data importer (which works offline via the go
+// build cache) and module-local imports recursively through itself.
+type loader struct {
+	root    string // module root directory (contains go.mod)
+	modPath string // module path from go.mod
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	pkgs    map[string]*Package // by import path
+	loading map[string]bool     // cycle guard
+}
+
+// Load type-checks the packages under root matching the patterns and returns
+// them sorted by import path. root must be (or be inside) a Go module; all
+// non-stdlib imports must resolve within that module. Patterns are a subset
+// of the go tool's: "./..." or "./dir/..." for subtrees, "./dir" for one
+// package, "." for the root package.
+func Load(root string, patterns ...string) ([]*Package, error) {
+	root, modPath, err := findModule(root)
+	if err != nil {
+		return nil, err
+	}
+	ld := newLoader(root, modPath)
+	dirs, err := ld.match(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		pkg, err := ld.load(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// LoadDir type-checks the single package rooted at dir (which may live
+// outside any module, e.g. an analysistest testdata directory). Imports of
+// the enclosing module (found by walking up from dir, then from the current
+// working directory) resolve against that module's source.
+func LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(abs)
+	if err != nil {
+		// Not inside a module (testdata trees have no go.mod); fall back to
+		// the module enclosing the working directory for "ist/..." imports.
+		wd, werr := os.Getwd()
+		if werr != nil {
+			return nil, err
+		}
+		root, modPath, err = findModule(wd)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ld := newLoader(root, modPath)
+	return ld.load(abs)
+}
+
+func newLoader(root, modPath string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		root:    root,
+		modPath: modPath,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "gc", nil).(types.ImporterFrom),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := dir; ; d = filepath.Dir(d) {
+		data, rerr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: no module line in %s/go.mod", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+	}
+}
+
+// match expands patterns into package directories (absolute paths).
+func (ld *loader) match(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "" || pat == "." {
+				pat = "."
+			}
+		}
+		base := filepath.Join(ld.root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		if !recursive {
+			if hasGoFiles(base) {
+				add(base)
+			} else {
+				return nil, fmt.Errorf("analysis: no Go files in %s", base)
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor maps a package directory to its import path within the
+// module.
+func (ld *loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(ld.root, dir)
+	if err != nil {
+		return "", err
+	}
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		return ld.modPath, nil
+	}
+	if strings.HasPrefix(rel, "../") {
+		// Outside the module (testdata trees): synthesize a distinct path.
+		return "testdata/" + filepath.Base(dir), nil
+	}
+	return ld.modPath + "/" + rel, nil
+}
+
+// load parses and type-checks the package in dir (cached by import path).
+func (ld *loader) load(dir string) (*Package, error) {
+	path, err := ld.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: (*moduleImporter)(ld),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{PkgPath: path, Dir: dir, Fset: ld.fset, Files: files, Types: tpkg, Info: info}
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// moduleImporter resolves module-local imports through the loader and
+// everything else through the offline export-data importer.
+type moduleImporter loader
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	ld := (*loader)(m)
+	if path == ld.modPath || strings.HasPrefix(path, ld.modPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, ld.modPath), "/")
+		pkg, err := ld.load(filepath.Join(ld.root, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: no Go files in package %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.ImportFrom(path, srcDir, mode)
+}

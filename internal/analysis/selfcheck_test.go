@@ -1,0 +1,35 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ist/internal/analysis"
+)
+
+// TestRepoIsClean runs the full analyzer suite over the whole module —
+// exactly what `go run ./cmd/istlint ./...` does — and fails on any finding.
+// This keeps the repo lint-clean even where CI runs only `go test`.
+func TestRepoIsClean(t *testing.T) {
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := analysis.Check(pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range analysis.All() {
+		if got := analysis.ByName(a.Name); got != a {
+			t.Errorf("ByName(%q) = %v, want %v", a.Name, got, a)
+		}
+	}
+	if analysis.ByName("nosuch") != nil {
+		t.Errorf("ByName(nosuch) should be nil")
+	}
+}

@@ -1,0 +1,29 @@
+// Package detranddata exercises the detrand analyzer.
+package detranddata
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalState() float64 {
+	rand.Shuffle(2, func(i, j int) {}) // want `global math/rand.Shuffle`
+	return rand.Float64()              // want `global math/rand.Float64`
+}
+
+func wallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand.NewSource seeded from the wall clock`
+}
+
+func deterministic(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // injected seed: allowed
+}
+
+func injected(rng *rand.Rand) float64 {
+	return rng.Float64() // method on injected generator: allowed
+}
+
+func suppressedJitter() int {
+	//lint:ignore detrand cache-key jitter never reaches algorithm decisions
+	return rand.Intn(16)
+}

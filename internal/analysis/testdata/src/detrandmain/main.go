@@ -1,0 +1,14 @@
+// Package main shows the detrand analyzer skips command binaries: a CLI may
+// legitimately default its -seed flag to the wall clock.
+package main
+
+import (
+	"math/rand"
+	"time"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	_ = rng.Float64()
+	_ = rand.Int()
+}

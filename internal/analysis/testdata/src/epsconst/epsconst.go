@@ -1,0 +1,21 @@
+// Package epsconstdata exercises the epsconst analyzer.
+package epsconstdata
+
+const tol = 1e-9 // want `hardcoded tolerance literal 1e-9`
+
+var thresholds = []float64{
+	1e-12,    // want `hardcoded tolerance literal 1e-12`
+	0.000001, // want `hardcoded tolerance literal 0.000001`
+	1e-15,    // want `hardcoded tolerance literal 1e-15`
+	1e-300,   // underflow guard, far below tolerance range: allowed
+	0.5,      // ordinary number: allowed
+	1e-4,     // above the tolerance range: allowed
+	123.25,   // ordinary number: allowed
+}
+
+func compare(a, b float64) bool {
+	return a-b < 1e-9 // want `hardcoded tolerance literal 1e-9`
+}
+
+//lint:ignore epsconst demonstrates that justified suppressions are honored
+const suppressed = 1e-9

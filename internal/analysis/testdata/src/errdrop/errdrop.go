@@ -1,0 +1,34 @@
+// Package errdropdata exercises the errdrop analyzer.
+package errdropdata
+
+import (
+	"fmt"
+	"os"
+
+	"ist/internal/server"
+)
+
+func drops(st server.SessionStore, rec server.SessionRecord) {
+	st.Create(rec)   // want `error returned by ist/internal/server.Create is silently discarded`
+	defer st.Close() // want `error returned by ist/internal/server.Close is silently discarded`
+	localErr()       // want `localErr is silently discarded`
+}
+
+func handled(st server.SessionStore, rec server.SessionRecord) error {
+	if err := st.Create(rec); err != nil {
+		return err
+	}
+	_ = st.Finish(rec.ID) // explicit, reviewable discard: allowed
+	fmt.Println("stdlib drops are staticcheck's business")
+	os.Remove("x") // stdlib callee: allowed here
+	noError()      // no error in results: allowed
+	return localErr()
+}
+
+func suppressedDrop(st server.SessionStore) {
+	//lint:ignore errdrop best-effort cleanup on an already-failed path
+	st.Finish("s1")
+}
+
+func localErr() error { return nil }
+func noError()        {}

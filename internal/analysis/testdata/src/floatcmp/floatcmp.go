@@ -1,0 +1,38 @@
+// Package floatcmpdata exercises the floatcmp analyzer.
+package floatcmpdata
+
+import "ist/internal/geom"
+
+const localEps = 1e-9
+
+func equality(a, b float64) {
+	_ = a == b // want `raw float64 == comparison`
+	_ = a != b // want `raw float64 != comparison`
+	_ = a == 0 // structural zero sentinel: allowed
+	_ = 0 != b // structural zero sentinel: allowed
+	_ = geom.Eq(a, b)
+}
+
+func ordering(a, b float64, v, w geom.Vector, h geom.Hyperplane) {
+	_ = a < b   // plain float ordering (max-tracking): allowed
+	_ = a > 0.5 // constant threshold: allowed
+
+	_ = v.Dot(w) > w.Dot(v)     // want `ordering raw utility values with >`
+	_ = v.Dot(w) >= b           // want `ordering raw utility values with >=`
+	_ = h.Value(v) < b          // want `ordering raw utility values with <`
+	_ = v.Dot(w) >= b-geom.Eps  // tolerance term present: allowed
+	_ = h.Value(v) > b+localEps // tolerance term present: allowed
+}
+
+func suppressed(a, b float64) bool {
+	//lint:ignore floatcmp exact tie-break keeps the comparator a strict weak order
+	return a != b
+}
+
+func unjustifiedSuppression(a, b float64) bool {
+	//lint:ignore floatcmp
+	return a == b // want `raw float64 == comparison`
+}
+
+// intsAreFine shows the analyzer only cares about floats.
+func intsAreFine(a, b int) bool { return a == b }

@@ -59,6 +59,10 @@ func (a *PreferenceLearning) Run(points []geom.Vector, k int, o oracle.Oracle) i
 	}
 	eps := a.Eps
 	if eps == 0 {
+		// The paper's experiment setting for [27]: estimation radius 1e-6.
+		// An algorithm parameter fixed by the source paper, not a shared
+		// geometric tolerance, so it does not come from geom.
+		//lint:ignore epsconst paper-specified estimation radius, not a geom tolerance
 		eps = 1e-6
 	}
 	window := a.ValidateWindow

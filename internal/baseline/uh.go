@@ -267,10 +267,10 @@ func argmaxAliveCenter(points []geom.Vector, alive []int, R *polytope.Polytope) 
 	if !R.IsEmpty() {
 		u = R.Center()
 	}
-	best := alive[0]
+	best, bestVal := alive[0], u.Dot(points[alive[0]])
 	for _, i := range alive[1:] {
-		if u.Dot(points[i]) > u.Dot(points[best]) {
-			best = i
+		if v := u.Dot(points[i]); v > bestVal {
+			best, bestVal = i, v
 		}
 	}
 	return best

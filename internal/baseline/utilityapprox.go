@@ -71,7 +71,7 @@ func (a *UtilityApprox) Run(points []geom.Vector, k int, o oracle.Oracle) int {
 				dim, width = i, w
 			}
 		}
-		if width < 1e-12 {
+		if width < geom.TieEps {
 			break // utility pinned to numerical precision
 		}
 		mid := (lo[dim] + hi[dim]) / 2
@@ -79,10 +79,10 @@ func (a *UtilityApprox) Run(points []geom.Vector, k int, o oracle.Oracle) int {
 		// x/(x+y) = mid; choose x = mid, y = 1-mid (both in (0,1]).
 		x, y := mid, 1-mid
 		if x <= 0 {
-			x = 1e-9
+			x = geom.Eps
 		}
 		if y <= 0 {
-			y = 1e-9
+			y = geom.Eps
 		}
 		// a_dim < mid  <=>  u_1·x > u_dim·y  <=>  user prefers the first.
 		if o.Prefer(fake(0, x), fake(dim, y)) {

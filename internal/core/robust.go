@@ -197,7 +197,7 @@ func (a *RobustHDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
 				bestRow, bestScore = ri, score
 			}
 		}
-		if bestRow < 0 || bestScore <= 1e-12 {
+		if bestRow < 0 || bestScore <= geom.TieEps {
 			break // nothing splits the remaining mass
 		}
 		row := gamma[bestRow]

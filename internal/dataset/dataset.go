@@ -35,11 +35,19 @@ func (d *Dataset) Dim() int {
 // Size returns the number of points.
 func (d *Dataset) Size() int { return len(d.Points) }
 
-// clamp01 forces x into (0, 1]; values at or below zero become a tiny
-// positive value so every dimension stays in the paper's (0,1] domain.
+// attrFloor is the tiny positive attribute value standing in for 0 so that
+// every dimension stays inside the paper's open-below (0,1] domain. It is a
+// domain floor shared by the generators and the normalizer (io.go), not a
+// comparison tolerance, which is why it lives here and not in geom.
+//
+//lint:ignore epsconst (0,1] domain floor, not a comparison tolerance
+const attrFloor = 1e-6
+
+// clamp01 forces x into (0, 1]; values at or below zero become attrFloor so
+// every dimension stays in the paper's (0,1] domain.
 func clamp01(x float64) float64 {
 	if x <= 0 {
-		return 1e-6
+		return attrFloor
 	}
 	if x > 1 {
 		return 1

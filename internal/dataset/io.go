@@ -134,7 +134,7 @@ func (d *Dataset) Normalize(orientations []Orientation) (*Dataset, error) {
 				// (0,1]: the worst raw value maps to a tiny positive number
 				// rather than 0, matching the paper's open lower bound.
 				if v <= 0 {
-					v = 1e-6
+					v = attrFloor
 				}
 			}
 			q[i] = v

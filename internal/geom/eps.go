@@ -1,0 +1,45 @@
+package geom
+
+import "math"
+
+// The tolerance family. Eps (vector.go) is the canonical predicate
+// tolerance; the two below cover the cases where 1e-9 is the wrong scale.
+// Every package takes its tolerances from here — the epsconst analyzer
+// (internal/analysis) rejects hardcoded tolerance literals anywhere else,
+// so "equal within tolerance" cannot drift apart across package boundaries.
+const (
+	// TieEps separates genuinely distinct values from accumulated
+	// floating-point noise in tie detection (sweep-line crossings, boredom
+	// ranks, zero-score guards). It is three orders of magnitude below Eps:
+	// a difference under TieEps is indistinguishable from rounding error of
+	// a handful of (0,1]-scale operations.
+	TieEps = 1e-12
+
+	// FeasEps is the feasibility tolerance for LP residuals. Simplex phase-1
+	// sums many pivoted rows, so its residual noise is well above Eps;
+	// treating |residual| <= FeasEps as zero matches the solver's attainable
+	// accuracy on the problem sizes used here.
+	FeasEps = 1e-7
+)
+
+// Eq reports a == b within Eps. The scalar counterpart of Vector.Equal.
+func Eq(a, b float64) bool { return math.Abs(a-b) <= Eps }
+
+// Less reports a < b by more than Eps (strictly less, beyond tolerance).
+func Less(a, b float64) bool { return a < b-Eps }
+
+// LessEq reports a <= b within Eps (less, or equal within tolerance).
+func LessEq(a, b float64) bool { return a <= b+Eps }
+
+// Sign classifies x against zero with Eps: -1, 0 or +1. The scalar
+// counterpart of Hyperplane.SideOf.
+func Sign(x float64) int {
+	switch {
+	case x > Eps:
+		return 1
+	case x < -Eps:
+		return -1
+	default:
+		return 0
+	}
+}

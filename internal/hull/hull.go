@@ -69,11 +69,11 @@ func ConvexPointsExact(points []geom.Vector) []int {
 		}
 		for {
 			u, delta, ok := maxMinMargin(points, p, confirmedList)
-			if !ok || delta < -1e-9 {
+			if !ok || delta < -geom.Eps {
 				break // beaten everywhere by confirmed points: not convex
 			}
 			w := argmax(points, u, p)
-			if u.Dot(points[p]) >= u.Dot(points[w])-1e-9 {
+			if u.Dot(points[p]) >= u.Dot(points[w])-geom.Eps {
 				confirm(p) // p is (tied-)top-1 at the witness
 				break
 			}

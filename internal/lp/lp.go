@@ -11,6 +11,8 @@ package lp
 import (
 	"fmt"
 	"math"
+
+	"ist/internal/geom"
 )
 
 // Relation is the comparison operator of a constraint.
@@ -77,7 +79,10 @@ type Result struct {
 }
 
 const (
-	eps = 1e-9
+	eps = geom.Eps
+	// feasEps is the looser tolerance for phase-1 residuals and pivot
+	// eligibility, where accumulated pivoting noise exceeds eps.
+	feasEps = geom.FeasEps
 	// maxIter bounds simplex iterations; beyond blandAfter iterations the
 	// pivot rule switches to Bland's rule, which cannot cycle.
 	maxIter    = 20000
@@ -214,7 +219,7 @@ func Solve(p Problem) Result {
 		}
 		// With this tableau convention the objective row's RHS equals the
 		// negated objective value, so phase-1 optimum = -t[m][total].
-		if t[m][total] > 1e-7 {
+		if t[m][total] > feasEps {
 			return Result{Status: Infeasible}
 		}
 		// Drive remaining artificials out of the basis where possible.
@@ -224,7 +229,7 @@ func Solve(p Problem) Result {
 			}
 			pivoted := false
 			for j := 0; j < nStd+nSlack; j++ {
-				if math.Abs(t[i][j]) > 1e-7 {
+				if math.Abs(t[i][j]) > feasEps {
 					pivot(t, basis, i, j, total, m)
 					pivoted = true
 					break

@@ -41,6 +41,10 @@ func RandomUser(rng *rand.Rand, d int) *User {
 // Prefer implements Oracle.
 func (o *User) Prefer(p, q geom.Vector) bool {
 	o.questions++
+	// The simulated user IS the ground truth: its exact utility comparison
+	// defines the true preference the algorithms are measured against, so no
+	// tolerance belongs here (ties go to the first point, deterministically).
+	//lint:ignore floatcmp the oracle's exact comparison defines ground truth
 	return o.u.Dot(p) >= o.u.Dot(q)
 }
 
@@ -85,7 +89,7 @@ func RandomUtility(rng *rand.Rand, d int) geom.Vector {
 	u := geom.NewVector(d)
 	s := 0.0
 	for i := range u {
-		u[i] = rng.ExpFloat64() + 1e-12
+		u[i] = rng.ExpFloat64() + geom.TieEps
 		s += u[i]
 	}
 	return u.Scale(1 / s)
@@ -100,6 +104,9 @@ func TopK(points []geom.Vector, u geom.Vector, k int) []int {
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
 		ua, ub := u.Dot(points[idx[a]]), u.Dot(points[idx[b]])
+		// An eps-based comparator is not transitive; sorting needs a strict
+		// weak order, so the ranking tie-break must compare exactly.
+		//lint:ignore floatcmp exact tie-break keeps the comparator a strict weak order
 		if ua != ub {
 			return ua > ub
 		}
@@ -181,7 +188,7 @@ func RankByBoredom(questions []float64) []int {
 	for i := range ranks {
 		r := 1
 		for j := range questions {
-			if questions[j] < questions[i]-1e-12 {
+			if questions[j] < questions[i]-geom.TieEps {
 				r++
 			}
 		}

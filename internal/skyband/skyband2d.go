@@ -32,6 +32,10 @@ func KSkyband2D(points []geom.Vector, k int) []int {
 	sort.Float64s(sorted)
 	uniq := sorted[:0]
 	for i, v := range sorted {
+		// Exact dedup: Fenwick ranks need exact equivalence classes (an
+		// eps-based grouping is not transitive), and rankOf looks values up
+		// with exact binary search.
+		//lint:ignore floatcmp exact grouping; eps-based classes are not transitive
 		if i == 0 || v != sorted[i-1] {
 			uniq = append(uniq, v)
 		}
@@ -46,6 +50,7 @@ func KSkyband2D(points []geom.Vector, k int) []int {
 	}
 	sort.SliceStable(order, func(a, b int) bool {
 		pa, pb := points[order[a]], points[order[b]]
+		//lint:ignore floatcmp exact tie-break keeps the comparator a strict weak order
 		if pa[0] != pb[0] {
 			return pa[0] > pb[0]
 		}
@@ -57,6 +62,9 @@ func KSkyband2D(points []geom.Vector, k int) []int {
 	for gs := 0; gs < n; {
 		ge := gs
 		x := points[order[gs]][0]
+		// Equal-x groups mirror the exact sort order above; eps-grouping
+		// would disagree with the comparator and split groups inconsistently.
+		//lint:ignore floatcmp exact grouping must match the exact sort comparator
 		for ge < n && points[order[ge]][0] == x {
 			ge++
 		}

@@ -20,12 +20,16 @@ func UpperEnvelope(points []geom.Vector) (order []int, breaks []float64) {
 		lines[i] = LineOf(p)
 	}
 	// Start at x = 0 with the highest line; ties broken by larger slope
-	// (the winner just right of 0), then by index.
+	// (the winner just right of 0), then by index. The tie must be detected
+	// within tieEps, not exactly: the overtake scan below drops crossings
+	// closer than tieEps to the sweep position, so starting from a line that
+	// is ahead by a sub-tieEps sliver but rises slower would silently lose
+	// the true envelope line for the rest of [0,1].
 	cur := 0
 	for i := 1; i < n; i++ {
 		li, lc := lines[i], lines[cur]
-		if li.Intercept > lc.Intercept ||
-			(li.Intercept == lc.Intercept && li.Slope > lc.Slope) {
+		if li.Intercept > lc.Intercept+tieEps ||
+			(li.Intercept > lc.Intercept-tieEps && li.Slope > lc.Slope) {
 			cur = i
 		}
 	}

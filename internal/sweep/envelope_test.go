@@ -1,0 +1,41 @@
+package sweep
+
+import (
+	"testing"
+
+	"ist/internal/geom"
+)
+
+// TestUpperEnvelopeNearTieAtStart is the regression test for a tie-handling
+// bug surfaced by the floatcmp analyzer: the starting line at x = 0 was
+// chosen by exact intercept comparison. With two lines separated by a
+// sub-tieEps sliver at x = 0, the slower-rising line could win the exact
+// comparison, and the true envelope line's overtake crossing (at x ≈ 2e-16)
+// was then dropped by the `cx <= x+tieEps` guard of the overtake scan — so
+// the reported envelope was wrong on essentially all of [0, 1].
+func TestUpperEnvelopeNearTieAtStart(t *testing.T) {
+	// Line of riser: slope 0.5, intercept 0.3. Line of sliver: slope ≈ -1e-16,
+	// intercept 0.3 + 1e-16 — ahead at x = 0 by far less than tieEps, behind
+	// everywhere that matters.
+	riser := geom.Vector{0.8, 0.3}
+	sliver := geom.Vector{0.3, 0.3 + 1e-16}
+	if LineOf(sliver).Intercept <= LineOf(riser).Intercept {
+		t.Fatal("test setup: sliver must be exactly ahead at x = 0")
+	}
+
+	for name, tc := range map[string]struct {
+		points []geom.Vector
+		want   int // index of riser
+	}{
+		"riser-first":  {[]geom.Vector{riser, sliver}, 0},
+		"sliver-first": {[]geom.Vector{sliver, riser}, 1},
+	} {
+		order, breaks := UpperEnvelope(tc.points)
+		if len(order) != 1 || order[0] != tc.want {
+			t.Errorf("%s: order = %v, want [%d] (breaks %v)", name, order, tc.want, breaks)
+		}
+		if len(breaks) != 0 {
+			t.Errorf("%s: breaks = %v, want none", name, breaks)
+		}
+	}
+}

@@ -73,7 +73,7 @@ func CrossingX(a, b Line) (float64, bool) {
 	return (b.Intercept - a.Intercept) / ds, true
 }
 
-const tieEps = 1e-12
+const tieEps = geom.TieEps
 
 // PartitionUtilitySpace runs Algorithm 1 on 2-d points and returns the
 // partitions left to right. It panics on empty input or non-2-d points. For
@@ -106,9 +106,16 @@ func PartitionUtilitySpace(points []geom.Vector, k int) []Partition {
 	}
 	lessAtStart := func(a, b int) bool {
 		la, lb := lines[a], lines[b]
+		// Exact comparisons: an eps-based comparator is not transitive and
+		// would break the strict weak order sorting requires. Lines whose
+		// intercepts differ by less than tieEps sort "wrong" by at most that
+		// sliver, and the event loop swaps them immediately (pushEvent
+		// admits crossings down to t-tieEps).
+		//lint:ignore floatcmp exact tie-break keeps the comparator a strict weak order
 		if la.Intercept != lb.Intercept {
 			return la.Intercept > lb.Intercept
 		}
+		//lint:ignore floatcmp exact tie-break keeps the comparator a strict weak order
 		if la.Slope != lb.Slope {
 			return la.Slope > lb.Slope
 		}

@@ -8,6 +8,8 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	"ist/internal/geom"
 )
 
 // Series is one plotted line.
@@ -76,7 +78,7 @@ func (c *Chart) Render(w io.Writer) {
 		fmt.Fprintf(w, "%s: (no plottable data)\n", c.Title)
 		return
 	}
-	if maxV-minV < 1e-12 {
+	if maxV-minV < geom.TieEps {
 		maxV = minV + 1
 	}
 	minX, maxX := c.X[0], c.X[0]
@@ -88,7 +90,7 @@ func (c *Chart) Render(w io.Writer) {
 			maxX = x
 		}
 	}
-	if maxX-minX < 1e-12 {
+	if maxX-minX < geom.TieEps {
 		maxX = minX + 1
 	}
 
