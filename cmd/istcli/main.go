@@ -40,6 +40,8 @@ func main() {
 		want     = flag.Int("want", 1, "how many of the top-k to return (>1 uses the SomeTopK variants, rh/hdpi only)")
 		seed     = flag.Int64("seed", 0, "random seed (0 = time-based)")
 		simulate = flag.Bool("simulate", false, "answer automatically with a random hidden utility")
+		maxQ     = flag.Int("max-questions", 0, "answer best-effort after this many questions (0 = unlimited)")
+		timeout  = flag.Duration("timeout", 0, "answer best-effort after this much time (0 = none)")
 	)
 	flag.Parse()
 	if *seed == 0 {
@@ -130,9 +132,29 @@ func main() {
 		return
 	}
 
-	res := ist.Solve(alg, band, *k, o)
+	var res ist.Result
+	if *maxQ > 0 || *timeout > 0 {
+		b := ist.Budget{MaxQuestions: *maxQ}
+		if *timeout > 0 {
+			b.Deadline = time.Now().Add(*timeout)
+		}
+		res = ist.SolveBudgeted(alg, band, *k, o, b)
+	} else {
+		res = ist.Solve(alg, band, *k, o)
+	}
 	fmt.Printf("\n%s finished after %d questions (%.3fs processing).\n", alg.Name(), res.Questions, res.Duration.Seconds())
 	fmt.Printf("Recommended tuple: %v\n", res.Point)
+	if c := res.Certificate; c != nil {
+		if c.Certified {
+			fmt.Printf("Certificate: guaranteed top-%d (stop: %s).\n", *k, c.Reason)
+		} else {
+			fmt.Printf("Certificate: BEST-EFFORT, not guaranteed top-%d (stop: %s, %d candidates remained).\n",
+				*k, c.Reason, c.Candidates)
+		}
+		for _, dg := range c.Degradations {
+			fmt.Printf("  degraded: %s\n", dg)
+		}
+	}
 	if *simulate {
 		fmt.Printf("Verification: in top-%d w.r.t. the hidden utility? %v (accuracy %.4f)\n",
 			*k, ist.IsTopK(band, hidden, *k, res.Point), ist.Accuracy(band, hidden, *k, res.Point))

@@ -50,6 +50,8 @@ func main() {
 		reap        = flag.Duration("reap-interval", time.Minute, "how often the reaper scans for idle sessions")
 		maxSessions = flag.Int("max-sessions", 1024, "maximum live sessions; creation beyond it returns 429 (0 = unlimited)")
 		storePath   = flag.String("store", "", "append-only JSONL session store for crash recovery (empty = memory only)")
+		maxQ        = flag.Int("max-questions", 0, "question budget per session; past it the session answers best-effort with an uncertified certificate (0 = unlimited)")
+		deadline    = flag.Duration("session-deadline", 0, "wall-clock budget per session from creation; past it the session answers best-effort (0 = none)")
 	)
 	flag.Parse()
 
@@ -71,11 +73,13 @@ func main() {
 		store = js
 	}
 	srv, err := server.New(band, *k, server.Options{
-		Seed:         *seed,
-		TTL:          *ttl,
-		ReapInterval: *reap,
-		MaxSessions:  *maxSessions,
-		Store:        store,
+		Seed:            *seed,
+		TTL:             *ttl,
+		ReapInterval:    *reap,
+		MaxSessions:     *maxSessions,
+		Store:           store,
+		MaxQuestions:    *maxQ,
+		SessionDeadline: *deadline,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "istserve:", err)

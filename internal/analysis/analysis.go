@@ -8,7 +8,7 @@
 // reimplemented here on top of go/ast + go/types only, because the build
 // environment is fully offline and the module must stay stdlib-only.
 //
-// The five analyzers and the invariant each one guards:
+// The six analyzers and the invariant each one guards:
 //
 //   - floatcmp: float comparisons go through the shared geom tolerance
 //     helpers, never raw ==/!= (and never raw ordering of utility
@@ -26,6 +26,10 @@
 //   - errdrop: errors returned by this module's own APIs (Session stores,
 //     dataset IO, transcripts) are never silently discarded by a bare call
 //     statement.
+//   - wallclock: library packages read time only through an injected
+//     clock.Clock (internal/clock), never time.Now/Since/Until directly —
+//     otherwise anytime deadlines (PR 3) become untestable and replayed
+//     sessions can degrade differently than the recorded run did.
 //
 // A diagnostic can be suppressed with a justifying directive on the same
 // line or the line immediately above:
@@ -108,6 +112,7 @@ func All() []*Analyzer {
 		DetRandAnalyzer,
 		EpsConstAnalyzer,
 		ErrDropAnalyzer,
+		WallClockAnalyzer,
 	}
 }
 

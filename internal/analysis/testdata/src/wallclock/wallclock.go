@@ -1,0 +1,33 @@
+// Package wallclockdata exercises the wallclock analyzer.
+package wallclockdata
+
+import "time"
+
+type clock interface {
+	Now() time.Time
+}
+
+func direct() time.Time {
+	return time.Now() // want `direct wall-clock read time.Now`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `direct wall-clock read time.Since`
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `direct wall-clock read time.Until`
+}
+
+func injected(clk clock) time.Time {
+	return clk.Now() // injected clock: allowed
+}
+
+func schedule(d time.Duration) *time.Ticker {
+	return time.NewTicker(d) // timers schedule, they do not observe: allowed
+}
+
+func suppressedUptime() time.Time {
+	//lint:ignore wallclock log decoration only, never reaches algorithm decisions
+	return time.Now()
+}

@@ -1,0 +1,13 @@
+// Package main must be exempt from the wallclock analyzer: CLI binaries
+// legitimately read the real clock.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start))
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// WallClockAnalyzer enforces the injectable-time contract behind anytime
+// budgets (PR 3): library code must read time through an injected
+// clock.Clock (internal/clock), never directly from the wall clock. A
+// direct time.Now deep inside an algorithm or the session layer cannot be
+// faked, so deadline behaviour becomes untestable and — worse — a replayed
+// session can take a different deadline-degradation path than the recorded
+// one took.
+//
+// Flagged in non-test, non-main packages: calls to time.Now, time.Since and
+// time.Until. Exempt entirely:
+//
+//   - package main (CLIs may read the real clock);
+//   - _test.go files (tests time out against the real world);
+//   - internal/clock (the one sanctioned time.Now call site);
+//   - internal/experiments (benchmark harnesses measure real wall time).
+//
+// Timers and tickers (time.NewTicker, time.After) are not flagged: they
+// schedule work rather than observe the clock, and faking them buys nothing
+// for replay soundness.
+var WallClockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "flags direct wall-clock reads (time.Now/Since/Until) in library packages",
+	Run:  runWallClock,
+}
+
+// wallClockReads are the time package functions that observe the current
+// time (as opposed to constructing durations or scheduling timers).
+var wallClockReads = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+// wallClockExemptSuffixes lists package paths allowed to read the wall
+// clock directly.
+var wallClockExemptSuffixes = []string{
+	"internal/clock",
+	"internal/experiments",
+}
+
+func runWallClock(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil // CLIs may legitimately read the real clock
+	}
+	for _, suffix := range wallClockExemptSuffixes {
+		if strings.HasSuffix(pass.PkgPath, suffix) {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, isPkg := packageOf(pass, sel)
+			if !isPkg || pkgPath != "time" || !wallClockReads[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "direct wall-clock read time.%s in a library package; take time from an injected clock.Clock so deadlines stay testable and replayable", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ist/internal/analysis"
+	"ist/internal/analysis/analysistest"
+)
+
+func TestWallClock(t *testing.T) {
+	analysistest.Run(t, analysis.WallClockAnalyzer, "wallclock")
+}
+
+// TestWallClockSkipsMain asserts that package main (CLI binaries) is exempt:
+// the testdata package reads the wall clock freely and must produce no
+// diagnostics.
+func TestWallClockSkipsMain(t *testing.T) {
+	analysistest.Run(t, analysis.WallClockAnalyzer, "wallclockmain")
+}

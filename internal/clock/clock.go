@@ -1,0 +1,69 @@
+// Package clock is the injected time source behind budgets, deadlines and
+// uptime accounting. Library code never reads the wall clock directly (the
+// wallclock analyzer in internal/analysis enforces this); it takes a Clock
+// so that tests and transcript replay control time, and so a deadline
+// observed during a live session means the same thing when the session is
+// rebuilt from its answer log. This package is the single sanctioned
+// time.Now call site.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time.
+type Clock interface {
+	Now() time.Time
+}
+
+// Real reads the wall clock.
+var Real Clock = realClock{}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// Func adapts a plain func() time.Time to a Clock, bridging APIs (like the
+// HTTP server's replaceable now field) that predate the interface.
+type Func func() time.Time
+
+// Now implements Clock.
+func (f Func) Now() time.Time { return f() }
+
+// Fake is a controllable clock for tests: it returns a programmed time,
+// optionally auto-advancing by a fixed step per read so a single-threaded
+// algorithm under test experiences passing time without sleeping. Safe for
+// concurrent use.
+type Fake struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+// NewFake returns a Fake frozen at start.
+func NewFake(start time.Time) *Fake { return &Fake{now: start} }
+
+// Now implements Clock. Each read advances the clock by the configured step
+// (zero by default).
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := f.now
+	f.now = f.now.Add(f.step)
+	return t
+}
+
+// Advance moves the clock forward by d.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+}
+
+// SetStep makes every subsequent Now read advance the clock by d.
+func (f *Fake) SetStep(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.step = d
+}

@@ -1,0 +1,46 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealAdvances(t *testing.T) {
+	a := Real.Now()
+	b := Real.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestFuncAdapts(t *testing.T) {
+	want := time.Unix(42, 0)
+	c := Func(func() time.Time { return want })
+	if got := c.Now(); !got.Equal(want) {
+		t.Fatalf("Func clock: got %v, want %v", got, want)
+	}
+}
+
+func TestFakeFrozenAndAdvance(t *testing.T) {
+	start := time.Unix(1000, 0)
+	f := NewFake(start)
+	if !f.Now().Equal(start) || !f.Now().Equal(start) {
+		t.Fatal("fake clock moved without Advance")
+	}
+	f.Advance(3 * time.Second)
+	if got := f.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("after Advance: got %v", got)
+	}
+}
+
+func TestFakeStep(t *testing.T) {
+	start := time.Unix(0, 0)
+	f := NewFake(start)
+	f.SetStep(time.Second)
+	if got := f.Now(); !got.Equal(start) {
+		t.Fatalf("first stepped read: got %v, want %v", got, start)
+	}
+	if got := f.Now(); !got.Equal(start.Add(time.Second)) {
+		t.Fatalf("second stepped read: got %v, want start+1s", got)
+	}
+}

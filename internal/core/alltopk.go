@@ -50,6 +50,31 @@ func (a *RHMulti) Name() string { return "RH-SomeTopK" }
 
 // RunMulti implements MultiAlgorithm.
 func (a *RHMulti) RunMulti(points []geom.Vector, k, want int, o oracle.Oracle) []int {
+	return a.runMulti(points, k, want, o, nil)
+}
+
+// RunMultiBudgeted implements BudgetedMulti. On exhaustion it returns the
+// top-want at R's centre, best-effort.
+func (a *RHMulti) RunMultiBudgeted(points []geom.Vector, k, want int, o oracle.Oracle, b Budget) (idx []int, cert Certificate) {
+	tr := newTracker(b, a.opt.strategy(), a.opt.StopCheckEvery)
+	defer tr.rescueMulti(points, k, want, &idx, &cert)
+	idx = a.runMulti(points, k, want, o, tr)
+	cert = tr.certificate(points, k)
+	return idx, cert
+}
+
+// bestEffortRegionMulti finishes a budget-exhausted multi run on R.
+func bestEffortRegionMulti(points []geom.Vector, want int, R *polytope.Polytope, tr *tracker) []int {
+	verts := R.Vertices()
+	if len(verts) == 0 {
+		tr.finish(false, tr.stopReason(), nil)
+		return oracle.TopK(points, uniformUtility(len(points[0])), want)
+	}
+	tr.finish(false, tr.stopReason(), verts)
+	return oracle.TopK(points, R.Center(), want)
+}
+
+func (a *RHMulti) runMulti(points []geom.Vector, k, want int, o oracle.Oracle, tr *tracker) []int {
 	if want > k {
 		panic(fmt.Sprintf("core: want %d > k %d", want, k))
 	}
@@ -59,31 +84,42 @@ func (a *RHMulti) RunMulti(points []geom.Vector, k, want int, o oracle.Oracle) [
 	R := polytope.NewSimplex(d)
 	perm := rng.Perm(n)
 
+	strat := a.opt.strategy()
+
 	i := 1
 	for {
+		if tr.exhausted() {
+			return bestEffortRegionMulti(points, want, R, tr)
+		}
+		tr.maybeDegrade()
+		if tr != nil && tr.active {
+			strat = tr.strategy
+		}
 		verts := R.Vertices()
 		if len(verts) == 0 {
+			tr.finish(false, StopDegenerate, nil)
 			return oracle.TopK(points, uniformUtility(d), want)
 		}
 		probe := R.Sample(rng)
+		tr.observe(probe, verts)
 		if res, ok := lemma55Multi(points, k, verts, probe, want); ok {
+			tr.finish(true, StopConverged, verts)
 			return res
 		}
 
 		center := R.Center()
+		tr.observe(center, nil)
 		bestJ, bestDist := -1, 0.0
 		for {
 			for j := 0; j < i; j++ {
+				if tr.exhausted() {
+					return bestEffortRegionMulti(points, want, R, tr)
+				}
 				h := geom.NewHyperplane(points[perm[i]], points[perm[j]])
 				if h.Degenerate() {
 					continue
 				}
-				if a.opt.UseBall {
-					if c := R.BallSide(h); c == polytope.ClassAbove || c == polytope.ClassBelow {
-						continue
-					}
-				}
-				if R.Classify(h) != polytope.ClassIntersect {
+				if R.ClassifyWith(h, strat, nil) != polytope.ClassIntersect {
 					continue
 				}
 				if dist := h.Distance(center); bestJ < 0 || dist < bestDist {
@@ -96,6 +132,7 @@ func (a *RHMulti) RunMulti(points []geom.Vector, k, want int, o oracle.Oracle) [
 			i++
 			if i >= n {
 				// Ranking fixed over R: the top-k at the centre is exact.
+				tr.finish(true, StopConverged, R.Vertices())
 				return oracle.TopK(points, center, want)
 			}
 		}
@@ -104,6 +141,7 @@ func (a *RHMulti) RunMulti(points []geom.Vector, k, want int, o oracle.Oracle) [
 		if !o.Prefer(pi, pj) {
 			h = h.Flip()
 		}
+		tr.question()
 		R.Cut(h)
 	}
 }
@@ -124,6 +162,20 @@ func (a *HDPIMulti) Name() string { return fmt.Sprintf("HD-PI-%s-SomeTopK", a.op
 
 // RunMulti implements MultiAlgorithm.
 func (a *HDPIMulti) RunMulti(points []geom.Vector, k, want int, o oracle.Oracle) []int {
+	return a.runMulti(points, k, want, o, nil)
+}
+
+// RunMultiBudgeted implements BudgetedMulti. On exhaustion it returns the
+// top-want at the mean vertex of the surviving partitions, best-effort.
+func (a *HDPIMulti) RunMultiBudgeted(points []geom.Vector, k, want int, o oracle.Oracle, b Budget) (idx []int, cert Certificate) {
+	tr := newTracker(b, a.opt.Strategy, a.opt.StopCheckEvery)
+	defer tr.rescueMulti(points, k, want, &idx, &cert)
+	idx = a.runMulti(points, k, want, o, tr)
+	cert = tr.certificate(points, k)
+	return idx, cert
+}
+
+func (a *HDPIMulti) runMulti(points []geom.Vector, k, want int, o oracle.Oracle, tr *tracker) []int {
 	if want > k {
 		panic(fmt.Sprintf("core: want %d > k %d", want, k))
 	}
@@ -143,7 +195,7 @@ func (a *HDPIMulti) RunMulti(points []geom.Vector, k, want int, o oracle.Oracle)
 		if len(sub) == 0 {
 			return nil
 		}
-		vs := convexPoints(sub, a.opt.Mode, a.opt.Samples, rng)
+		vs := convexPoints(sub, a.opt.Mode, a.opt.Samples, rng, tr)
 		out := make([]int, len(vs))
 		for i, v := range vs {
 			out[i] = back[v]
@@ -154,24 +206,38 @@ func (a *HDPIMulti) RunMulti(points []geom.Vector, k, want int, o oracle.Oracle)
 	vd := map[int]bool{} // confirmed points (paper's V_d)
 	V := convex(nil)
 	hd := &HDPI{opt: a.opt}
-	C := hd.buildPartitions(points, V, d)
+	C := hd.buildPartitions(points, V, d, tr)
 	gamma := newGammaTable(points, V, C, a.opt)
 
-	fallback := func() []int {
+	// bestEffort answers from whatever region survives; certified=false
+	// because the refinement could not finish (degenerate geometry, erring
+	// user, or an exhausted budget).
+	bestEffort := func(reason StopReason) []int {
 		verts := allVertices(C)
 		if len(verts) == 0 {
+			tr.finish(false, reason, nil)
 			return oracle.TopK(points, uniformUtility(d), want)
 		}
+		tr.finish(false, reason, verts)
 		return oracle.TopK(points, geom.Mean(verts), want)
 	}
 
 	for {
+		if tr.exhausted() {
+			return bestEffort(tr.stopReason())
+		}
 		if len(C) == 0 {
-			return fallback()
+			return bestEffort(StopDegenerate)
+		}
+		tr.maybeDegrade()
+		if tr != nil && tr.active {
+			gamma.opt.Strategy = tr.strategy
 		}
 		verts := allVertices(C)
 		probe := C[rng.Intn(len(C))].poly.Sample(rng)
+		tr.observe(probe, verts)
 		if res, ok := lemma55Multi(points, k, verts, probe, want); ok {
+			tr.finish(true, StopConverged, verts)
 			return res
 		}
 
@@ -195,14 +261,17 @@ func (a *HDPIMulti) RunMulti(points []geom.Vector, k, want int, o oracle.Oracle)
 				}
 			}
 			if len(vd) >= k || !progress {
-				return fallback()
+				return bestEffort(StopDegenerate)
 			}
 			Vnext := convex(vd)
 			if len(Vnext) == 0 {
-				return fallback()
+				return bestEffort(StopDegenerate)
 			}
 			var refined []partition
 			for _, part := range C {
+				if tr.exhausted() {
+					break
+				}
 				for _, i := range Vnext {
 					cell := part.poly.Clone()
 					for _, j := range Vnext {
@@ -223,8 +292,11 @@ func (a *HDPIMulti) RunMulti(points []geom.Vector, k, want int, o oracle.Oracle)
 					}
 				}
 			}
+			if tr.exhausted() {
+				return bestEffort(tr.stopReason())
+			}
 			if len(refined) == 0 {
-				return fallback()
+				return bestEffort(StopDegenerate)
 			}
 			C = refined
 			gamma = newGammaTable(points, Vnext, C, a.opt)
@@ -236,8 +308,10 @@ func (a *HDPIMulti) RunMulti(points []geom.Vector, k, want int, o oracle.Oracle)
 		if !o.Prefer(points[row.i], points[row.j]) {
 			h = h.Flip()
 		}
+		tr.question()
 		C = gamma.apply(h, C, bestRow)
 		if len(C) == 0 {
+			tr.finish(false, StopDegenerate, nil)
 			return oracle.TopK(points, uniformUtility(d), want)
 		}
 	}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ist/internal/clock"
+	"ist/internal/geom"
+	"ist/internal/polytope"
+)
+
+func TestBudgetActive(t *testing.T) {
+	cases := []struct {
+		name string
+		b    Budget
+		want bool
+	}{
+		{"zero", Budget{}, false},
+		{"questions", Budget{MaxQuestions: 5}, true},
+		{"deadline", Budget{Deadline: time.Unix(1, 0)}, true},
+		{"context", Budget{Ctx: context.Background()}, true},
+	}
+	for _, c := range cases {
+		if got := c.b.Active(); got != c.want {
+			t.Errorf("%s: Active() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestNilTrackerIsFree asserts the unbudgeted fast path: every tracker
+// method must be a safe no-op on the nil receiver, because the plain Run
+// entry points thread a nil tracker through the shared implementations.
+func TestNilTrackerIsFree(t *testing.T) {
+	var tr *tracker
+	if tr.exhausted() {
+		t.Fatal("nil tracker reports exhaustion")
+	}
+	tr.question()
+	tr.observe(geom.Vector{1, 0}, nil)
+	tr.maybeDegrade()
+	tr.note("ignored")
+	tr.finish(true, StopConverged, nil)
+	if got := tr.certificate(nil, 1); got.Certified || got.Reason != "" || got.Questions != 0 || got.Candidates != 0 {
+		t.Fatalf("nil tracker certificate = %+v, want zero", got)
+	}
+	if tr.stopReason() != StopDegenerate {
+		t.Fatalf("nil tracker stopReason = %q", tr.stopReason())
+	}
+}
+
+func TestTrackerQuestionBudget(t *testing.T) {
+	tr := newTracker(Budget{MaxQuestions: 2}, polytope.StrategyNone, 1)
+	if tr.exhausted() {
+		t.Fatal("exhausted before any question")
+	}
+	tr.question()
+	if tr.exhausted() {
+		t.Fatal("exhausted after 1 of 2 questions")
+	}
+	tr.question()
+	if !tr.exhausted() {
+		t.Fatal("not exhausted after 2 of 2 questions")
+	}
+	if tr.stopReason() != StopQuestions {
+		t.Fatalf("stopReason = %q, want %q", tr.stopReason(), StopQuestions)
+	}
+}
+
+func TestTrackerContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tr := newTracker(Budget{Ctx: ctx}, polytope.StrategyNone, 1)
+	if tr.exhausted() {
+		t.Fatal("exhausted before cancellation")
+	}
+	cancel()
+	if !tr.exhausted() {
+		t.Fatal("not exhausted after cancellation")
+	}
+	if tr.stopReason() != StopCanceled {
+		t.Fatalf("stopReason = %q, want %q", tr.stopReason(), StopCanceled)
+	}
+}
+
+// TestTrackerDeadlineLadder walks the degradation ladder on a fake clock:
+// Ball survives the first half of the horizon, downgrades to RectFast past
+// one half, then to None (with a doubled stop-check cadence) past three
+// quarters, and the deadline finally exhausts the run.
+func TestTrackerDeadlineLadder(t *testing.T) {
+	start := time.Unix(100, 0)
+	fake := clock.NewFake(start)
+	tr := newTracker(Budget{Deadline: start.Add(1 * time.Second), Clock: fake}, polytope.StrategyBall, 2)
+
+	tr.maybeDegrade()
+	if tr.strategy != polytope.StrategyBall {
+		t.Fatalf("degraded at t=0: strategy %v", tr.strategy)
+	}
+
+	fake.Advance(500 * time.Millisecond) // exactly half the horizon
+	tr.maybeDegrade()
+	if tr.strategy != polytope.StrategyRectFast {
+		t.Fatalf("at half horizon: strategy %v, want RectFast", tr.strategy)
+	}
+	if tr.stopEvery != 2 {
+		t.Fatalf("stop cadence changed at stage 1: %d", tr.stopEvery)
+	}
+
+	fake.Advance(250 * time.Millisecond) // three quarters
+	tr.maybeDegrade()
+	if tr.strategy != polytope.StrategyNone {
+		t.Fatalf("at three-quarter horizon: strategy %v, want None", tr.strategy)
+	}
+	if tr.stopEvery != 4 {
+		t.Fatalf("stop cadence not doubled at stage 2: %d", tr.stopEvery)
+	}
+	if tr.exhausted() {
+		t.Fatal("exhausted before the deadline")
+	}
+
+	fake.Advance(250 * time.Millisecond) // the deadline itself
+	if !tr.exhausted() {
+		t.Fatal("not exhausted at the deadline")
+	}
+	if tr.stopReason() != StopDeadline {
+		t.Fatalf("stopReason = %q, want %q", tr.stopReason(), StopDeadline)
+	}
+
+	notes := tr.notes
+	if len(notes) != 3 {
+		t.Fatalf("degradation notes = %v, want 3 entries", notes)
+	}
+	// Notes are deduplicated: walking the ladder again records nothing new.
+	tr.maybeDegrade()
+	if len(tr.notes) != len(notes) {
+		t.Fatalf("duplicate degradation notes recorded: %v", tr.notes)
+	}
+}
+
+// TestCountCandidates pins the candidate counter on a hand-checkable 2-d
+// instance: p0 dominates p2 everywhere, so over the full simplex p2 is ruled
+// out for k=1 while p0 and p1 (each winning a corner) stay candidates.
+func TestCountCandidates(t *testing.T) {
+	points := []geom.Vector{
+		{0.9, 0.2}, // p0: wins at u=(1,0)
+		{0.1, 0.9}, // p1: wins at u=(0,1)
+		{0.5, 0.1}, // p2: beaten by p0 at every u
+	}
+	simplex := []geom.Vector{{1, 0}, {0, 1}}
+
+	if got := countCandidates(points, 1, simplex); got != 2 {
+		t.Fatalf("k=1 over the simplex: %d candidates, want 2", got)
+	}
+	// With k=2 a single certain beater is not enough to rule anyone out.
+	if got := countCandidates(points, 2, simplex); got != 3 {
+		t.Fatalf("k=2 over the simplex: %d candidates, want 3", got)
+	}
+	// No region information: everything is a candidate.
+	if got := countCandidates(points, 1, nil); got != 3 {
+		t.Fatalf("no region: %d candidates, want 3", got)
+	}
+	// A region where p0 certainly wins: only p0 survives... plus p1? At
+	// u=(1,0): p0=0.9 > p1=0.1 and at u=(0.8,0.2): p0=0.76 > p1=0.26 — both
+	// vertices rule p1 and p2 out for k=1.
+	narrow := []geom.Vector{{1, 0}, {0.8, 0.2}}
+	if got := countCandidates(points, 1, narrow); got != 1 {
+		t.Fatalf("narrow region: %d candidates, want 1", got)
+	}
+}

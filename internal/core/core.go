@@ -32,3 +32,52 @@ type MultiAlgorithm interface {
 	// the AllTopK variants when want == k).
 	RunMulti(points []geom.Vector, k, want int, o oracle.Oracle) []int
 }
+
+// Budgeted is an Algorithm that can run anytime-style under a Budget:
+// it checks the budget at every question boundary and inside its heavy
+// loops, and on exhaustion returns a best-effort point with an honest
+// Certificate instead of running on.
+type Budgeted interface {
+	Algorithm
+	RunBudgeted(points []geom.Vector, k int, o oracle.Oracle, b Budget) (int, Certificate)
+}
+
+// BudgetedMulti is the multi-answer counterpart of Budgeted.
+type BudgetedMulti interface {
+	MultiAlgorithm
+	RunMultiBudgeted(points []geom.Vector, k, want int, o oracle.Oracle, b Budget) ([]int, Certificate)
+}
+
+// RunBudgeted runs alg under b. Algorithms without budget support run to
+// their own stopping rule (which is the guarantee their result carries) and
+// report a converged certificate; the budget is ignored for them, which is
+// honest but unbounded — callers needing hard limits should pick a Budgeted
+// implementation.
+func RunBudgeted(alg Algorithm, points []geom.Vector, k int, o oracle.Oracle, b Budget) (int, Certificate) {
+	if ba, ok := alg.(Budgeted); ok {
+		return ba.RunBudgeted(points, k, o, b)
+	}
+	before := o.Questions()
+	idx := alg.Run(points, k, o)
+	return idx, Certificate{
+		Certified:  true,
+		Reason:     StopConverged,
+		Questions:  o.Questions() - before,
+		Candidates: len(points),
+	}
+}
+
+// RunMultiBudgeted is RunBudgeted for multi-answer algorithms.
+func RunMultiBudgeted(alg MultiAlgorithm, points []geom.Vector, k, want int, o oracle.Oracle, b Budget) ([]int, Certificate) {
+	if ba, ok := alg.(BudgetedMulti); ok {
+		return ba.RunMultiBudgeted(points, k, want, o, b)
+	}
+	before := o.Questions()
+	idx := alg.RunMulti(points, k, want, o)
+	return idx, Certificate{
+		Certified:  true,
+		Reason:     StopConverged,
+		Questions:  o.Questions() - before,
+		Candidates: len(points),
+	}
+}

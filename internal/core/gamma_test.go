@@ -45,7 +45,7 @@ func TestGammaIncrementalMatchesScratch(t *testing.T) {
 		// identical predicates.
 		opt.Strategy = polytope.StrategyNone
 		hd := &HDPI{opt: opt}
-		C := hd.buildPartitions(pts, V, d)
+		C := hd.buildPartitions(pts, V, d, nil)
 		if len(C) < 2 {
 			continue
 		}
@@ -89,7 +89,7 @@ func TestQuickGammaApplySoundness(t *testing.T) {
 		}
 		opt := NewHDPI(HDPIOptions{Rng: rng}).opt
 		hd := &HDPI{opt: opt}
-		C := hd.buildPartitions(pts, V, d)
+		C := hd.buildPartitions(pts, V, d, nil)
 		if len(C) < 2 {
 			return true
 		}

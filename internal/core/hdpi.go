@@ -89,17 +89,49 @@ type partition struct {
 
 // Run implements Algorithm.
 func (a *HDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
+	return a.run(points, k, o, nil)
+}
+
+// RunBudgeted implements Budgeted. On exhaustion it returns the top-1 at
+// the mean vertex of the surviving partitions.
+func (a *HDPI) RunBudgeted(points []geom.Vector, k int, o oracle.Oracle, b Budget) (idx int, cert Certificate) {
+	tr := newTracker(b, a.opt.Strategy, a.opt.StopCheckEvery)
+	defer tr.rescue(points, k, &idx, &cert)
+	idx = a.run(points, k, o, tr)
+	cert = tr.certificate(points, k)
+	return idx, cert
+}
+
+// bestEffortCells finishes a budget-exhausted run over a partition set: the
+// answer is the top-1 at the mean of the surviving vertices.
+func bestEffortCells(points []geom.Vector, C []partition, tr *tracker) int {
+	verts := allVertices(C)
+	if len(verts) == 0 {
+		tr.finish(false, tr.stopReason(), nil)
+		return argmaxAt(points, uniformUtility(len(points[0])))
+	}
+	tr.finish(false, tr.stopReason(), verts)
+	return argmaxAt(points, geom.Mean(verts))
+}
+
+func (a *HDPI) run(points []geom.Vector, k int, o oracle.Oracle, tr *tracker) int {
 	d := len(points[0])
 	rng := a.opt.Rng
 
 	// Convex points V (Section 5.2.1).
-	V := convexPoints(points, a.opt.Mode, a.opt.Samples, rng)
+	V := convexPoints(points, a.opt.Mode, a.opt.Samples, rng, tr)
 
 	// Initial partitions: Θ_i = {u : u·(p_i − p_j) >= 0 ∀ p_j ∈ V\{p_i}}.
-	C := a.buildPartitions(points, V, d)
+	C := a.buildPartitions(points, V, d, tr)
+	if tr.exhausted() {
+		// The budget died during construction; C may be partial, so even a
+		// single cell proves nothing.
+		return bestEffortCells(points, C, tr)
+	}
 	if len(C) == 0 {
 		// Degenerate input (e.g. a single point duplicated); the winner at
 		// the simplex centre is top-1 everywhere it matters.
+		tr.finish(true, StopConverged, nil)
 		return argmaxAt(points, uniformUtility(d))
 	}
 
@@ -107,18 +139,30 @@ func (a *HDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
 	gamma := newGammaTable(points, V, C, a.opt)
 
 	round := 0
+	stopEvery := a.opt.StopCheckEvery
 	lastProbe := uniformUtility(d)
 	for {
 		// Stopping condition 1: a single partition left.
 		if len(C) == 1 {
+			tr.finish(true, StopConverged, C[0].poly.Vertices())
 			return C[0].point
 		}
+		if tr.exhausted() {
+			return bestEffortCells(points, C, tr)
+		}
+		tr.maybeDegrade()
+		if tr != nil && tr.active {
+			stopEvery = tr.stopEvery
+			gamma.opt.Strategy = tr.strategy
+		}
 		// Stopping condition 2: Lemma 5.5 over R = union of partitions.
-		if round%a.opt.StopCheckEvery == 0 {
+		if round%stopEvery == 0 {
 			verts := allVertices(C)
 			probe := C[rng.Intn(len(C))].poly.Sample(rng)
 			lastProbe = probe
+			tr.observe(probe, verts)
 			if p, ok := lemma55(points, k, verts, probe); ok {
+				tr.finish(true, StopConverged, verts)
 				return p
 			}
 		}
@@ -130,6 +174,7 @@ func (a *HDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
 			// No informative hyperplane remains: the relative order of all
 			// convex points is fixed over R, so the top-1 at any point of R
 			// is determined and certainly among the top-k.
+			tr.finish(true, StopConverged, allVertices(C))
 			return argmaxAt(points, C[0].poly.Center())
 		}
 
@@ -139,11 +184,13 @@ func (a *HDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
 		if !o.Prefer(points[row.i], points[row.j]) {
 			h = h.Flip()
 		}
+		tr.question()
 		C = gamma.apply(h, C, best)
 		if len(C) == 0 {
 			// Only possible with an erring user (Section 6.4): every
 			// partition contradicted some answer. Fall back to the best
 			// point at the last known location estimate.
+			tr.finish(false, StopDegenerate, nil)
 			return argmaxAt(points, lastProbe)
 		}
 	}
@@ -151,22 +198,38 @@ func (a *HDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
 
 // convexPoints picks the right convex-point detection for the mode and
 // dimension: the exact mode uses the LP-free upper-envelope method in 2-d
-// and the output-sensitive LP method otherwise.
-func convexPoints(points []geom.Vector, mode ConvexMode, samples int, rng *rand.Rand) []int {
+// and the output-sensitive LP method otherwise. Under a tracker the exact
+// mode is budget-aware and degrades to sampling when its LPs go bad (a
+// non-Optimal solve on a healthy problem) instead of silently mislabeling
+// convex points.
+func convexPoints(points []geom.Vector, mode ConvexMode, samples int, rng *rand.Rand, tr *tracker) []int {
 	if mode == ConvexExact {
 		if len(points) > 0 && len(points[0]) == 2 {
 			return hull.ConvexPoints2D(points)
 		}
-		return hull.ConvexPointsExact(points)
+		if tr == nil {
+			return hull.ConvexPointsExact(points)
+		}
+		V, err := hull.ConvexPointsExactErr(points, tr.exhausted)
+		if err == nil {
+			return V
+		}
+		tr.note("convex accurate→sampling (" + err.Error() + ")")
+		return hull.ConvexPointsSampling(points, samples, rng)
 	}
 	return hull.ConvexPointsSampling(points, samples, rng)
 }
 
 // buildPartitions constructs the initial partition set C from the convex
-// points, skipping empty (and therefore impossible) cells.
-func (a *HDPI) buildPartitions(points []geom.Vector, V []int, d int) []partition {
+// points, skipping empty (and therefore impossible) cells. Under an
+// exhausted budget it stops early and returns the cells built so far
+// (callers detect this via the tracker and answer best-effort).
+func (a *HDPI) buildPartitions(points []geom.Vector, V []int, d int, tr *tracker) []partition {
 	var C []partition
 	for _, i := range V {
+		if tr.exhausted() {
+			break
+		}
 		poly := polytope.NewSimplex(d)
 		for _, j := range V {
 			if i == j {

@@ -21,6 +21,15 @@ type RHOptions struct {
 	UseBall bool
 }
 
+// strategy is the bounding shortcut the options ask for; the degradation
+// ladder may downgrade it mid-run under deadline pressure.
+func (opt RHOptions) strategy() polytope.Strategy {
+	if opt.UseBall {
+		return polytope.StrategyBall
+	}
+	return polytope.StrategyNone
+}
+
 // RH is the random-hyperplane algorithm of Section 5.3. It maintains a
 // single utility range R, walks a random order of the points, and at each
 // step asks the question whose hyperplane intersects R closest to R's
@@ -52,24 +61,65 @@ func (a *RH) Name() string { return "RH" }
 
 // Run implements Algorithm.
 func (a *RH) Run(points []geom.Vector, k int, o oracle.Oracle) int {
+	return a.run(points, k, o, nil)
+}
+
+// RunBudgeted implements Budgeted. On exhaustion it returns the top-1 at
+// R's centre — the centre of everything the answers so far have not ruled
+// out.
+func (a *RH) RunBudgeted(points []geom.Vector, k int, o oracle.Oracle, b Budget) (idx int, cert Certificate) {
+	tr := newTracker(b, a.opt.strategy(), a.opt.StopCheckEvery)
+	defer tr.rescue(points, k, &idx, &cert)
+	idx = a.run(points, k, o, tr)
+	cert = tr.certificate(points, k)
+	return idx, cert
+}
+
+// bestEffortRegion finishes a budget-exhausted run on the single polytope R:
+// the answer is the top-1 at R's centre, the certificate's candidate count
+// is computed over R's vertices.
+func bestEffortRegion(points []geom.Vector, R *polytope.Polytope, tr *tracker) int {
+	verts := R.Vertices()
+	if len(verts) == 0 {
+		tr.finish(false, tr.stopReason(), nil)
+		return argmaxAt(points, uniformUtility(len(points[0])))
+	}
+	tr.finish(false, tr.stopReason(), verts)
+	return argmaxAt(points, R.Center())
+}
+
+func (a *RH) run(points []geom.Vector, k int, o oracle.Oracle, tr *tracker) int {
 	n := len(points)
 	d := len(points[0])
 	rng := a.opt.Rng
 	R := polytope.NewSimplex(d)
 	perm := rng.Perm(n)
 
+	strat := a.opt.strategy()
+	stopEvery := a.opt.StopCheckEvery
+
 	i := 1 // current ladder position: H_i holds hyperplanes (perm[i], perm[j<i])
 	round := 0
 	for {
+		if tr.exhausted() {
+			return bestEffortRegion(points, R, tr)
+		}
+		tr.maybeDegrade()
+		if tr != nil && tr.active {
+			strat, stopEvery = tr.strategy, tr.stopEvery
+		}
 		// Stopping condition 2 (Lemma 5.5) on the single polytope R.
-		if round%a.opt.StopCheckEvery == 0 {
+		if round%stopEvery == 0 {
 			verts := R.Vertices()
 			if len(verts) == 0 {
 				// Only with an erring user: contradictory cuts emptied R.
+				tr.finish(false, StopDegenerate, nil)
 				return argmaxAt(points, uniformUtility(d))
 			}
 			probe := R.Sample(rng)
+			tr.observe(probe, verts)
 			if p, ok := lemma55(points, k, verts, probe); ok {
+				tr.finish(true, StopConverged, verts)
 				return p
 			}
 		}
@@ -80,19 +130,18 @@ func (a *RH) Run(points []geom.Vector, k int, o oracle.Oracle) int {
 		// when H_i has no intersecting hyperplane left. R only shrinks, so
 		// abandoned ladders never need revisiting.
 		center := R.Center()
+		tr.observe(center, nil)
 		bestJ, bestDist := -1, 0.0
 		for {
 			for j := 0; j < i; j++ {
+				if tr.exhausted() {
+					return bestEffortRegion(points, R, tr)
+				}
 				h := geom.NewHyperplane(points[perm[i]], points[perm[j]])
 				if h.Degenerate() {
 					continue
 				}
-				if a.opt.UseBall {
-					if c := R.BallSide(h); c == polytope.ClassAbove || c == polytope.ClassBelow {
-						continue
-					}
-				}
-				if R.Classify(h) != polytope.ClassIntersect {
+				if R.ClassifyWith(h, strat, nil) != polytope.ClassIntersect {
 					continue
 				}
 				if dist := h.Distance(center); bestJ < 0 || dist < bestDist {
@@ -107,6 +156,7 @@ func (a *RH) Run(points []geom.Vector, k int, o oracle.Oracle) int {
 				// Stopping condition 3: no pair hyperplane intersects R, so
 				// the ranking of all points is fixed over R; the top-1 at
 				// R's centre is certainly among the top-k.
+				tr.finish(true, StopConverged, R.Vertices())
 				return argmaxAt(points, center)
 			}
 		}
@@ -116,6 +166,7 @@ func (a *RH) Run(points []geom.Vector, k int, o oracle.Oracle) int {
 		if !o.Prefer(pi, pj) {
 			h = h.Flip()
 		}
+		tr.question()
 		R.Cut(h)
 	}
 }

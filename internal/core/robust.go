@@ -78,20 +78,41 @@ func (a *RobustHDPI) Name() string { return fmt.Sprintf("Robust-HD-PI-%s", a.opt
 
 // Run implements Algorithm.
 func (a *RobustHDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
+	return a.run(points, k, o, nil)
+}
+
+// RunBudgeted implements Budgeted. The certificate additionally reports the
+// posterior weight fraction behind the answer (CredibleWeight).
+func (a *RobustHDPI) RunBudgeted(points []geom.Vector, k int, o oracle.Oracle, b Budget) (idx int, cert Certificate) {
+	tr := newTracker(b, polytope.StrategyBall, 1)
+	defer tr.rescue(points, k, &idx, &cert)
+	idx = a.run(points, k, o, tr)
+	cert = tr.certificate(points, k)
+	return idx, cert
+}
+
+func (a *RobustHDPI) run(points []geom.Vector, k int, o oracle.Oracle, tr *tracker) int {
 	d := len(points[0])
 	rng := a.opt.Rng
 
-	V := convexPoints(points, a.opt.Mode, a.opt.Samples, rng)
+	V := convexPoints(points, a.opt.Mode, a.opt.Samples, rng, tr)
 	base := &HDPI{opt: HDPIOptions{Rng: rng}}
-	C := base.buildPartitions(points, V, d)
+	C := base.buildPartitions(points, V, d, tr)
+	if tr.exhausted() {
+		return bestEffortCells(points, C, tr)
+	}
 	if len(C) == 0 {
+		tr.finish(true, StopConverged, nil)
 		return argmaxAt(points, uniformUtility(d))
 	}
 	if len(C) == 1 {
+		tr.finish(true, StopConverged, C[0].poly.Vertices())
 		return C[0].point
 	}
 
-	// Fixed partitions, multiplicative weights.
+	// Fixed partitions, multiplicative weights. The bounding strategy starts
+	// at the paper's ball and may be downgraded by the degradation ladder.
+	strat := polytope.StrategyBall
 	w := make([]float64, len(C))
 	for i := range w {
 		w[i] = 1
@@ -104,8 +125,9 @@ func (a *RobustHDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
 
 	// credible returns the smallest set of cells (by descending weight)
 	// holding at least a Confidence fraction of the total weight — the
-	// region the posterior believes the utility vector is in.
-	credible := func() []int {
+	// region the posterior believes the utility vector is in — and the
+	// weight fraction that set actually holds.
+	credible := func() ([]int, float64) {
 		idx := make([]int, len(C))
 		for i := range idx {
 			idx[i] = i
@@ -125,13 +147,17 @@ func (a *RobustHDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
 				break
 			}
 		}
-		return cells
+		if total <= 0 {
+			return cells, 0
+		}
+		return cells, acc / total
 	}
 
 	// answer extracts a point that is certainly top-k if the user's utility
 	// vector lies in the credible region (Lemma 5.5 over the region's
-	// vertices), falling back to the top-1 at the weighted centre.
-	answer := func(cells []int, strict bool) (int, bool) {
+	// vertices), falling back to the top-1 at the weighted centre. It also
+	// returns the region's vertices for certificate accounting.
+	answer := func(cells []int, strict bool) (int, []geom.Vector, bool) {
 		var verts []geom.Vector
 		probe := geom.NewVector(d)
 		var wsum float64
@@ -141,13 +167,14 @@ func (a *RobustHDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
 			wsum += w[ci]
 		}
 		probe = probe.Scale(1 / wsum)
+		tr.observe(probe, nil)
 		if p, ok := lemma55(points, k, verts, probe); ok {
-			return p, true
+			return p, verts, true
 		}
 		if strict {
-			return 0, false
+			return 0, verts, false
 		}
-		return argmaxAt(points, probe), true
+		return argmaxAt(points, probe), verts, true
 	}
 
 	maxQ := a.opt.MaxQuestions
@@ -159,11 +186,27 @@ func (a *RobustHDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
 	}
 	lastAsked := map[int]int{}
 
+	finish := func(certified bool, reason StopReason, frac float64, verts []geom.Vector) {
+		if tr != nil {
+			tr.credible = frac
+		}
+		tr.finish(certified, reason, verts)
+	}
+
 	for q := 0; q < maxQ; q++ {
 		// Stopping: Lemma 5.5 over the credible region — the posterior's
 		// generalization of HD-PI's stopping condition 2.
-		if p, ok := answer(credible(), true); ok {
+		cells, frac := credible()
+		if p, verts, ok := answer(cells, true); ok {
+			finish(true, StopConverged, frac, verts)
 			return p
+		}
+		if tr.exhausted() {
+			break
+		}
+		tr.maybeDegrade()
+		if tr != nil && tr.active {
+			strat = tr.strategy
 		}
 
 		// Question selection: the hyperplane splitting the WEIGHT most
@@ -174,12 +217,15 @@ func (a *RobustHDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
 		// question is exactly how a posterior shakes off answer noise.
 		bestRow, bestScore := -1, -1.0
 		for ri, row := range gamma {
+			if tr.exhausted() {
+				break
+			}
 			if asked, ok := lastAsked[ri]; ok && q-asked <= a.opt.Cooldown {
 				continue
 			}
 			var above, below float64
 			for ci, part := range C {
-				switch part.poly.ClassifyWith(row.h, polytope.StrategyBall, nil) {
+				switch part.poly.ClassifyWith(row.h, strat, nil) {
 				case polytope.ClassAbove:
 					above += w[ci]
 				case polytope.ClassBelow:
@@ -197,6 +243,9 @@ func (a *RobustHDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
 				bestRow, bestScore = ri, score
 			}
 		}
+		if tr.exhausted() {
+			break
+		}
 		if bestRow < 0 || bestScore <= geom.TieEps {
 			break // nothing splits the remaining mass
 		}
@@ -206,6 +255,7 @@ func (a *RobustHDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
 		if !o.Prefer(points[row.i], points[row.j]) {
 			h = h.Flip()
 		}
+		tr.question()
 		// Posterior-style reweight: partitions entirely on the
 		// contradicted side decay by Eta (≈ p/(1-p) for assumed error p);
 		// straddling partitions split the difference. A degenerate ClassOn
@@ -216,7 +266,7 @@ func (a *RobustHDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
 		// repeated questions let it out-weigh every wrong cell.
 		mild := (1 + a.opt.Eta) / 2
 		for ci, part := range C {
-			switch part.poly.ClassifyWith(h, polytope.StrategyBall, nil) {
+			switch part.poly.ClassifyWith(h, strat, nil) {
 			case polytope.ClassBelow:
 				w[ci] *= a.opt.Eta
 			case polytope.ClassIntersect, polytope.ClassOn:
@@ -225,7 +275,16 @@ func (a *RobustHDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
 		}
 	}
 
-	p, _ := answer(credible(), false)
+	cells, frac := credible()
+	p, verts, _ := answer(cells, false)
+	reason := tr.stopReason()
+	if tr == nil || tr.exhReason == "" {
+		// The algorithm's own question cap (or an uninformative Γ) ended the
+		// run without posterior convergence — best effort, not a budget
+		// fault.
+		reason = StopQuestions
+	}
+	finish(false, reason, frac, verts)
 	return p
 }
 

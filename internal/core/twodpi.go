@@ -3,6 +3,7 @@ package core
 import (
 	"ist/internal/geom"
 	"ist/internal/oracle"
+	"ist/internal/polytope"
 	"ist/internal/sweep"
 )
 
@@ -17,12 +18,31 @@ type TwoDPI struct{}
 func (TwoDPI) Name() string { return "2D-PI" }
 
 // Run implements Algorithm. It panics if the points are not 2-dimensional.
-func (TwoDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
+func (t TwoDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
+	return t.run(points, k, o, nil)
+}
+
+// RunBudgeted implements Budgeted. On exhaustion it returns the point of the
+// median surviving partition — the binary search's current best guess.
+func (t TwoDPI) RunBudgeted(points []geom.Vector, k int, o oracle.Oracle, b Budget) (idx int, cert Certificate) {
+	tr := newTracker(b, polytope.StrategyNone, 1)
+	defer tr.rescue(points, k, &idx, &cert)
+	idx = t.run(points, k, o, tr)
+	cert = tr.certificate(points, k)
+	return idx, cert
+}
+
+func (TwoDPI) run(points []geom.Vector, k int, o oracle.Oracle, tr *tracker) int {
 	parts := sweep.PartitionUtilitySpace(points, k)
 	left, right := 0, len(parts)-1
 	for left < right {
 		x := (left + right) / 2 // median partition
+		if tr.exhausted() {
+			tr.finish(false, tr.stopReason(), twoDPIRegion(parts, left, right))
+			return parts[x].Point
+		}
 		part := parts[x]
+		tr.observe(geom.Vector{part.R, 1 - part.R}, nil)
 		// The boundary pair crosses exactly at part.R, with BoundaryI
 		// ranking higher for u[1] < part.R (Section 4.3).
 		if o.Prefer(points[part.BoundaryI], points[part.BoundaryJ]) {
@@ -30,8 +50,19 @@ func (TwoDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
 		} else {
 			left = x + 1
 		}
+		tr.question()
 	}
+	tr.finish(true, StopConverged, twoDPIRegion(parts, left, left))
 	return parts[left].Point
+}
+
+// twoDPIRegion is the utility region still in play when partitions
+// left..right survive the binary search: the sweep parameterizes the 2-d
+// simplex as u = (x, 1−x), so the region's two vertices sit at the range's
+// outer bounds.
+func twoDPIRegion(parts []sweep.Partition, left, right int) []geom.Vector {
+	lo, hi := parts[left].L, parts[right].R
+	return []geom.Vector{{lo, 1 - lo}, {hi, 1 - hi}}
 }
 
 // Partitions exposes the Algorithm 1 output for inspection (examples and

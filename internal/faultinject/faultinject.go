@@ -1,8 +1,9 @@
 // Package faultinject schedules deliberate faults so the fault-tolerance of
 // the session layer can be exercised deterministically: an Oracle wrapper
-// that delays or panics on the Nth question, an Algorithm wrapper that
-// poisons one session's goroutine with it, and an HTTP middleware that
-// drops, delays, or panics on the Nth request. Production code paths never
+// that delays, panics, or flips the answer on the Nth question, an Algorithm
+// wrapper that poisons one session's goroutine with it, an LP-corruption
+// installer that breaks the Nth solve, and an HTTP middleware that drops,
+// delays, or panics on the Nth request. Production code paths never
 // construct these; tests (and manual hardening experiments) do.
 package faultinject
 
@@ -14,21 +15,30 @@ import (
 
 	"ist/internal/core"
 	"ist/internal/geom"
+	"ist/internal/lp"
 	"ist/internal/oracle"
 )
 
 // Plan schedules faults by 1-based event index (oracle questions for
-// Oracle/Algorithm, requests for Middleware). A zero index disables that
-// fault; independent faults may be combined in one plan.
+// Oracle/Algorithm, requests for Middleware, lp.Solve calls for
+// InstallLPFaults). A zero index disables that fault; independent faults may
+// be combined in one plan.
 type Plan struct {
 	// PanicAt panics on the Nth event.
 	PanicAt int
 	// DelayAt sleeps for Delay before the Nth event.
 	DelayAt int
 	Delay   time.Duration
+	// FlipAt inverts the Nth answer (a user mistake, or a corrupted
+	// transport). Ignored by Middleware.
+	FlipAt int
 	// DropAt makes the Middleware reject the Nth request with 503 without
 	// reaching the wrapped handler. Ignored by Oracle/Algorithm.
 	DropAt int
+	// LPCorruptAt makes the Nth lp.Solve performed while InstallLPFaults'
+	// hook is installed report Infeasible with no solution. Ignored by
+	// Oracle/Algorithm/Middleware.
+	LPCorruptAt int
 }
 
 // Oracle wraps an oracle and injects the plan's faults into its question
@@ -48,7 +58,11 @@ func (o *Oracle) Prefer(p, q geom.Vector) bool {
 	if o.Plan.PanicAt == o.n {
 		panic(fmt.Sprintf("faultinject: scheduled panic at question %d", o.n))
 	}
-	return o.Inner.Prefer(p, q)
+	ans := o.Inner.Prefer(p, q)
+	if o.Plan.FlipAt == o.n {
+		ans = !ans
+	}
+	return ans
 }
 
 // Questions implements oracle.Oracle.
@@ -71,11 +85,37 @@ func (a *Algorithm) Run(points []geom.Vector, k int, o oracle.Oracle) int {
 	return a.Inner.Run(points, k, &Oracle{Inner: o, Plan: a.Plan})
 }
 
+// RunBudgeted implements core.Budgeted, so a budgeted session keeps its
+// anytime guarantees even with a poisoned oracle underneath.
+func (a *Algorithm) RunBudgeted(points []geom.Vector, k int, o oracle.Oracle, b core.Budget) (int, core.Certificate) {
+	return core.RunBudgeted(a.Inner, points, k, &Oracle{Inner: o, Plan: a.Plan}, b)
+}
+
+// InstallLPFaults installs the plan's LP-corruption fault into lp.Solve: the
+// LPCorruptAt-th solve counted from installation returns Infeasible with no
+// solution, modelling the numerically poisoned LP the degradation ladder
+// must absorb. The returned func uninstalls the hook and must be called
+// (defer it). Installation is process-global, so callers must not run
+// concurrently with other LP users; the chaos tests serialize around it.
+func InstallLPFaults(plan Plan) (uninstall func()) {
+	if plan.LPCorruptAt <= 0 {
+		return func() {}
+	}
+	var n atomic.Int64
+	lp.SetSolveHook(func(r *lp.Result) {
+		if int(n.Add(1)) == plan.LPCorruptAt {
+			*r = lp.Result{Status: lp.Infeasible}
+		}
+	})
+	return func() { lp.SetSolveHook(nil) }
+}
+
 // Middleware injects the plan's faults into an HTTP handler: the DropAt-th
-// request is rejected with 503 Service Unavailable, the DelayAt-th stalls
-// for Delay, and the PanicAt-th panics inside the handler (net/http recovers
-// per-connection, so this exercises a dropped response, not a crash). Safe
-// for concurrent use.
+// request is rejected with 503 Service Unavailable (carrying a Retry-After
+// hint, like every other backpressure response of the server), the DelayAt-th
+// stalls for Delay, and the PanicAt-th panics inside the handler (net/http
+// recovers per-connection, so this exercises a dropped response, not a
+// crash). Safe for concurrent use.
 type Middleware struct {
 	Next http.Handler
 	Plan Plan
@@ -90,6 +130,9 @@ func (m *Middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	switch {
 	case m.Plan.DropAt == n:
+		// A faultinjected drop models transient overload; tell well-behaved
+		// clients when to come back, exactly like the 429 path does.
+		w.Header().Set("Retry-After", "1")
 		http.Error(w, "faultinject: request dropped", http.StatusServiceUnavailable)
 	case m.Plan.PanicAt == n:
 		panic(fmt.Sprintf("faultinject: scheduled panic at request %d", n))

@@ -52,6 +52,43 @@ func TestOraclePassesAnswersThrough(t *testing.T) {
 	}
 }
 
+func TestOracleFlipsOnSchedule(t *testing.T) {
+	u := oracle.NewUser(geom.Vector{1, 0}) // truthfully always prefers p
+	o := &Oracle{Inner: u, Plan: Plan{FlipAt: 2}}
+	p := geom.Vector{0.9, 0.1}
+	q := geom.Vector{0.1, 0.9}
+	got := []bool{o.Prefer(p, q), o.Prefer(p, q), o.Prefer(p, q)}
+	want := []bool{true, false, true} // only question 2 inverted
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("question %d: answer %v, want %v", i+1, got[i], want[i])
+		}
+	}
+}
+
+// TestMajorityRecoversFlip asserts the mistake-mitigation story end to end:
+// a 3-vote MajorityOracle over a faultinjected user absorbs a single flipped
+// answer — the majority still reports the truthful preference.
+func TestMajorityRecoversFlip(t *testing.T) {
+	p := geom.Vector{0.9, 0.1}
+	q := geom.Vector{0.1, 0.9}
+	// The flip may land on any of the three votes; the majority must
+	// recover it wherever it lands.
+	for flipAt := 1; flipAt <= 3; flipAt++ {
+		u := oracle.NewUser(geom.Vector{1, 0}) // truth: prefer p
+		m := oracle.NewMajorityOracle(&Oracle{Inner: u, Plan: Plan{FlipAt: flipAt}}, 3)
+		if !m.Prefer(p, q) {
+			t.Fatalf("flip at vote %d: majority reported the flipped answer", flipAt)
+		}
+	}
+	// Control: without majority voting the same flip corrupts the answer.
+	u := oracle.NewUser(geom.Vector{1, 0})
+	o := &Oracle{Inner: u, Plan: Plan{FlipAt: 1}}
+	if o.Prefer(p, q) {
+		t.Fatal("control: flip at question 1 did not invert the bare answer")
+	}
+}
+
 func TestMiddlewareDropAndPassthrough(t *testing.T) {
 	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusTeapot)
@@ -68,6 +105,24 @@ func TestMiddlewareDropAndPassthrough(t *testing.T) {
 		if codes[i] != want[i] {
 			t.Fatalf("request %d: code %d, want %d", i+1, codes[i], want[i])
 		}
+	}
+}
+
+// TestMiddlewareDropCarriesRetryAfter asserts the dropped request looks like
+// every other backpressure response of the server: 503 plus a Retry-After
+// hint, so well-behaved clients back off instead of hammering.
+func TestMiddlewareDropCarriesRetryAfter(t *testing.T) {
+	m := &Middleware{
+		Next: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}),
+		Plan: Plan{DropAt: 1},
+	}
+	rec := httptest.NewRecorder()
+	m.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("dropped request: code %d, want 503", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got == "" {
+		t.Fatal("dropped request carries no Retry-After header")
 	}
 }
 

@@ -20,6 +20,7 @@
 package hull
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -29,11 +30,29 @@ import (
 )
 
 // ConvexPointsExact returns the indices of all points that are top-1 for at
-// least one utility vector (ties count as top-1).
+// least one utility vector (ties count as top-1). A non-optimal LP solve
+// conservatively rejects the candidate (the historical behaviour); use
+// ConvexPointsExactErr to detect that instead.
 func ConvexPointsExact(points []geom.Vector) []int {
+	v, _ := convexPointsExact(points, nil, false)
+	return v
+}
+
+// ConvexPointsExactErr is ConvexPointsExact with two production affordances:
+// a non-Optimal LP solve — which on this always-feasible problem means
+// numerical trouble, not geometry — is reported as an error so callers can
+// degrade to sampling mode rather than silently mislabel convex points, and
+// an optional stop predicate (checked once per candidate, the unit of the
+// LP batch loop) lets a budgeted caller abandon the scan early, receiving
+// the convex points confirmed so far.
+func ConvexPointsExactErr(points []geom.Vector, stop func() bool) ([]int, error) {
+	return convexPointsExact(points, stop, true)
+}
+
+func convexPointsExact(points []geom.Vector, stop func() bool, strict bool) ([]int, error) {
 	n := len(points)
 	if n == 0 {
-		return nil
+		return nil, nil
 	}
 	d := len(points[0])
 
@@ -67,9 +86,19 @@ func ConvexPointsExact(points []geom.Vector) []int {
 		if confirmed[p] {
 			continue
 		}
+		if stop != nil && stop() {
+			break // budget exhausted: report what is confirmed so far
+		}
 		for {
 			u, delta, ok := maxMinMargin(points, p, confirmedList)
-			if !ok || delta < -geom.Eps {
+			if !ok {
+				if strict {
+					sort.Ints(confirmedList)
+					return confirmedList, fmt.Errorf("hull: convex-point LP for candidate %d returned a non-optimal status", p)
+				}
+				break // historical behaviour: reject the candidate
+			}
+			if delta < -geom.Eps {
 				break // beaten everywhere by confirmed points: not convex
 			}
 			w := argmax(points, u, p)
@@ -87,7 +116,7 @@ func ConvexPointsExact(points []geom.Vector) []int {
 		}
 	}
 	sort.Ints(confirmedList)
-	return confirmedList
+	return confirmedList, nil
 }
 
 // maxMinMargin solves max δ s.t. u in simplex, u·(p − q) ≥ δ for all q in

@@ -11,6 +11,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"ist/internal/geom"
 )
@@ -89,8 +90,31 @@ const (
 	blandAfter = 2000
 )
 
+// solveHook, when set, observes and may mutate every Solve result before it
+// is returned. It exists solely so the fault-injection chaos tests
+// (internal/faultinject) can corrupt a scheduled solve and exercise the
+// degradation ladder; production code must never install one.
+var solveHook atomic.Pointer[func(*Result)]
+
+// SetSolveHook installs (or, with nil, removes) the test-only solve hook.
+func SetSolveHook(h func(*Result)) {
+	if h == nil {
+		solveHook.Store(nil)
+		return
+	}
+	solveHook.Store(&h)
+}
+
 // Solve optimizes the problem with a two-phase dense simplex method.
 func Solve(p Problem) Result {
+	res := solve(p)
+	if h := solveHook.Load(); h != nil {
+		(*h)(&res)
+	}
+	return res
+}
+
+func solve(p Problem) Result {
 	if len(p.Objective) != p.NumVars {
 		panic(fmt.Sprintf("lp: objective has %d coefficients for %d variables", len(p.Objective), p.NumVars))
 	}

@@ -13,6 +13,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"ist"
+	"ist/internal/clock"
 )
 
 // Options configures a Server beyond its dataset.
@@ -50,6 +52,17 @@ type Options struct {
 	// and rehydration — the fault-injection hook used by the hardening
 	// tests (see internal/faultinject).
 	WrapAlgorithm func(id string, alg ist.Algorithm) ist.Algorithm
+	// MaxQuestions caps how many questions any one session may ask; an
+	// exhausted session finishes with a best-effort answer and an
+	// uncertified certificate instead of asking forever (0 = unlimited).
+	MaxQuestions int
+	// SessionDeadline bounds each session's lifetime from creation; past it
+	// the session finishes best-effort like MaxQuestions does (0 = none).
+	SessionDeadline time.Duration
+	// Clock is the time source for lastUsed stamps and session deadlines
+	// (nil = the wall clock). Tests inject a fake to drive expiry and
+	// deadlines deterministically.
+	Clock clock.Clock
 }
 
 // Server is the http.Handler managing interactive sessions.
@@ -83,6 +96,7 @@ type sessionState struct {
 	failed   error
 	result   ist.Point
 	resultID int
+	cert     *ist.Certificate
 }
 
 // New builds a server over a preprocessed point set. If opt.Store is set,
@@ -96,10 +110,13 @@ func New(points []ist.Point, k int, opt Options) (*Server, error) {
 		k:        k,
 		opt:      opt,
 		fp:       ist.Fingerprint(points, k),
-		start:    time.Now(),
 		sessions: map[string]*sessionState{},
-		now:      time.Now,
+		now:      clock.Real.Now,
 	}
+	if opt.Clock != nil {
+		srv.now = opt.Clock.Now
+	}
+	srv.start = srv.now()
 	if opt.Store != nil {
 		if err := srv.rehydrate(); err != nil {
 			return nil, err
@@ -111,6 +128,23 @@ func New(points []ist.Point, k int, opt Options) (*Server, error) {
 		go srv.reapLoop()
 	}
 	return srv, nil
+}
+
+// sessionOptions builds each session's anytime options from the server
+// configuration; empty when the server runs sessions unbudgeted. The
+// deadline is anchored at session creation (or rehydration) time.
+func (srv *Server) sessionOptions() []ist.SessionOption {
+	var opts []ist.SessionOption
+	if srv.opt.MaxQuestions > 0 {
+		opts = append(opts, ist.WithMaxQuestions(srv.opt.MaxQuestions))
+	}
+	if srv.opt.SessionDeadline > 0 {
+		opts = append(opts, ist.WithDeadline(srv.now().Add(srv.opt.SessionDeadline)))
+		if srv.opt.Clock != nil {
+			opts = append(opts, ist.WithClock(srv.opt.Clock))
+		}
+	}
+	return opts
 }
 
 // algorithmByName maps the API's algorithm names to seeded constructors.
@@ -153,7 +187,7 @@ func (srv *Server) rehydrate() error {
 		if srv.opt.WrapAlgorithm != nil {
 			alg = srv.opt.WrapAlgorithm(rec.ID, alg)
 		}
-		s, err := ist.ResumeSession(alg, srv.points, srv.k, rec.Answers)
+		s, err := ist.ResumeSessionContext(context.Background(), alg, srv.points, srv.k, rec.Answers, srv.sessionOptions()...)
 		if err != nil {
 			log.Printf("server: session %s failed to replay: %v; dropping", rec.ID, err)
 			_ = srv.opt.Store.Finish(rec.ID)
@@ -226,14 +260,18 @@ type Question struct {
 	Option2 []float64 `json:"option2"`
 }
 
-// StateResponse is the JSON shape of a session's state.
+// StateResponse is the JSON shape of a session's state. Certificate appears
+// only for finished budgeted sessions; its "certified" field distinguishes a
+// guaranteed top-k result from the best-effort answer of a session that ran
+// out of budget — both are HTTP 200, because an anytime answer is a success.
 type StateResponse struct {
-	ID        string    `json:"id"`
-	Questions int       `json:"questions"`
-	Done      bool      `json:"done"`
-	Question  *Question `json:"question,omitempty"`
-	Result    []float64 `json:"result,omitempty"`
-	ResultID  int       `json:"resultId,omitempty"`
+	ID          string           `json:"id"`
+	Questions   int              `json:"questions"`
+	Done        bool             `json:"done"`
+	Question    *Question        `json:"question,omitempty"`
+	Result      []float64        `json:"result,omitempty"`
+	ResultID    int              `json:"resultId,omitempty"`
+	Certificate *ist.Certificate `json:"certificate,omitempty"`
 }
 
 // HealthResponse is the JSON shape of GET /healthz.
@@ -286,7 +324,7 @@ func (srv *Server) handleHealthz(w http.ResponseWriter) {
 	resp := HealthResponse{
 		Status:        "ok",
 		Sessions:      srv.Sessions(),
-		UptimeSeconds: time.Since(srv.start).Seconds(),
+		UptimeSeconds: srv.now().Sub(srv.start).Seconds(),
 		GoVersion:     runtime.Version(),
 		Version:       BuildVersion(),
 	}
@@ -340,7 +378,7 @@ func (srv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if srv.opt.WrapAlgorithm != nil {
 		alg = srv.opt.WrapAlgorithm(id, alg)
 	}
-	st.s = ist.NewSession(alg, srv.points, srv.k)
+	st.s = ist.NewSessionContext(context.Background(), alg, srv.points, srv.k, srv.sessionOptions()...)
 	if srv.opt.Store != nil {
 		if err := srv.opt.Store.Create(SessionRecord{ID: id, Algorithm: name, Seed: seed, Fingerprint: srv.fp}); err != nil {
 			log.Printf("server: persist create %s: %v", id, err)
@@ -466,6 +504,9 @@ func (srv *Server) advance(id string, st *sessionState) {
 		if pt, idx, err := st.s.Result(); err == nil {
 			st.result, st.resultID = pt, idx
 		}
+		if cert, ok := st.s.Certificate(); ok {
+			st.cert = &cert
+		}
 		// Completed sessions need no replay on restart; drop the record.
 		if srv.opt.Store != nil {
 			_ = srv.opt.Store.Finish(id)
@@ -556,6 +597,7 @@ func (srv *Server) writeState(w http.ResponseWriter, id string, st *sessionState
 	if st.done {
 		resp.Result = st.result
 		resp.ResultID = st.resultID
+		resp.Certificate = st.cert
 	} else {
 		resp.Question = &Question{Option1: st.curP, Option2: st.curQ}
 	}

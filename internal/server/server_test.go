@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ist"
+	"ist/internal/clock"
 )
 
 func testBand(t *testing.T) ([]ist.Point, int, ist.Point) {
@@ -300,5 +301,101 @@ func TestConcurrentSessions(t *testing.T) {
 		if !<-done {
 			t.Fatal("a concurrent session failed")
 		}
+	}
+}
+
+// TestSessionDeadlineAnswersBestEffort drives a session past its per-session
+// deadline on a fake clock: the next exchange must complete with HTTP 200 —
+// an anytime answer is a success, not an error — and carry a certificate
+// admitting "certified": false with the deadline stop reason.
+func TestSessionDeadlineAnswersBestEffort(t *testing.T) {
+	band, k, _ := testBand(t)
+	fake := clock.NewFake(time.Unix(5000, 0))
+	srv, err := New(band, k, Options{Seed: 1, TTL: time.Minute, SessionDeadline: time.Second, Clock: fake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rec, st := do(t, srv, http.MethodPost, "/sessions", nil)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d", rec.Code)
+	}
+	if st.Done {
+		t.Fatal("session finished before its first question")
+	}
+
+	fake.Advance(2 * time.Second) // past the deadline
+	rec, st = do(t, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": 1})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("answer past the deadline: %d, want 200", rec.Code)
+	}
+	if !st.Done {
+		t.Fatal("deadline-expired session still asking questions")
+	}
+	if st.Result == nil {
+		t.Fatal("no best-effort result")
+	}
+	if st.Certificate == nil {
+		t.Fatal("no certificate on the deadline-stopped session")
+	}
+	if st.Certificate.Certified {
+		t.Fatal("deadline-stopped session claims a certified result")
+	}
+	if st.Certificate.Reason != ist.StopDeadline {
+		t.Fatalf("certificate reason %q, want %q", st.Certificate.Reason, ist.StopDeadline)
+	}
+	// The wire shape: "certified" must be present and false.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	var certRaw map[string]json.RawMessage
+	if err := json.Unmarshal(raw["certificate"], &certRaw); err != nil {
+		t.Fatal(err)
+	}
+	if string(certRaw["certified"]) != "false" {
+		t.Fatalf(`certificate JSON "certified" = %s, want false`, certRaw["certified"])
+	}
+}
+
+// TestSessionQuestionBudgetOverHTTP is the MaxQuestions analogue: two
+// answers exhaust the budget, the session finishes 200 with an uncertified
+// question-budget certificate.
+func TestSessionQuestionBudgetOverHTTP(t *testing.T) {
+	band, k, _ := testBand(t)
+	srv, err := New(band, k, Options{Seed: 1, TTL: time.Minute, MaxQuestions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rec, st := do(t, srv, http.MethodPost, "/sessions", nil)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d", rec.Code)
+	}
+	for i := 0; i < 2 && !st.Done; i++ {
+		rec, st = do(t, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": 1})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("answer %d: %d", i+1, rec.Code)
+		}
+	}
+	if !st.Done {
+		t.Fatal("session still open past a 2-question budget")
+	}
+	if st.Certificate == nil || st.Certificate.Certified {
+		t.Fatalf("certificate = %+v, want uncertified", st.Certificate)
+	}
+	if st.Certificate.Reason != ist.StopQuestions {
+		t.Fatalf("certificate reason %q, want %q", st.Certificate.Reason, ist.StopQuestions)
+	}
+	// Unbudgeted servers must not suddenly report certificates.
+	srv2, _, _ := newTestServer(t)
+	_, st2 := do(t, srv2, http.MethodPost, "/sessions", nil)
+	for !st2.Done {
+		_, st2 = do(t, srv2, http.MethodPost, "/sessions/"+st2.ID+"/answer", map[string]int{"prefer": 1})
+	}
+	if st2.Certificate != nil {
+		t.Fatalf("unbudgeted session reported a certificate: %+v", st2.Certificate)
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"ist/internal/baseline"
+	"ist/internal/clock"
 	"ist/internal/core"
 	"ist/internal/dataset"
 	"ist/internal/geom"
@@ -99,6 +100,36 @@ func Accuracy(points []Point, u Point, k int, p Point) float64 {
 	return oracle.Accuracy(points, u, k, p)
 }
 
+// Budget bounds an interactive run: a maximum number of questions, a
+// deadline (checked against Clock, default the wall clock), and an optional
+// context whose cancellation stops the run. The zero Budget is inactive and
+// leaves the algorithm's behaviour — including its random choices —
+// bit-identical to an unbudgeted run.
+type Budget = core.Budget
+
+// Certificate reports how a budgeted run ended and how much of the answer
+// quality survives: whether the result is guaranteed top-k (Certified), the
+// stop reason, questions spent, how many points were still candidates, the
+// credible weight fraction (RobustHDPI only), and any degradation-ladder
+// steps taken along the way.
+type Certificate = core.Certificate
+
+// StopReason labels why a budgeted run stopped; see the Stop* constants.
+type StopReason = core.StopReason
+
+// Stop reasons reported in a Certificate.
+const (
+	StopConverged  = core.StopConverged
+	StopQuestions  = core.StopQuestions
+	StopDeadline   = core.StopDeadline
+	StopCanceled   = core.StopCanceled
+	StopDegenerate = core.StopDegenerate
+	StopPanic      = core.StopPanic
+)
+
+// Clock is the injectable time source for deadline budgets.
+type Clock = clock.Clock
+
 // Result is the outcome of a Solve call.
 type Result struct {
 	// Index is the returned point's index into the input slice.
@@ -111,18 +142,38 @@ type Result struct {
 	// simulated oracle answers in ~0, so this matches the paper's
 	// "execution time").
 	Duration time.Duration
+	// Certificate describes how a budgeted run ended; nil for plain Solve.
+	Certificate *Certificate
 }
 
 // Solve runs an algorithm against the oracle and packages the outcome.
 func Solve(alg Algorithm, points []Point, k int, o Oracle) Result {
 	before := o.Questions()
-	start := time.Now()
+	start := clock.Real.Now()
 	idx := alg.Run(points, k, o)
 	return Result{
 		Index:     idx,
 		Point:     points[idx].Clone(),
 		Questions: o.Questions() - before,
-		Duration:  time.Since(start),
+		Duration:  clock.Real.Now().Sub(start),
+	}
+}
+
+// SolveBudgeted is Solve under an anytime budget: the run stops cleanly when
+// the budget is exhausted (questions, deadline, or context cancellation) and
+// the Result carries a Certificate stating whether the returned point is
+// still guaranteed top-k or only best-effort. Algorithms that do not
+// implement budget checks run to completion and certify their own result.
+func SolveBudgeted(alg Algorithm, points []Point, k int, o Oracle, b Budget) Result {
+	before := o.Questions()
+	start := clock.Real.Now()
+	idx, cert := core.RunBudgeted(alg, points, k, o, b)
+	return Result{
+		Index:       idx,
+		Point:       points[idx].Clone(),
+		Questions:   o.Questions() - before,
+		Duration:    clock.Real.Now().Sub(start),
+		Certificate: &cert,
 	}
 }
 

@@ -1,9 +1,13 @@
 package ist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"ist/internal/core"
 )
 
 // Session drives an interactive algorithm one question at a time, inverting
@@ -55,6 +59,8 @@ type Session struct {
 	log     []bool
 	closed  bool
 	err     error
+	cert    Certificate
+	hasCert bool
 }
 
 type sessionQuestion struct {
@@ -94,11 +100,65 @@ func (o sessionOracle) Questions() int { return o.s.Questions() }
 // session early; recovered at the goroutine top.
 type sessionClosed struct{}
 
+// SessionOption configures a session built by NewSessionContext.
+type SessionOption func(*sessionConfig)
+
+type sessionConfig struct {
+	budget Budget
+}
+
+// WithBudget runs the session's algorithm under the given anytime budget:
+// on exhaustion the session finishes with a best-effort result and an
+// uncertified Certificate instead of asking more questions.
+func WithBudget(b Budget) SessionOption {
+	return func(c *sessionConfig) { c.budget = b }
+}
+
+// WithMaxQuestions caps how many questions the session may ask.
+func WithMaxQuestions(n int) SessionOption {
+	return func(c *sessionConfig) { c.budget.MaxQuestions = n }
+}
+
+// WithDeadline stops the session once the clock reaches t. Combine with
+// WithClock to control which clock; defaults to the wall clock.
+func WithDeadline(t time.Time) SessionOption {
+	return func(c *sessionConfig) { c.budget.Deadline = t }
+}
+
+// WithClock injects the time source for deadline checks (tests, replay).
+func WithClock(clk Clock) SessionOption {
+	return func(c *sessionConfig) { c.budget.Clock = clk }
+}
+
 // NewSession starts an interactive session for the algorithm on the given
 // (preprocessed) points. The algorithm begins computing immediately; the
 // first Next call may therefore take as long as the algorithm's setup
 // (partitioning, convex points, ...).
 func NewSession(alg Algorithm, points []Point, k int) *Session {
+	return NewSessionContext(context.Background(), alg, points, k)
+}
+
+// NewSessionContext is NewSession under a context and anytime options. A
+// cancelable context (one whose Done channel is non-nil) or any budget
+// option makes the session budgeted: the algorithm checks the budget at
+// every question boundary and inside its heavy loops, and when it runs out —
+// questions, deadline, or cancellation — the session finishes cleanly with
+// a best-effort result and a Certificate (see Certificate) instead of
+// hanging or erroring. A background context with no options behaves exactly
+// like NewSession, certificates included only when the algorithm finished
+// by its own stopping rule.
+//
+// A budgeted session also absorbs algorithm panics into best-effort results
+// (Reason "panic-recovered") rather than entering the error state —
+// anytime means the user always gets a point.
+func NewSessionContext(ctx context.Context, alg Algorithm, points []Point, k int, opts ...SessionOption) *Session {
+	var cfg sessionConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if ctx != nil && ctx.Done() != nil {
+		cfg.budget.Ctx = ctx
+	}
 	s := &Session{
 		questions: make(chan sessionQuestion),
 		answers:   make(chan bool),
@@ -121,7 +181,16 @@ func NewSession(alg Algorithm, points []Point, k int) *Session {
 				close(s.errSig)
 			}
 		}()
-		idx := alg.Run(points, k, sessionOracle{s: s})
+		var idx int
+		if cfg.budget.Active() {
+			var cert Certificate
+			idx, cert = core.RunBudgeted(alg, points, k, sessionOracle{s: s}, cfg.budget)
+			s.mu.Lock()
+			s.cert, s.hasCert = cert, true
+			s.mu.Unlock()
+		} else {
+			idx = alg.Run(points, k, sessionOracle{s: s})
+		}
 		select {
 		case s.result <- idx:
 		case <-s.closeSig:
@@ -203,6 +272,19 @@ func (s *Session) Questions() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.asked
+}
+
+// Certificate returns the anytime certificate of a budgeted session once it
+// has finished, and ok=false before then or for unbudgeted sessions. A
+// Certified=false certificate means the point from Result is best-effort:
+// the budget ran out (see Reason) before the algorithm could prove it top-k.
+func (s *Session) Certificate() (Certificate, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.done || !s.hasCert {
+		return Certificate{}, false
+	}
+	return s.cert, true
 }
 
 // Err reports the terminal error of a failed session (an algorithm panic),

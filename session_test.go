@@ -1,6 +1,7 @@
 package ist
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"runtime"
@@ -353,5 +354,183 @@ func TestSessionWithHDPI(t *testing.T) {
 	}
 	if !IsTopK(band, hidden, k, pt) {
 		t.Fatal("HD-PI session result not top-k")
+	}
+}
+
+// TestSessionCloseRacingNextLeaksNoGoroutines is the leak regression for the
+// worst-ordered shutdown: a caller parked in Next (waiting for the next
+// question) while another goroutine Closes the session. Both the caller and
+// the algorithm goroutine must unwind; 50 iterations make a per-iteration
+// leak visible in the global goroutine count.
+func TestSessionCloseRacingNextLeaksNoGoroutines(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := AntiCorrelated(rng, 300, 3)
+	k := 4
+	band := Preprocess(ds.Points, k)
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		s := NewSession(NewRH(int64(i)), band, k)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Park on the question channel; the racing Close must wake it.
+			s.Next()
+		}()
+		s.Close()
+		wg.Wait()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestSessionBudgetMaxQuestions drives a budgeted session into exhaustion
+// and checks the anytime contract surfaces through the session API: the
+// session finishes (done, Result works) and the certificate admits the
+// answer is best-effort.
+func TestSessionBudgetMaxQuestions(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ds := AntiCorrelated(rng, 600, 4)
+	k := 3
+	band := Preprocess(ds.Points, k)
+	hidden := RandomUtility(rng, 4)
+
+	s := NewSessionContext(context.Background(), NewRH(5), band, k, WithMaxQuestions(2))
+	defer s.Close()
+	if _, ok := s.Certificate(); ok {
+		t.Fatal("certificate available before the session finished")
+	}
+	for {
+		p, q, done := s.Next()
+		if done {
+			break
+		}
+		if err := s.Answer(hidden.Dot(p) >= hidden.Dot(q)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("budgeted session errored: %v", err)
+	}
+	if _, _, err := s.Result(); err != nil {
+		t.Fatalf("no best-effort result: %v", err)
+	}
+	if got := s.Questions(); got > 2 {
+		t.Fatalf("session asked %d questions past a budget of 2", got)
+	}
+	cert, ok := s.Certificate()
+	if !ok {
+		t.Fatal("budgeted session has no certificate")
+	}
+	if cert.Certified {
+		t.Fatal("2-question session claims a certified result")
+	}
+	if cert.Reason != StopQuestions {
+		t.Fatalf("certificate reason %q, want %q", cert.Reason, StopQuestions)
+	}
+	if cert.Candidates <= k {
+		t.Fatalf("certificate claims %d candidates after 2 answers, want > %d", cert.Candidates, k)
+	}
+}
+
+// TestSessionContextCancel checks cancellation is a clean anytime stop, not
+// an error: a session created under an already-canceled context finishes
+// immediately with a best-effort result and a canceled certificate.
+func TestSessionContextCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ds := AntiCorrelated(rng, 300, 3)
+	k := 4
+	band := Preprocess(ds.Points, k)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := NewSessionContext(ctx, NewRH(8), band, k)
+	defer s.Close()
+	if _, _, done := s.Next(); !done {
+		t.Fatal("canceled session still asks questions")
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("canceled session errored: %v", err)
+	}
+	if _, _, err := s.Result(); err != nil {
+		t.Fatalf("no best-effort result: %v", err)
+	}
+	cert, ok := s.Certificate()
+	if !ok {
+		t.Fatal("canceled session has no certificate")
+	}
+	if cert.Certified || cert.Reason != StopCanceled {
+		t.Fatalf("certificate = %+v, want uncertified canceled", cert)
+	}
+}
+
+// TestSessionUnbudgetedHasNoCertificate pins the compatibility contract: a
+// plain NewSession is not budgeted, reproduces the historical behaviour, and
+// reports no certificate.
+func TestSessionUnbudgetedHasNoCertificate(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ds := AntiCorrelated(rng, 200, 3)
+	k := 5
+	band := Preprocess(ds.Points, k)
+	hidden := RandomUtility(rng, 3)
+
+	s := NewSession(NewRH(4), band, k)
+	defer s.Close()
+	for {
+		p, q, done := s.Next()
+		if done {
+			break
+		}
+		s.Answer(hidden.Dot(p) >= hidden.Dot(q))
+	}
+	if _, _, err := s.Result(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Certificate(); ok {
+		t.Fatal("unbudgeted session produced a certificate")
+	}
+}
+
+// TestSessionBudgetedPanicIsAbsorbed checks the budgeted panic semantics: a
+// poisoned oracle panic inside a budgeted session becomes a best-effort
+// result with a panic-recovered certificate, not an error state.
+func TestSessionBudgetedPanicIsAbsorbed(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	ds := AntiCorrelated(rng, 300, 3)
+	k := 4
+	band := Preprocess(ds.Points, k)
+	hidden := RandomUtility(rng, 3)
+
+	alg := &faultinject.Algorithm{Inner: NewRH(6), Plan: faultinject.Plan{PanicAt: 2}}
+	s := NewSessionContext(context.Background(), alg, band, k, WithMaxQuestions(64))
+	defer s.Close()
+	for {
+		p, q, done := s.Next()
+		if done {
+			break
+		}
+		if err := s.Answer(hidden.Dot(p) >= hidden.Dot(q)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("budgeted session entered the error state: %v", err)
+	}
+	if _, _, err := s.Result(); err != nil {
+		t.Fatalf("no best-effort result after the panic: %v", err)
+	}
+	cert, ok := s.Certificate()
+	if !ok {
+		t.Fatal("no certificate after the recovered panic")
+	}
+	if cert.Certified || cert.Reason != StopPanic {
+		t.Fatalf("certificate = %+v, want uncertified panic-recovered", cert)
 	}
 }
