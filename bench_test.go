@@ -262,3 +262,29 @@ func BenchmarkExtNoise(b *testing.B) {
 func BenchmarkExtSorting(b *testing.B) {
 	runFigure(b, "ext-sorting", experiments.Config{N: 1000, D: 3, Ks: []int{1, 20, 60}, Trials: 3, Seed: 1})
 }
+
+// BenchmarkObsCounters regenerates the observability profile (BENCH_4.json):
+// per-question LP-solve, cut, and prune counts collected through the trace
+// observer. Beyond questions/user it reports lp-solves/question for the
+// headline algorithm, measuring the per-question processing the /metrics
+// endpoint exposes in production.
+func BenchmarkObsCounters(b *testing.B) {
+	cfg := experiments.Config{N: 1000, D: 3, Ks: []int{1, 20, 60}, Trials: 3, Seed: 1}
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tab, err = experiments.Run("obs-counters", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	report := func(metric, series, unit string) {
+		for _, s := range tab.Metrics[metric] {
+			if s.Name == series && len(s.Values) > 0 {
+				b.ReportMetric(s.Values[len(s.Values)-1], unit)
+			}
+		}
+	}
+	report("questions", "RH", "rh-questions/user")
+	report("lp-solves/question", "HD-PI-accurate", "hdpi-lp-solves/question")
+}

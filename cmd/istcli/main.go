@@ -42,6 +42,7 @@ func main() {
 		simulate = flag.Bool("simulate", false, "answer automatically with a random hidden utility")
 		maxQ     = flag.Int("max-questions", 0, "answer best-effort after this many questions (0 = unlimited)")
 		timeout  = flag.Duration("timeout", 0, "answer best-effort after this much time (0 = none)")
+		trace    = flag.Bool("trace", false, "stream structured trace events to stderr as JSON lines")
 	)
 	flag.Parse()
 	if *seed == 0 {
@@ -90,6 +91,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "istcli: unknown algorithm", *algName)
 		os.Exit(1)
 	}
+	if *trace {
+		// Tracing is passive: the question sequence is identical either way.
+		ist.Observe(alg, ist.NewTraceWriter(os.Stderr))
+	}
 
 	var o ist.Oracle
 	var hidden ist.Point
@@ -113,6 +118,9 @@ func main() {
 		default:
 			fmt.Fprintln(os.Stderr, "istcli: -want > 1 supports only rh and hdpi")
 			os.Exit(1)
+		}
+		if *trace {
+			ist.Observe(multi, ist.NewTraceWriter(os.Stderr))
 		}
 		got := multi.RunMulti(band, *k, *want, o)
 		fmt.Printf("\n%s finished after %d questions; %d of your top-%d tuples:\n",

@@ -10,7 +10,9 @@
 //	POST /sessions/{id}/answer    {"prefer":1}                -> next question or {"result":{...}}
 //	GET  /sessions/{id}                                       -> current state
 //	DELETE /sessions/{id}                                     -> abort
-//	GET  /healthz                                             -> liveness, session count, build info
+//	GET  /healthz                                             -> liveness, session counts, build info
+//	GET  /metrics                                             -> Prometheus text exposition
+//	GET  /debug/pprof/                                        -> runtime profiles
 //
 // A question shows the two tuples' attribute values; answer with prefer 1
 // or 2. Sessions idle longer than -session-ttl are collected by a
@@ -52,8 +54,16 @@ func main() {
 		storePath   = flag.String("store", "", "append-only JSONL session store for crash recovery (empty = memory only)")
 		maxQ        = flag.Int("max-questions", 0, "question budget per session; past it the session answers best-effort with an uncertified certificate (0 = unlimited)")
 		deadline    = flag.Duration("session-deadline", 0, "wall-clock budget per session from creation; past it the session answers best-effort (0 = none)")
+		traceDir    = flag.String("trace-dir", "", "write one JSONL trace file per session into this directory (empty = no traces)")
 	)
 	flag.Parse()
+
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "istserve:", err)
+			os.Exit(1)
+		}
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	ds, err := ist.DatasetByName(*name, rng, *n, *d)
@@ -80,6 +90,7 @@ func main() {
 		Store:           store,
 		MaxQuestions:    *maxQ,
 		SessionDeadline: *deadline,
+		TraceDir:        *traceDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "istserve:", err)
@@ -87,7 +98,7 @@ func main() {
 	}
 	log.Printf("istserve %s (%s): %s, %d tuples (%d in the %d-skyband), %d sessions rehydrated",
 		server.BuildVersion(), runtime.Version(), ds.Name, ds.Size(), len(band), *k, srv.Sessions())
-	log.Printf("istserve: listening on %s (health at /healthz, max %d sessions, ttl %s)",
+	log.Printf("istserve: listening on %s (health at /healthz, metrics at /metrics, profiles at /debug/pprof/, max %d sessions, ttl %s)",
 		*addr, *maxSessions, *ttl)
 
 	// Per-request read/write deadlines bound a stalled or malicious client;

@@ -8,7 +8,7 @@
 // reimplemented here on top of go/ast + go/types only, because the build
 // environment is fully offline and the module must stay stdlib-only.
 //
-// The six analyzers and the invariant each one guards:
+// The seven analyzers and the invariant each one guards:
 //
 //   - floatcmp: float comparisons go through the shared geom tolerance
 //     helpers, never raw ==/!= (and never raw ordering of utility
@@ -30,6 +30,10 @@
 //     clock.Clock (internal/clock), never time.Now/Since/Until directly —
 //     otherwise anytime deadlines (PR 3) become untestable and replayed
 //     sessions can degrade differently than the recorded run did.
+//   - obsnil: library code emits trace events only through the nil-safe
+//     wrappers of internal/obs, never by calling Observer.Event directly —
+//     the observer is nil on the uninstrumented fast path (PR 4), and the
+//     wrappers are where the observation-is-passive guarantee lives.
 //
 // A diagnostic can be suppressed with a justifying directive on the same
 // line or the line immediately above:
@@ -113,6 +117,7 @@ func All() []*Analyzer {
 		EpsConstAnalyzer,
 		ErrDropAnalyzer,
 		WallClockAnalyzer,
+		ObsNilAnalyzer,
 	}
 }
 

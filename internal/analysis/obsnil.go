@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ObsNilAnalyzer enforces the nil-safety contract of the observability layer
+// (PR 4): library code emits trace events only through the nil-safe wrapper
+// functions of internal/obs (obs.Emit, obs.QuestionAsked, obs.LPSolve, ...),
+// never by calling Observer.Event directly. The observer threaded through an
+// algorithm is nil on the uninstrumented fast path — a direct o.Event(...)
+// panics exactly when no one is watching, and the wrappers are also where
+// the "observation is passive" guarantee lives (they drop events instead of
+// changing control flow).
+//
+// Flagged in non-test, non-main packages: any call x.Event(...) where the
+// static type of x implements ist/internal/obs.Observer. Exempt entirely:
+//
+//   - package main (CLIs construct concrete observers they know are non-nil);
+//   - _test.go files;
+//   - internal/obs itself (the wrappers and Combine are the sanctioned call
+//     sites).
+var ObsNilAnalyzer = &Analyzer{
+	Name: "obsnil",
+	Doc:  "flags direct Observer.Event calls in library packages; use the nil-safe obs wrappers",
+	Run:  runObsNil,
+}
+
+// obsNilExemptSuffixes lists package paths allowed to call Event directly.
+var obsNilExemptSuffixes = []string{
+	"internal/obs",
+}
+
+func runObsNil(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil // CLIs wire concrete, known-non-nil observers
+	}
+	for _, suffix := range obsNilExemptSuffixes {
+		if strings.HasSuffix(pass.PkgPath, suffix) {
+			return nil
+		}
+	}
+	iface := observerInterface(pass.Pkg)
+	if iface == nil {
+		return nil // the package cannot even name an Observer
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Event" {
+				return true
+			}
+			if _, isPkg := packageOf(pass, sel); isPkg {
+				return true // a package-level Event function, not a method
+			}
+			t := pass.TypeOf(sel.X)
+			if t == nil || !types.Implements(t, iface) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "direct Observer.Event call panics on the nil (uninstrumented) observer; emit through the nil-safe obs wrappers (obs.Emit and friends)")
+			return true
+		})
+	}
+	return nil
+}
+
+// observerInterface finds ist/internal/obs.Observer in the package's
+// transitive imports, or nil if the package never touches obs.
+func observerInterface(root *types.Package) *types.Interface {
+	seen := map[*types.Package]bool{}
+	var find func(p *types.Package) *types.Interface
+	find = func(p *types.Package) *types.Interface {
+		if p == nil || seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if strings.HasSuffix(p.Path(), "internal/obs") {
+			obj := p.Scope().Lookup("Observer")
+			if obj == nil {
+				return nil
+			}
+			iface, _ := obj.Type().Underlying().(*types.Interface)
+			return iface
+		}
+		for _, imp := range p.Imports() {
+			if iface := find(imp); iface != nil {
+				return iface
+			}
+		}
+		return nil
+	}
+	return find(root)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ist/internal/geom"
+	"ist/internal/obs"
 	"ist/internal/oracle"
 	"ist/internal/polytope"
 )
@@ -48,15 +49,18 @@ func NewRHMulti(opt RHOptions) *RHMulti {
 // Name implements MultiAlgorithm.
 func (a *RHMulti) Name() string { return "RH-SomeTopK" }
 
+// SetObserver implements Observable.
+func (a *RHMulti) SetObserver(o obs.Observer) { a.opt.Observer = o }
+
 // RunMulti implements MultiAlgorithm.
 func (a *RHMulti) RunMulti(points []geom.Vector, k, want int, o oracle.Oracle) []int {
-	return a.runMulti(points, k, want, o, nil)
+	return a.runMulti(points, k, want, o, obsTracker(a.opt.Observer))
 }
 
 // RunMultiBudgeted implements BudgetedMulti. On exhaustion it returns the
 // top-want at R's centre, best-effort.
 func (a *RHMulti) RunMultiBudgeted(points []geom.Vector, k, want int, o oracle.Oracle, b Budget) (idx []int, cert Certificate) {
-	tr := newTracker(b, a.opt.strategy(), a.opt.StopCheckEvery)
+	tr := newTracker(b, a.opt.strategy(), a.opt.StopCheckEvery, a.opt.Observer)
 	defer tr.rescueMulti(points, k, want, &idx, &cert)
 	idx = a.runMulti(points, k, want, o, tr)
 	cert = tr.certificate(points, k)
@@ -102,7 +106,9 @@ func (a *RHMulti) runMulti(points []geom.Vector, k, want int, o oracle.Oracle, t
 		}
 		probe := R.Sample(rng)
 		tr.observe(probe, verts)
-		if res, ok := lemma55Multi(points, k, verts, probe, want); ok {
+		res, resOK := lemma55Multi(points, k, verts, probe, want)
+		tr.stopCheck(resOK)
+		if resOK {
 			tr.finish(true, StopConverged, verts)
 			return res
 		}
@@ -138,11 +144,13 @@ func (a *RHMulti) runMulti(points []geom.Vector, k, want int, o oracle.Oracle, t
 		}
 		pi, pj := points[perm[i]], points[perm[bestJ]]
 		h := geom.NewHyperplane(pi, pj)
-		if !o.Prefer(pi, pj) {
+		tr.ask(perm[i], perm[bestJ])
+		ans := o.Prefer(pi, pj)
+		if !ans {
 			h = h.Flip()
 		}
-		tr.question()
-		R.Cut(h)
+		tr.question(perm[i], perm[bestJ], ans)
+		R.CutObserved(h, tr.observer())
 	}
 }
 
@@ -160,15 +168,18 @@ func NewHDPIMulti(opt HDPIOptions) *HDPIMulti {
 // Name implements MultiAlgorithm.
 func (a *HDPIMulti) Name() string { return fmt.Sprintf("HD-PI-%s-SomeTopK", a.opt.Mode) }
 
+// SetObserver implements Observable.
+func (a *HDPIMulti) SetObserver(o obs.Observer) { a.opt.Observer = o }
+
 // RunMulti implements MultiAlgorithm.
 func (a *HDPIMulti) RunMulti(points []geom.Vector, k, want int, o oracle.Oracle) []int {
-	return a.runMulti(points, k, want, o, nil)
+	return a.runMulti(points, k, want, o, obsTracker(a.opt.Observer))
 }
 
 // RunMultiBudgeted implements BudgetedMulti. On exhaustion it returns the
 // top-want at the mean vertex of the surviving partitions, best-effort.
 func (a *HDPIMulti) RunMultiBudgeted(points []geom.Vector, k, want int, o oracle.Oracle, b Budget) (idx []int, cert Certificate) {
-	tr := newTracker(b, a.opt.Strategy, a.opt.StopCheckEvery)
+	tr := newTracker(b, a.opt.Strategy, a.opt.StopCheckEvery, a.opt.Observer)
 	defer tr.rescueMulti(points, k, want, &idx, &cert)
 	idx = a.runMulti(points, k, want, o, tr)
 	cert = tr.certificate(points, k)
@@ -236,7 +247,9 @@ func (a *HDPIMulti) runMulti(points []geom.Vector, k, want int, o oracle.Oracle,
 		verts := allVertices(C)
 		probe := C[rng.Intn(len(C))].poly.Sample(rng)
 		tr.observe(probe, verts)
-		if res, ok := lemma55Multi(points, k, verts, probe, want); ok {
+		res, resOK := lemma55Multi(points, k, verts, probe, want)
+		tr.stopCheck(resOK)
+		if resOK {
 			tr.finish(true, StopConverged, verts)
 			return res
 		}
@@ -305,11 +318,15 @@ func (a *HDPIMulti) runMulti(points []geom.Vector, k, want int, o oracle.Oracle,
 
 		row := gamma.rows[bestRow]
 		h := row.h
-		if !o.Prefer(points[row.i], points[row.j]) {
+		tr.ask(row.i, row.j)
+		ans := o.Prefer(points[row.i], points[row.j])
+		if !ans {
 			h = h.Flip()
 		}
-		tr.question()
+		tr.question(row.i, row.j, ans)
+		beforeCells := len(C)
 		C = gamma.apply(h, C, bestRow)
+		tr.pruned(beforeCells - len(C))
 		if len(C) == 0 {
 			tr.finish(false, StopDegenerate, nil)
 			return oracle.TopK(points, uniformUtility(d), want)

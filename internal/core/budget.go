@@ -6,6 +6,7 @@ import (
 
 	"ist/internal/clock"
 	"ist/internal/geom"
+	"ist/internal/obs"
 	"ist/internal/oracle"
 	"ist/internal/polytope"
 )
@@ -83,14 +84,28 @@ type Certificate struct {
 	// Degradations lists the quality trade-offs the degradation ladder took
 	// under pressure (bounding downgrades, convex-mode fallback, ...).
 	Degradations []string `json:"degradations,omitempty"`
+	// Elapsed is the run's wall time, measured on the budget's injected
+	// clock (zero for inactive budgets, which perform no clock reads).
+	// JSON carries it as integer nanoseconds.
+	Elapsed time.Duration `json:"elapsed,omitempty"`
 }
 
 // tracker carries one budgeted run's accounting. A nil tracker is the
 // unbudgeted fast path: every method is safe and free on the nil receiver.
 type tracker struct {
 	active bool
-	budget Budget
-	clk    clock.Clock
+	// budgeted marks trackers built by newTracker (budget machinery in
+	// play, even if the budget itself is inactive); observer-only trackers
+	// from obsTracker leave it false so instrumentation never changes how
+	// an unbudgeted run handles faults (e.g. strict vs historical LP error
+	// handling in convex-point detection).
+	budgeted bool
+	budget   Budget
+	clk      clock.Clock
+	// obs receives trace events; nil is the silent fast path. Events carry
+	// only already-computed state, so an attached observer consumes no
+	// randomness and leaves transcripts bit-identical.
+	obs obs.Observer
 
 	// Degradation-ladder state. start/horizon scale deadline pressure;
 	// strategy and stopEvery are the knobs algorithms re-read each round.
@@ -115,12 +130,13 @@ type tracker struct {
 }
 
 // newTracker builds a tracker for the budget, seeded with the algorithm's
-// configured bounding strategy and stop-check cadence (the ladder's knobs).
-func newTracker(b Budget, strat polytope.Strategy, stopEvery int) *tracker {
+// configured bounding strategy and stop-check cadence (the ladder's knobs)
+// and carrying the run's trace observer (nil for untraced runs).
+func newTracker(b Budget, strat polytope.Strategy, stopEvery int, o obs.Observer) *tracker {
 	if stopEvery <= 0 {
 		stopEvery = 1
 	}
-	t := &tracker{budget: b, strategy: strat, stopEvery: stopEvery, active: b.Active()}
+	t := &tracker{budget: b, strategy: strat, stopEvery: stopEvery, active: b.Active(), budgeted: true, obs: o}
 	if !t.active {
 		return t
 	}
@@ -128,11 +144,54 @@ func newTracker(b Budget, strat polytope.Strategy, stopEvery int) *tracker {
 	if t.clk == nil {
 		t.clk = clock.Real
 	}
+	t.start = t.clk.Now()
 	if !b.Deadline.IsZero() {
-		t.start = t.clk.Now()
 		t.horizon = b.Deadline.Sub(t.start)
 	}
 	return t
+}
+
+// obsTracker returns a tracker that only carries a trace observer — no
+// budget, no clock — or nil when there is nothing to observe, keeping the
+// uninstrumented fast path allocation-free. It is how the plain Run entry
+// points thread an attached observer without changing any behaviour:
+// every budget gate checks active (false here) and the fault-handling
+// routing checks budgeted (also false here).
+func obsTracker(o obs.Observer) *tracker {
+	if o == nil {
+		return nil
+	}
+	return &tracker{obs: o}
+}
+
+// observer returns the trace observer, nil-safe on a nil tracker.
+func (t *tracker) observer() obs.Observer {
+	if t == nil {
+		return nil
+	}
+	return t.obs
+}
+
+// ask emits a question-asked event immediately before the oracle is
+// consulted; i and j are the compared point indices.
+func (t *tracker) ask(i, j int) {
+	if t != nil {
+		obs.QuestionAsked(t.obs, i, j)
+	}
+}
+
+// pruned emits a candidate-pruned event for n eliminated candidates.
+func (t *tracker) pruned(n int) {
+	if t != nil {
+		obs.CandidatePruned(t.obs, n)
+	}
+}
+
+// stopCheck emits a stop-check event with the stopping rule's outcome.
+func (t *tracker) stopCheck(ok bool) {
+	if t != nil {
+		obs.StopConditionCheck(t.obs, ok)
+	}
 }
 
 // exhausted reports whether the budget has run out, recording the first
@@ -163,11 +222,14 @@ func (t *tracker) stopReason() StopReason {
 	return t.exhReason
 }
 
-// question accounts one answered question. Call it after Oracle.Prefer
-// returns, so a question that panicked mid-ask is not billed to the user.
-func (t *tracker) question() {
+// question accounts one answered question and emits the answer-received
+// event. Call it after Oracle.Prefer returns, so a question that panicked
+// mid-ask is not billed to the user; i and j are the compared point indices
+// and preferFirst is the user's answer.
+func (t *tracker) question(i, j int, preferFirst bool) {
 	if t != nil {
 		t.asked++
+		obs.AnswerReceived(t.obs, i, j, preferFirst)
 	}
 }
 
@@ -216,7 +278,8 @@ func (t *tracker) maybeDegrade() {
 	}
 }
 
-// note records a degradation once.
+// note records a degradation once, emitting a degradation-step event on
+// first occurrence.
 func (t *tracker) note(msg string) {
 	if t == nil {
 		return
@@ -227,6 +290,7 @@ func (t *tracker) note(msg string) {
 		}
 	}
 	t.notes = append(t.notes, msg)
+	obs.DegradationStep(t.obs, msg)
 }
 
 // finish records the run's outcome; verts (may be nil) is the surviving
@@ -251,6 +315,10 @@ func (t *tracker) certificate(points []geom.Vector, k int) Certificate {
 	if reason == "" {
 		reason = StopConverged
 	}
+	var elapsed time.Duration
+	if t.clk != nil {
+		elapsed = t.clk.Now().Sub(t.start)
+	}
 	return Certificate{
 		Certified:      t.certified,
 		Reason:         reason,
@@ -258,6 +326,7 @@ func (t *tracker) certificate(points []geom.Vector, k int) Certificate {
 		Candidates:     countCandidates(points, k, t.lastVerts),
 		CredibleWeight: t.credible,
 		Degradations:   t.notes,
+		Elapsed:        elapsed,
 	}
 }
 

@@ -36,7 +36,13 @@ func TestNilTrackerIsFree(t *testing.T) {
 	if tr.exhausted() {
 		t.Fatal("nil tracker reports exhaustion")
 	}
-	tr.question()
+	tr.question(0, 1, true)
+	tr.ask(0, 1)
+	tr.pruned(3)
+	tr.stopCheck(false)
+	if tr.observer() != nil {
+		t.Fatal("nil tracker has an observer")
+	}
 	tr.observe(geom.Vector{1, 0}, nil)
 	tr.maybeDegrade()
 	tr.note("ignored")
@@ -50,15 +56,15 @@ func TestNilTrackerIsFree(t *testing.T) {
 }
 
 func TestTrackerQuestionBudget(t *testing.T) {
-	tr := newTracker(Budget{MaxQuestions: 2}, polytope.StrategyNone, 1)
+	tr := newTracker(Budget{MaxQuestions: 2}, polytope.StrategyNone, 1, nil)
 	if tr.exhausted() {
 		t.Fatal("exhausted before any question")
 	}
-	tr.question()
+	tr.question(0, 1, true)
 	if tr.exhausted() {
 		t.Fatal("exhausted after 1 of 2 questions")
 	}
-	tr.question()
+	tr.question(0, 1, false)
 	if !tr.exhausted() {
 		t.Fatal("not exhausted after 2 of 2 questions")
 	}
@@ -69,7 +75,7 @@ func TestTrackerQuestionBudget(t *testing.T) {
 
 func TestTrackerContextCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	tr := newTracker(Budget{Ctx: ctx}, polytope.StrategyNone, 1)
+	tr := newTracker(Budget{Ctx: ctx}, polytope.StrategyNone, 1, nil)
 	if tr.exhausted() {
 		t.Fatal("exhausted before cancellation")
 	}
@@ -89,7 +95,7 @@ func TestTrackerContextCancel(t *testing.T) {
 func TestTrackerDeadlineLadder(t *testing.T) {
 	start := time.Unix(100, 0)
 	fake := clock.NewFake(start)
-	tr := newTracker(Budget{Deadline: start.Add(1 * time.Second), Clock: fake}, polytope.StrategyBall, 2)
+	tr := newTracker(Budget{Deadline: start.Add(1 * time.Second), Clock: fake}, polytope.StrategyBall, 2, nil)
 
 	tr.maybeDegrade()
 	if tr.strategy != polytope.StrategyBall {

@@ -12,6 +12,7 @@ package core
 
 import (
 	"ist/internal/geom"
+	"ist/internal/obs"
 	"ist/internal/oracle"
 )
 
@@ -46,6 +47,16 @@ type Budgeted interface {
 type BudgetedMulti interface {
 	MultiAlgorithm
 	RunMultiBudgeted(points []geom.Vector, k, want int, o oracle.Oracle, b Budget) ([]int, Certificate)
+}
+
+// Observable is implemented by algorithms that can attach a trace observer
+// (internal/obs) to their subsequent runs. A nil observer restores the
+// uninstrumented fast path; a non-nil observer receives the question, cut,
+// prune, LP and stop-check event stream but never changes behaviour —
+// events carry only already-computed state, so transcripts and results stay
+// bit-identical and no randomness is consumed.
+type Observable interface {
+	SetObserver(o obs.Observer)
 }
 
 // RunBudgeted runs alg under b. Algorithms without budget support run to

@@ -102,7 +102,7 @@ func (g *gammaTable) apply(h geom.Hyperplane, C []partition, asked int) []partit
 			newIdx[ci] = len(next)
 			next = append(next, part)
 		case polytope.ClassIntersect:
-			part.poly.Cut(h)
+			part.poly.CutObserved(h, g.opt.Observer)
 			if !part.poly.IsEmpty() {
 				newIdx[ci] = len(next)
 				cutPart[ci] = true

@@ -6,6 +6,7 @@ import (
 
 	"ist/internal/geom"
 	"ist/internal/hull"
+	"ist/internal/obs"
 	"ist/internal/oracle"
 	"ist/internal/polytope"
 )
@@ -50,6 +51,8 @@ type HDPIOptions struct {
 	// StopCheckEvery runs the Lemma 5.5 stopping check every this many
 	// rounds (default 1 = every round; ablation knob).
 	StopCheckEvery int
+	// Observer receives trace events (internal/obs); nil disables tracing.
+	Observer obs.Observer
 }
 
 // HDPI is the high-dimensional partition-based algorithm of Section 5.2.
@@ -79,6 +82,9 @@ func NewHDPI(opt HDPIOptions) *HDPI {
 // Name implements Algorithm.
 func (a *HDPI) Name() string { return fmt.Sprintf("HD-PI-%s", a.opt.Mode) }
 
+// SetObserver implements Observable.
+func (a *HDPI) SetObserver(o obs.Observer) { a.opt.Observer = o }
+
 // partition is one element of the set C: a polytope of the utility space
 // whose every utility vector has points[point] as top-1 among the convex
 // points.
@@ -89,13 +95,13 @@ type partition struct {
 
 // Run implements Algorithm.
 func (a *HDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
-	return a.run(points, k, o, nil)
+	return a.run(points, k, o, obsTracker(a.opt.Observer))
 }
 
 // RunBudgeted implements Budgeted. On exhaustion it returns the top-1 at
 // the mean vertex of the surviving partitions.
 func (a *HDPI) RunBudgeted(points []geom.Vector, k int, o oracle.Oracle, b Budget) (idx int, cert Certificate) {
-	tr := newTracker(b, a.opt.Strategy, a.opt.StopCheckEvery)
+	tr := newTracker(b, a.opt.Strategy, a.opt.StopCheckEvery, a.opt.Observer)
 	defer tr.rescue(points, k, &idx, &cert)
 	idx = a.run(points, k, o, tr)
 	cert = tr.certificate(points, k)
@@ -161,7 +167,9 @@ func (a *HDPI) run(points []geom.Vector, k int, o oracle.Oracle, tr *tracker) in
 			probe := C[rng.Intn(len(C))].poly.Sample(rng)
 			lastProbe = probe
 			tr.observe(probe, verts)
-			if p, ok := lemma55(points, k, verts, probe); ok {
+			p, ok := lemma55(points, k, verts, probe)
+			tr.stopCheck(ok)
+			if ok {
 				tr.finish(true, StopConverged, verts)
 				return p
 			}
@@ -181,11 +189,15 @@ func (a *HDPI) run(points []geom.Vector, k int, o oracle.Oracle, tr *tracker) in
 		// Ask the user and update C and Γ (information maintenance).
 		row := gamma.rows[best]
 		h := row.h
-		if !o.Prefer(points[row.i], points[row.j]) {
+		tr.ask(row.i, row.j)
+		ans := o.Prefer(points[row.i], points[row.j])
+		if !ans {
 			h = h.Flip()
 		}
-		tr.question()
+		tr.question(row.i, row.j, ans)
+		beforeCells := len(C)
 		C = gamma.apply(h, C, best)
+		tr.pruned(beforeCells - len(C))
 		if len(C) == 0 {
 			// Only possible with an erring user (Section 6.4): every
 			// partition contradicted some answer. Fall back to the best
@@ -203,21 +215,31 @@ func (a *HDPI) run(points []geom.Vector, k int, o oracle.Oracle, tr *tracker) in
 // non-Optimal solve on a healthy problem) instead of silently mislabeling
 // convex points.
 func convexPoints(points []geom.Vector, mode ConvexMode, samples int, rng *rand.Rand, tr *tracker) []int {
+	o := tr.observer()
 	if mode == ConvexExact {
 		if len(points) > 0 && len(points[0]) == 2 {
-			return hull.ConvexPoints2D(points)
+			V := hull.ConvexPoints2D(points)
+			obs.ConvexPointsFound(o, len(V), "2d-envelope")
+			return V
 		}
-		if tr == nil {
-			return hull.ConvexPointsExact(points)
+		if tr == nil || !tr.budgeted {
+			// Plain (possibly observer-carrying) run: the historical
+			// reject-on-bad-LP behaviour, traced when an observer rides along.
+			V, _ := hull.ConvexPointsExactObserved(points, nil, false, o)
+			return V
 		}
-		V, err := hull.ConvexPointsExactErr(points, tr.exhausted)
+		V, err := hull.ConvexPointsExactObserved(points, tr.exhausted, true, o)
 		if err == nil {
 			return V
 		}
 		tr.note("convex accurate→sampling (" + err.Error() + ")")
-		return hull.ConvexPointsSampling(points, samples, rng)
+		V = hull.ConvexPointsSampling(points, samples, rng)
+		obs.ConvexPointsFound(o, len(V), "sampling")
+		return V
 	}
-	return hull.ConvexPointsSampling(points, samples, rng)
+	V := hull.ConvexPointsSampling(points, samples, rng)
+	obs.ConvexPointsFound(o, len(V), "sampling")
+	return V
 }
 
 // buildPartitions constructs the initial partition set C from the convex

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"ist/internal/geom"
+	"ist/internal/obs"
 	"ist/internal/oracle"
 	"ist/internal/polytope"
 )
@@ -19,6 +20,8 @@ type RHOptions struct {
 	// UseBall enables the O(1) bounding-ball pre-test when scanning
 	// candidate hyperplanes (default true).
 	UseBall bool
+	// Observer receives trace events (internal/obs); nil disables tracing.
+	Observer obs.Observer
 }
 
 // strategy is the bounding shortcut the options ask for; the degradation
@@ -59,16 +62,19 @@ func NewRHDefault(seed int64) *RH {
 // Name implements Algorithm.
 func (a *RH) Name() string { return "RH" }
 
+// SetObserver implements Observable.
+func (a *RH) SetObserver(o obs.Observer) { a.opt.Observer = o }
+
 // Run implements Algorithm.
 func (a *RH) Run(points []geom.Vector, k int, o oracle.Oracle) int {
-	return a.run(points, k, o, nil)
+	return a.run(points, k, o, obsTracker(a.opt.Observer))
 }
 
 // RunBudgeted implements Budgeted. On exhaustion it returns the top-1 at
 // R's centre — the centre of everything the answers so far have not ruled
 // out.
 func (a *RH) RunBudgeted(points []geom.Vector, k int, o oracle.Oracle, b Budget) (idx int, cert Certificate) {
-	tr := newTracker(b, a.opt.strategy(), a.opt.StopCheckEvery)
+	tr := newTracker(b, a.opt.strategy(), a.opt.StopCheckEvery, a.opt.Observer)
 	defer tr.rescue(points, k, &idx, &cert)
 	idx = a.run(points, k, o, tr)
 	cert = tr.certificate(points, k)
@@ -118,7 +124,9 @@ func (a *RH) run(points []geom.Vector, k int, o oracle.Oracle, tr *tracker) int 
 			}
 			probe := R.Sample(rng)
 			tr.observe(probe, verts)
-			if p, ok := lemma55(points, k, verts, probe); ok {
+			p, ok := lemma55(points, k, verts, probe)
+			tr.stopCheck(ok)
+			if ok {
 				tr.finish(true, StopConverged, verts)
 				return p
 			}
@@ -163,10 +171,12 @@ func (a *RH) run(points []geom.Vector, k int, o oracle.Oracle, tr *tracker) int 
 
 		pi, pj := points[perm[i]], points[perm[bestJ]]
 		h := geom.NewHyperplane(pi, pj)
-		if !o.Prefer(pi, pj) {
+		tr.ask(perm[i], perm[bestJ])
+		ans := o.Prefer(pi, pj)
+		if !ans {
 			h = h.Flip()
 		}
-		tr.question()
-		R.Cut(h)
+		tr.question(perm[i], perm[bestJ], ans)
+		R.CutObserved(h, tr.observer())
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"ist/internal/geom"
+	"ist/internal/obs"
 	"ist/internal/oracle"
 	"ist/internal/polytope"
 )
@@ -51,6 +52,8 @@ type RobustHDPIOptions struct {
 	MaxQuestions int
 	// Rng drives sampling; required.
 	Rng *rand.Rand
+	// Observer receives trace events (internal/obs); nil disables tracing.
+	Observer obs.Observer
 }
 
 // NewRobustHDPI builds the noise-tolerant HD-PI variant.
@@ -76,15 +79,18 @@ func NewRobustHDPI(opt RobustHDPIOptions) *RobustHDPI {
 // Name implements Algorithm.
 func (a *RobustHDPI) Name() string { return fmt.Sprintf("Robust-HD-PI-%s", a.opt.Mode) }
 
+// SetObserver implements Observable.
+func (a *RobustHDPI) SetObserver(o obs.Observer) { a.opt.Observer = o }
+
 // Run implements Algorithm.
 func (a *RobustHDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
-	return a.run(points, k, o, nil)
+	return a.run(points, k, o, obsTracker(a.opt.Observer))
 }
 
 // RunBudgeted implements Budgeted. The certificate additionally reports the
 // posterior weight fraction behind the answer (CredibleWeight).
 func (a *RobustHDPI) RunBudgeted(points []geom.Vector, k int, o oracle.Oracle, b Budget) (idx int, cert Certificate) {
-	tr := newTracker(b, polytope.StrategyBall, 1)
+	tr := newTracker(b, polytope.StrategyBall, 1, a.opt.Observer)
 	defer tr.rescue(points, k, &idx, &cert)
 	idx = a.run(points, k, o, tr)
 	cert = tr.certificate(points, k)
@@ -168,7 +174,9 @@ func (a *RobustHDPI) run(points []geom.Vector, k int, o oracle.Oracle, tr *track
 		}
 		probe = probe.Scale(1 / wsum)
 		tr.observe(probe, nil)
-		if p, ok := lemma55(points, k, verts, probe); ok {
+		p, ok := lemma55(points, k, verts, probe)
+		tr.stopCheck(ok)
+		if ok {
 			return p, verts, true
 		}
 		if strict {
@@ -252,10 +260,12 @@ func (a *RobustHDPI) run(points []geom.Vector, k int, o oracle.Oracle, tr *track
 		row := gamma[bestRow]
 		lastAsked[bestRow] = q
 		h := row.h
-		if !o.Prefer(points[row.i], points[row.j]) {
+		tr.ask(row.i, row.j)
+		ans := o.Prefer(points[row.i], points[row.j])
+		if !ans {
 			h = h.Flip()
 		}
-		tr.question()
+		tr.question(row.i, row.j, ans)
 		// Posterior-style reweight: partitions entirely on the
 		// contradicted side decay by Eta (≈ p/(1-p) for assumed error p);
 		// straddling partitions split the difference. A degenerate ClassOn

@@ -2,6 +2,7 @@ package core
 
 import (
 	"ist/internal/geom"
+	"ist/internal/obs"
 	"ist/internal/oracle"
 	"ist/internal/polytope"
 	"ist/internal/sweep"
@@ -12,20 +13,26 @@ import (
 // the partitions through user questions (Algorithm 2). It asks
 // O(log₂⌈2n/(k+1)⌉) questions, which is asymptotically optimal
 // (Theorem 4.5, Corollary 4.6).
-type TwoDPI struct{}
+type TwoDPI struct {
+	// Obs receives trace events from subsequent runs; nil disables tracing.
+	Obs obs.Observer
+}
 
 // Name implements Algorithm.
 func (TwoDPI) Name() string { return "2D-PI" }
 
+// SetObserver implements Observable.
+func (t *TwoDPI) SetObserver(o obs.Observer) { t.Obs = o }
+
 // Run implements Algorithm. It panics if the points are not 2-dimensional.
 func (t TwoDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
-	return t.run(points, k, o, nil)
+	return t.run(points, k, o, obsTracker(t.Obs))
 }
 
 // RunBudgeted implements Budgeted. On exhaustion it returns the point of the
 // median surviving partition — the binary search's current best guess.
 func (t TwoDPI) RunBudgeted(points []geom.Vector, k int, o oracle.Oracle, b Budget) (idx int, cert Certificate) {
-	tr := newTracker(b, polytope.StrategyNone, 1)
+	tr := newTracker(b, polytope.StrategyNone, 1, t.Obs)
 	defer tr.rescue(points, k, &idx, &cert)
 	idx = t.run(points, k, o, tr)
 	cert = tr.certificate(points, k)
@@ -43,14 +50,18 @@ func (TwoDPI) run(points []geom.Vector, k int, o oracle.Oracle, tr *tracker) int
 		}
 		part := parts[x]
 		tr.observe(geom.Vector{part.R, 1 - part.R}, nil)
+		before := right - left + 1
 		// The boundary pair crosses exactly at part.R, with BoundaryI
 		// ranking higher for u[1] < part.R (Section 4.3).
-		if o.Prefer(points[part.BoundaryI], points[part.BoundaryJ]) {
+		tr.ask(part.BoundaryI, part.BoundaryJ)
+		ans := o.Prefer(points[part.BoundaryI], points[part.BoundaryJ])
+		if ans {
 			right = x
 		} else {
 			left = x + 1
 		}
-		tr.question()
+		tr.question(part.BoundaryI, part.BoundaryJ, ans)
+		tr.pruned(before - (right - left + 1))
 	}
 	tr.finish(true, StopConverged, twoDPIRegion(parts, left, left))
 	return parts[left].Point

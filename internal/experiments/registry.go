@@ -28,8 +28,9 @@ var Registry = map[string]Runner{
 	"fig-island": FigIsland,
 	"fig-car":    FigCar,
 	// Extensions beyond the paper (documented in EXPERIMENTS.md):
-	"ext-noise":   ExtNoise,
-	"ext-sorting": ExtSorting,
+	"ext-noise":    ExtNoise,
+	"ext-sorting":  ExtSorting,
+	"obs-counters": ObsCounters,
 }
 
 // Names returns the registered experiment ids in a stable order.

@@ -26,6 +26,7 @@ import (
 
 	"ist/internal/geom"
 	"ist/internal/lp"
+	"ist/internal/obs"
 	"ist/internal/oracle"
 )
 
@@ -34,7 +35,7 @@ import (
 // conservatively rejects the candidate (the historical behaviour); use
 // ConvexPointsExactErr to detect that instead.
 func ConvexPointsExact(points []geom.Vector) []int {
-	v, _ := convexPointsExact(points, nil, false)
+	v, _ := convexPointsExact(points, nil, false, nil)
 	return v
 }
 
@@ -46,10 +47,21 @@ func ConvexPointsExact(points []geom.Vector) []int {
 // LP batch loop) lets a budgeted caller abandon the scan early, receiving
 // the convex points confirmed so far.
 func ConvexPointsExactErr(points []geom.Vector, stop func() bool) ([]int, error) {
-	return convexPointsExact(points, stop, true)
+	return convexPointsExact(points, stop, true, nil)
 }
 
-func convexPointsExact(points []geom.Vector, stop func() bool, strict bool) ([]int, error) {
+// ConvexPointsExactObserved is the fully parameterized exact detection with
+// trace events: one lp-solve event per LP (via lp.SolveTraced) and one
+// convex-point-test event per candidate decision. stop optionally abandons
+// the scan early as in ConvexPointsExactErr; strict selects that function's
+// error reporting for bad LP solves (true) or ConvexPointsExact's historical
+// silent-reject behaviour (false), so instrumented callers can keep whichever
+// fault semantics they had before attaching an observer.
+func ConvexPointsExactObserved(points []geom.Vector, stop func() bool, strict bool, o obs.Observer) ([]int, error) {
+	return convexPointsExact(points, stop, strict, o)
+}
+
+func convexPointsExact(points []geom.Vector, stop func() bool, strict bool, o obs.Observer) ([]int, error) {
 	n := len(points)
 	if n == 0 {
 		return nil, nil
@@ -90,7 +102,7 @@ func convexPointsExact(points []geom.Vector, stop func() bool, strict bool) ([]i
 			break // budget exhausted: report what is confirmed so far
 		}
 		for {
-			u, delta, ok := maxMinMargin(points, p, confirmedList)
+			u, delta, ok := maxMinMargin(points, p, confirmedList, o)
 			if !ok {
 				if strict {
 					sort.Ints(confirmedList)
@@ -114,6 +126,7 @@ func convexPointsExact(points []geom.Vector, stop func() bool, strict bool) ([]i
 			}
 			confirm(w) // found a new convex point; retry with it constrained
 		}
+		obs.ConvexPointTest(o, p, confirmed[p])
 	}
 	sort.Ints(confirmedList)
 	return confirmedList, nil
@@ -121,7 +134,7 @@ func convexPointsExact(points []geom.Vector, stop func() bool, strict bool) ([]i
 
 // maxMinMargin solves max δ s.t. u in simplex, u·(p − q) ≥ δ for all q in
 // against (excluding p itself). Returns the witness u and δ.
-func maxMinMargin(points []geom.Vector, p int, against []int) (geom.Vector, float64, bool) {
+func maxMinMargin(points []geom.Vector, p int, against []int, o obs.Observer) (geom.Vector, float64, bool) {
 	d := len(points[p])
 	nv := d + 1 // u plus δ
 	obj := make([]float64, nv)
@@ -143,7 +156,7 @@ func maxMinMargin(points []geom.Vector, p int, against []int) (geom.Vector, floa
 	}
 	free := make([]bool, nv)
 	free[d] = true
-	res := lp.Solve(lp.Problem{NumVars: nv, Objective: obj, Constraints: cons, Free: free})
+	res := lp.SolveTraced(lp.Problem{NumVars: nv, Objective: obj, Constraints: cons, Free: free}, o)
 	if res.Status != lp.Optimal {
 		return nil, 0, false
 	}

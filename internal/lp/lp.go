@@ -12,8 +12,11 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
+	"ist/internal/clock"
 	"ist/internal/geom"
+	"ist/internal/obs"
 )
 
 // Relation is the comparison operator of a constraint.
@@ -105,16 +108,55 @@ func SetSolveHook(h func(*Result)) {
 	solveHook.Store(&h)
 }
 
+// solveClock times traced solves. It is injectable (SetClock) so tests
+// control durations and the library never reads the wall clock directly;
+// the default is the real clock, read only when a trace observer is
+// attached — the untraced fast path performs no clock reads at all.
+var solveClock atomic.Pointer[clock.Clock]
+
+// SetClock injects the clock used to time traced solves (nil restores the
+// real clock).
+func SetClock(c clock.Clock) {
+	if c == nil {
+		solveClock.Store(nil)
+		return
+	}
+	solveClock.Store(&c)
+}
+
+func clk() clock.Clock {
+	if p := solveClock.Load(); p != nil {
+		return *p
+	}
+	return clock.Real
+}
+
 // Solve optimizes the problem with a two-phase dense simplex method.
 func Solve(p Problem) Result {
-	res := solve(p)
+	return SolveTraced(p, nil)
+}
+
+// SolveTraced is Solve with an lp-solve trace event per call: final status,
+// simplex pivot iterations, and duration measured on the injected package
+// clock. A nil observer is the plain Solve fast path (no clock reads, no
+// allocation). The chaos-test solve hook applies before the event is
+// emitted, so a corrupted result is reported as what the caller saw.
+func SolveTraced(p Problem, o obs.Observer) Result {
+	var start time.Time
+	if o != nil {
+		start = clk().Now()
+	}
+	res, iters := solve(p)
 	if h := solveHook.Load(); h != nil {
 		(*h)(&res)
+	}
+	if o != nil {
+		obs.LPSolve(o, res.Status.String(), iters, clk().Now().Sub(start))
 	}
 	return res
 }
 
-func solve(p Problem) Result {
+func solve(p Problem) (Result, int) {
 	if len(p.Objective) != p.NumVars {
 		panic(fmt.Sprintf("lp: objective has %d coefficients for %d variables", len(p.Objective), p.NumVars))
 	}
@@ -222,6 +264,7 @@ func solve(p Problem) Result {
 	}
 
 	// Phase 1: minimize sum of artificials == maximize -(sum of artificials).
+	iters := 0
 	if nArt > 0 {
 		obj := t[m]
 		for j := 0; j <= total; j++ {
@@ -236,15 +279,17 @@ func solve(p Problem) Result {
 				addRow(obj, t[i], 1)
 			}
 		}
-		if !simplexIterate(t, basis, total, m) {
+		ok, n := simplexIterate(t, basis, total, m)
+		iters += n
+		if !ok {
 			// Phase 1 of a bounded-below objective cannot be unbounded, but be
 			// defensive anyway.
-			return Result{Status: Infeasible}
+			return Result{Status: Infeasible}, iters
 		}
 		// With this tableau convention the objective row's RHS equals the
 		// negated objective value, so phase-1 optimum = -t[m][total].
 		if t[m][total] > feasEps {
-			return Result{Status: Infeasible}
+			return Result{Status: Infeasible}, iters
 		}
 		// Drive remaining artificials out of the basis where possible.
 		for i := 0; i < m; i++ {
@@ -298,8 +343,10 @@ func solve(p Problem) Result {
 		}
 	}
 
-	if !simplexIterate(t, basis, total, m) {
-		return Result{Status: Unbounded}
+	ok, n := simplexIterate(t, basis, total, m)
+	iters += n
+	if !ok {
+		return Result{Status: Unbounded}, iters
 	}
 
 	// Extract solution.
@@ -320,7 +367,7 @@ func solve(p Problem) Result {
 	for i, c := range p.Objective {
 		val += c * x[i]
 	}
-	return Result{Status: Optimal, X: x, Value: val}
+	return Result{Status: Optimal, X: x, Value: val}, iters
 }
 
 // addRow does dst += f * src over the full tableau width.
@@ -355,8 +402,9 @@ func pivot(t [][]float64, basis []int, row, col, total, m int) {
 }
 
 // simplexIterate runs primal simplex on the tableau until optimal or
-// unbounded. Returns false on unboundedness.
-func simplexIterate(t [][]float64, basis []int, total, m int) bool {
+// unbounded, also reporting how many pivot iterations it ran. Returns
+// ok=false on unboundedness.
+func simplexIterate(t [][]float64, basis []int, total, m int) (bool, int) {
 	obj := t[m]
 	for iter := 0; iter < maxIter; iter++ {
 		bland := iter >= blandAfter
@@ -374,7 +422,7 @@ func simplexIterate(t [][]float64, basis []int, total, m int) bool {
 			}
 		}
 		if col < 0 {
-			return true // optimal
+			return true, iter // optimal
 		}
 		// Ratio test.
 		row := -1
@@ -390,10 +438,10 @@ func simplexIterate(t [][]float64, basis []int, total, m int) bool {
 			}
 		}
 		if row < 0 {
-			return false // unbounded
+			return false, iter // unbounded
 		}
 		pivot(t, basis, row, col, total, m)
 	}
 	// Iteration limit: treat the current (feasible) point as optimal enough.
-	return true
+	return true, maxIter
 }

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsBridgeEager asserts every standard metric appears in the
+// exposition before any event arrives, so dashboards see zeros rather than
+// gaps on a fresh process.
+func TestMetricsBridgeEager(t *testing.T) {
+	r := NewRegistry()
+	NewMetrics(r)
+	got := expose(r)
+	for _, name := range []string{
+		MetricQuestions, MetricLPSolves, MetricLPIterations, MetricCuts,
+		MetricPruned, MetricStopChecks, MetricConvexTests, MetricDegradations,
+		MetricLPSolveSeconds,
+	} {
+		if !strings.Contains(got, "# TYPE "+name+" ") {
+			t.Errorf("metric %s not registered eagerly:\n%s", name, got)
+		}
+	}
+}
+
+func TestMetricsBridgeCounts(t *testing.T) {
+	r := NewRegistry()
+	m := NewMetrics(r)
+	AnswerReceived(m, 0, 1, true)
+	AnswerReceived(m, 0, 2, false)
+	LPSolve(m, "optimal", 6, 20*time.Millisecond)
+	LPSolve(m, "infeasible", 2, time.Millisecond)
+	HalfspaceCut(m, "intersect", 8, 5)
+	CandidatePruned(m, 3)
+	StopConditionCheck(m, false)
+	ConvexPointTest(m, 4, true)
+	DegradationStep(m, "ball->rect")
+
+	got := expose(r)
+	for _, line := range []string{
+		MetricQuestions + " 2",
+		MetricLPSolves + " 2",
+		MetricLPIterations + " 8",
+		`ist_lp_solves_by_status_total{status="infeasible"} 1`,
+		`ist_lp_solves_by_status_total{status="optimal"} 1`,
+		MetricCuts + " 1",
+		MetricPruned + " 3",
+		MetricStopChecks + " 1",
+		MetricConvexTests + " 1",
+		MetricDegradations + " 1",
+		MetricLPSolveSeconds + "_count 2",
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("missing %q in exposition:\n%s", line, got)
+		}
+	}
+}
+
+// TestMetricsBridgeIdempotent asserts two bridges over one registry share
+// counters instead of panicking on re-registration.
+func TestMetricsBridgeIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a, b := NewMetrics(r), NewMetrics(r)
+	AnswerReceived(a, 0, 1, true)
+	AnswerReceived(b, 0, 1, true)
+	if !strings.Contains(expose(r), MetricQuestions+" 2\n") {
+		t.Fatalf("bridges do not share counters:\n%s", expose(r))
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"ist/internal/clock"
+)
+
+// JSONL streams trace events as one JSON object per line, stamped with a
+// sequence number and seconds since the first event — measured on the
+// injected clock, so traces written under a fake clock are deterministic
+// and the wallclock invariant holds. It is what istserve's -trace-dir and
+// istcli's -trace produce.
+type JSONL struct {
+	mu      sync.Mutex
+	enc     *json.Encoder
+	w       io.Writer
+	clk     clock.Clock
+	start   time.Time
+	started bool
+	seq     int64
+	err     error
+	closed  bool
+}
+
+// jsonlRecord is the on-disk shape: the event plus trace bookkeeping.
+type jsonlRecord struct {
+	Seq int64   `json:"seq"`
+	T   float64 `json:"tSeconds"`
+	Event
+}
+
+// NewJSONL returns a JSONL observer writing to w, timing on clk (nil means
+// the real clock).
+func NewJSONL(w io.Writer, clk clock.Clock) *JSONL {
+	if clk == nil {
+		clk = clock.Real
+	}
+	return &JSONL{enc: json.NewEncoder(w), w: w, clk: clk}
+}
+
+// Event implements Observer.
+func (j *JSONL) Event(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed || j.err != nil {
+		return
+	}
+	now := j.clk.Now()
+	if !j.started {
+		j.start, j.started = now, true
+	}
+	j.seq++
+	rec := jsonlRecord{Seq: j.seq, T: now.Sub(j.start).Seconds(), Event: e}
+	if err := j.enc.Encode(rec); err != nil {
+		j.err = err // keep the first error; drop later events
+	}
+}
+
+// Err returns the first write error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close stops the stream and closes the underlying writer when it is an
+// io.Closer. Safe to call more than once.
+func (j *JSONL) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return j.err
+	}
+	j.closed = true
+	if c, ok := j.w.(io.Closer); ok {
+		if err := c.Close(); err != nil && j.err == nil {
+			j.err = err
+		}
+	}
+	return j.err
+}

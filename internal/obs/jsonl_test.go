@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"ist/internal/clock"
+)
+
+func TestJSONLFakeClock(t *testing.T) {
+	fake := clock.NewFake(time.Unix(1000, 0))
+	var sb strings.Builder
+	j := NewJSONL(&sb, fake)
+	QuestionAsked(j, 3, 7)
+	fake.Advance(1500 * time.Millisecond)
+	AnswerReceived(j, 3, 7, true)
+
+	var recs []map[string]any
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, m)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("wrote %d records, want 2", len(recs))
+	}
+	if recs[0]["seq"] != 1.0 || recs[1]["seq"] != 2.0 {
+		t.Fatalf("sequence numbers = %v, %v", recs[0]["seq"], recs[1]["seq"])
+	}
+	if recs[0]["tSeconds"] != 0.0 || recs[1]["tSeconds"] != 1.5 {
+		t.Fatalf("timestamps = %v, %v; want 0, 1.5", recs[0]["tSeconds"], recs[1]["tSeconds"])
+	}
+	if recs[0]["kind"] != "question-asked" || recs[1]["kind"] != "answer-received" {
+		t.Fatalf("kinds = %v, %v", recs[0]["kind"], recs[1]["kind"])
+	}
+	if recs[1]["answer"] != true {
+		t.Fatalf("answer field = %v, want true", recs[1]["answer"])
+	}
+	// Zero-valued fields stay omitted: the first record has no answer key.
+	if _, ok := recs[0]["answer"]; ok {
+		t.Fatal("omitempty violated: zero answer serialized")
+	}
+}
+
+type closableBuffer struct {
+	strings.Builder
+	closed int
+}
+
+func (c *closableBuffer) Close() error {
+	c.closed++
+	return nil
+}
+
+func TestJSONLClose(t *testing.T) {
+	var buf closableBuffer
+	j := NewJSONL(&buf, clock.NewFake(time.Unix(0, 0)))
+	QuestionAsked(j, 0, 1)
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if buf.closed != 1 {
+		t.Fatalf("underlying writer closed %d times, want 1", buf.closed)
+	}
+	before := buf.Len()
+	QuestionAsked(j, 2, 3) // dropped after close
+	if buf.Len() != before {
+		t.Fatal("event written after Close")
+	}
+	if err := j.Close(); err != nil || buf.closed != 1 {
+		t.Fatal("Close is not idempotent")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestJSONLWriteError(t *testing.T) {
+	j := NewJSONL(failingWriter{}, clock.NewFake(time.Unix(0, 0)))
+	QuestionAsked(j, 0, 1)
+	if j.Err() == nil {
+		t.Fatal("write error not surfaced via Err")
+	}
+	QuestionAsked(j, 2, 3) // must not panic; stream is dead
+}

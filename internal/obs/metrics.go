@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the zero-dependency metrics half of the observability layer:
+// counters, gauges and fixed-bucket histograms, registered by name on a
+// Registry and rendered in the Prometheus text exposition format (version
+// 0.0.4, the format every Prometheus-compatible scraper accepts). There is
+// deliberately no global default registry: istserve owns one and wires it
+// to /metrics; tests build their own.
+
+// Registry holds named metrics and renders them for scraping. Registration
+// is idempotent: asking for an existing name returns the existing metric
+// (and panics if the kind differs — that is a programming error).
+type Registry struct {
+	mu      sync.Mutex
+	ordered []metric // exposition order = registration order
+	byName  map[string]metric
+}
+
+// metric is anything the registry can expose.
+type metric interface {
+	name() string
+	help() string
+	kind() string // "counter" | "gauge" | "histogram"
+	expose(w io.Writer)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]metric{}}
+}
+
+// register adds m under its name, or returns the already-registered metric.
+func (r *Registry) register(m metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byName[m.name()]; ok {
+		if prev.kind() != m.kind() {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", m.name(), m.kind(), prev.kind()))
+		}
+		return prev
+	}
+	checkMetricName(m.name())
+	r.byName[m.name()] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// Counter registers (or returns) a monotonically increasing counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(&Counter{nm: name, hp: help}).(*Counter)
+}
+
+// Gauge registers (or returns) a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(&Gauge{nm: name, hp: help}).(*Gauge)
+}
+
+// Histogram registers (or returns) a fixed-bucket histogram. Buckets are
+// upper bounds in increasing order; the implicit +Inf bucket is added at
+// exposition. Passing nil uses DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	h := &Histogram{nm: name, hp: help, upper: append([]float64(nil), buckets...)}
+	sort.Float64s(h.upper)
+	h.counts = make([]uint64, len(h.upper))
+	return r.register(h).(*Histogram)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	metrics := append([]metric(nil), r.ordered...)
+	r.mu.Unlock()
+	for _, m := range metrics {
+		fmt.Fprintf(w, "# HELP %s %s\n", m.name(), escapeHelp(m.help()))
+		fmt.Fprintf(w, "# TYPE %s %s\n", m.name(), m.kind())
+		m.expose(w)
+	}
+}
+
+// Counter is a monotonically increasing integer counter. The zero value is
+// usable but unregistered; get counters from a Registry.
+type Counter struct {
+	nm, hp string
+	v      atomic.Int64
+	labels string // pre-rendered {k="v",...} for labeled children, or ""
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (which must be >= 0; counters never go down).
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("obs: counter decremented")
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) name() string { return c.nm }
+func (c *Counter) help() string { return c.hp }
+func (c *Counter) kind() string { return "counter" }
+func (c *Counter) expose(w io.Writer) {
+	fmt.Fprintf(w, "%s%s %s\n", c.nm, c.labels, strconv.FormatInt(c.v.Load(), 10))
+}
+
+// CounterVec is a counter family with one fixed label dimension per child.
+type CounterVec struct {
+	nm, hp string
+	keys   []string
+	mu     sync.Mutex
+	kids   map[string]*Counter // keyed by rendered label string
+}
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelKeys ...string) *CounterVec {
+	for _, k := range labelKeys {
+		checkMetricName(k)
+	}
+	cv := &CounterVec{nm: name, hp: help, keys: labelKeys, kids: map[string]*Counter{}}
+	return r.register(cv).(*CounterVec)
+}
+
+// With returns the child counter for the given label values (one per key,
+// in key order), creating it on first use.
+func (cv *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(cv.keys) {
+		panic(fmt.Sprintf("obs: counter %s wants %d label values, got %d", cv.nm, len(cv.keys), len(values)))
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range cv.keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `%s="%s"`, k, escapeLabel(values[i]))
+	}
+	sb.WriteByte('}')
+	key := sb.String()
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	kid, ok := cv.kids[key]
+	if !ok {
+		kid = &Counter{nm: cv.nm, labels: key}
+		cv.kids[key] = kid
+	}
+	return kid
+}
+
+func (cv *CounterVec) name() string { return cv.nm }
+func (cv *CounterVec) help() string { return cv.hp }
+func (cv *CounterVec) kind() string { return "counter" }
+func (cv *CounterVec) expose(w io.Writer) {
+	cv.mu.Lock()
+	keys := make([]string, 0, len(cv.kids))
+	for k := range cv.kids {
+		keys = append(keys, k)
+	}
+	kids := make([]*Counter, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		kids = append(kids, cv.kids[k])
+	}
+	cv.mu.Unlock()
+	for _, kid := range kids {
+		kid.expose(w)
+	}
+}
+
+// Gauge is a value that can go up and down. Stored as float bits so Set can
+// carry non-integer values (utilization ratios) atomically.
+type Gauge struct {
+	nm, hp string
+	bits   atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) name() string { return g.nm }
+func (g *Gauge) help() string { return g.hp }
+func (g *Gauge) kind() string { return "gauge" }
+func (g *Gauge) expose(w io.Writer) {
+	fmt.Fprintf(w, "%s %s\n", g.nm, formatFloat(g.Value()))
+}
+
+// DefBuckets are the default histogram buckets (seconds), matching the
+// Prometheus client convention so dashboards transfer.
+var DefBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// QuestionCountBuckets suit "questions until X" distributions: powers of
+// two up to far beyond any reasonable interactive session.
+var QuestionCountBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// Histogram is a fixed-bucket cumulative histogram.
+type Histogram struct {
+	nm, hp string
+	upper  []float64 // sorted upper bounds, excluding +Inf
+
+	mu     sync.Mutex
+	counts []uint64 // per-bucket (non-cumulative) observation counts
+	inf    uint64   // observations above the last bound
+	sum    float64
+	total  uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.total++
+	for i, up := range h.upper {
+		if v <= up {
+			h.counts[i]++
+			return
+		}
+	}
+	h.inf++
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+func (h *Histogram) name() string { return h.nm }
+func (h *Histogram) help() string { return h.hp }
+func (h *Histogram) kind() string { return "histogram" }
+func (h *Histogram) expose(w io.Writer) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := uint64(0)
+	for i, up := range h.upper {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.nm, formatFloat(up), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.nm, h.total)
+	fmt.Fprintf(w, "%s_sum %s\n", h.nm, formatFloat(h.sum))
+	fmt.Fprintf(w, "%s_count %d\n", h.nm, h.total)
+}
+
+// formatFloat renders a float the way Prometheus expects (shortest
+// round-trip representation; +Inf/-Inf/NaN spelled out).
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP line per the exposition format: backslash and
+// newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value body: backslash, double quote, newline
+// (the caller supplies the surrounding quotes).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// checkMetricName panics on names the exposition format would reject.
+func checkMetricName(name string) {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			panic(fmt.Sprintf("obs: invalid metric name %q", name))
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func expose(r *Registry) string {
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	return sb.String()
+}
+
+func TestCounterExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ist_test_total", "things counted")
+	c.Inc()
+	c.Add(4)
+	got := expose(r)
+	want := "# HELP ist_test_total things counted\n# TYPE ist_test_total counter\nist_test_total 5\n"
+	if got != want {
+		t.Fatalf("exposition:\n%q\nwant\n%q", got, want)
+	}
+	if c.Value() != 5 {
+		t.Fatalf("Value() = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterRejectsDecrement(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	NewRegistry().Counter("ist_x_total", "x").Add(-1)
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ist_esc_total", "line one\nback\\slash")
+	got := expose(r)
+	if !strings.Contains(got, `# HELP ist_esc_total line one\nback\\slash`+"\n") {
+		t.Fatalf("HELP not escaped:\n%s", got)
+	}
+	if strings.Count(got, "\n") != 3 {
+		t.Fatalf("escaped newline leaked into output:\n%q", got)
+	}
+}
+
+func TestGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("ist_live", "live things")
+	g.Set(2.5)
+	if got := expose(r); !strings.Contains(got, "ist_live 2.5\n") {
+		t.Fatalf("gauge exposition:\n%s", got)
+	}
+	g.Set(0)
+	if got := expose(r); !strings.Contains(got, "ist_live 0\n") {
+		t.Fatalf("gauge exposition after reset:\n%s", got)
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("ist_solves_total", "solves by status", "status")
+	cv.With("optimal").Add(3)
+	cv.With("infeasible").Inc()
+	if cv.With("optimal").Value() != 3 {
+		t.Fatal("With is not idempotent per label value")
+	}
+	got := expose(r)
+	// Children expose sorted by rendered label, after one HELP/TYPE header.
+	want := "# HELP ist_solves_total solves by status\n" +
+		"# TYPE ist_solves_total counter\n" +
+		`ist_solves_total{status="infeasible"} 1` + "\n" +
+		`ist_solves_total{status="optimal"} 3` + "\n"
+	if got != want {
+		t.Fatalf("vec exposition:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("ist_weird_total", "weird labels", "v")
+	cv.With("a\"b\\c\nd").Inc()
+	got := expose(r)
+	if !strings.Contains(got, `ist_weird_total{v="a\"b\\c\nd"} 1`+"\n") {
+		t.Fatalf("label not escaped:\n%q", got)
+	}
+}
+
+func TestCounterVecArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity did not panic")
+		}
+	}()
+	NewRegistry().CounterVec("ist_v_total", "v", "a", "b").With("only-one")
+}
+
+// TestHistogramInvariants pins the exposition-format contract scrapers rely
+// on: cumulative non-decreasing _bucket values, an explicit +Inf bucket equal
+// to _count, and a _sum equal to the total of the observations.
+func TestHistogramInvariants(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ist_lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	got := expose(r)
+	wantLines := []string{
+		"# HELP ist_lat_seconds latency",
+		"# TYPE ist_lat_seconds histogram",
+		`ist_lat_seconds_bucket{le="0.1"} 1`,
+		`ist_lat_seconds_bucket{le="1"} 3`,
+		`ist_lat_seconds_bucket{le="10"} 4`,
+		`ist_lat_seconds_bucket{le="+Inf"} 5`,
+		"ist_lat_seconds_sum 56.05",
+		"ist_lat_seconds_count 5",
+	}
+	if got != strings.Join(wantLines, "\n")+"\n" {
+		t.Fatalf("histogram exposition:\n%s\nwant:\n%s", got, strings.Join(wantLines, "\n"))
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count() = %d, want 5", h.Count())
+	}
+}
+
+func TestHistogramSortsBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ist_b_seconds", "b", []float64{5, 0.5, 1})
+	h.Observe(0.7)
+	got := expose(r)
+	i1 := strings.Index(got, `le="0.5"`)
+	i2 := strings.Index(got, `le="1"`)
+	i3 := strings.Index(got, `le="5"`)
+	if i1 < 0 || i2 < 0 || i3 < 0 || !(i1 < i2 && i2 < i3) {
+		t.Fatalf("buckets not sorted:\n%s", got)
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("ist_same_total", "first help wins")
+	b := r.Counter("ist_same_total", "ignored")
+	if a != b {
+		t.Fatal("re-registering a counter returned a different instance")
+	}
+	a.Inc()
+	if strings.Count(expose(r), "ist_same_total") != 3 {
+		t.Fatalf("duplicate exposition:\n%s", expose(r))
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ist_kind_total", "a counter")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("ist_kind_total", "now a gauge")
+}
+
+func TestInvalidMetricNamePanics(t *testing.T) {
+	for _, name := range []string{"", "1starts_with_digit", "has-dash", "has space"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", name)
+				}
+			}()
+			NewRegistry().Counter(name, "bad")
+		}()
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		0.25:         "0.25",
+		3:            "3",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatFloat(math.NaN()); got != "NaN" {
+		t.Errorf("formatFloat(NaN) = %q", got)
+	}
+}

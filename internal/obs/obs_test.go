@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestNilSafeWrappers asserts the core contract: every emit helper is a
+// no-op on a nil observer. Instrumented library code relies on this for its
+// uninstrumented fast path (and the obsnil analyzer forbids bypassing it).
+func TestNilSafeWrappers(t *testing.T) {
+	Emit(nil, Event{Kind: KindQuestionAsked})
+	QuestionAsked(nil, 0, 1)
+	AnswerReceived(nil, 0, 1, true)
+	HalfspaceCut(nil, "intersect", 5, 3)
+	CandidatePruned(nil, 2)
+	LPSolve(nil, "optimal", 7, time.Millisecond)
+	ConvexPointTest(nil, 3, true)
+	ConvexPointsFound(nil, 4, "sampling")
+	DegradationStep(nil, "ball->rect")
+	StopConditionCheck(nil, false)
+}
+
+func TestCountingTallies(t *testing.T) {
+	c := NewCounting()
+	QuestionAsked(c, 0, 1)
+	QuestionAsked(c, 2, 3)
+	AnswerReceived(c, 0, 1, true)
+	LPSolve(c, "optimal", 10, 0)
+	LPSolve(c, "infeasible", 4, 0)
+	CandidatePruned(c, 5)
+	CandidatePruned(c, 0) // removed nothing: not a prune event
+
+	if got := c.Count(KindQuestionAsked); got != 2 {
+		t.Errorf("questions = %d, want 2", got)
+	}
+	if got := c.Count(KindAnswerReceived); got != 1 {
+		t.Errorf("answers = %d, want 1", got)
+	}
+	if got := c.Count(KindLPSolve); got != 2 {
+		t.Errorf("lp solves = %d, want 2", got)
+	}
+	if got := c.Sum(KindLPSolve); got != 14 {
+		t.Errorf("lp iterations = %d, want 14", got)
+	}
+	if got := c.Count(KindCandidatePruned); got != 1 {
+		t.Errorf("prune events = %d, want 1", got)
+	}
+	if got := c.Sum(KindCandidatePruned); got != 5 {
+		t.Errorf("pruned total = %d, want 5", got)
+	}
+}
+
+func TestCombine(t *testing.T) {
+	if Combine() != nil || Combine(nil, nil) != nil {
+		t.Fatal("Combine of nothing must stay nil to preserve the fast path")
+	}
+	c := NewCounting()
+	if got := Combine(nil, c, nil); got != Observer(c) {
+		t.Fatal("Combine with one live observer must return it unwrapped")
+	}
+	c2 := NewCounting()
+	both := Combine(c, c2)
+	QuestionAsked(both, 1, 2)
+	if c.Count(KindQuestionAsked) != 1 || c2.Count(KindQuestionAsked) != 1 {
+		t.Fatal("Combine did not fan out to both observers")
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	var got []Event
+	o := Func(func(e Event) { got = append(got, e) })
+	StopConditionCheck(o, true)
+	want := []Event{{Kind: KindStopConditionCheck, OK: true}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("events = %+v, want %+v", got, want)
+	}
+}

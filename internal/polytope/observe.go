@@ -1,0 +1,21 @@
+package polytope
+
+import (
+	"ist/internal/geom"
+	"ist/internal/obs"
+)
+
+// CutObserved is Cut plus a halfspace-cut trace event describing the cut's
+// effect: the pre-cut classification and the vertex counts before and
+// after. With a nil observer it is exactly Cut — construction-time cuts
+// (initial partition building) stay unobserved so per-question cut counts
+// measure only answer-driven work.
+func (p *Polytope) CutObserved(h geom.Hyperplane, o obs.Observer) Class {
+	if o == nil {
+		return p.Cut(h)
+	}
+	before := len(p.verts)
+	class := p.Cut(h)
+	obs.HalfspaceCut(o, class.String(), before, len(p.verts))
+	return class
+}

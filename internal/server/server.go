@@ -20,6 +20,9 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"strconv"
@@ -29,6 +32,7 @@ import (
 
 	"ist"
 	"ist/internal/clock"
+	"ist/internal/obs"
 )
 
 // Options configures a Server beyond its dataset.
@@ -63,6 +67,14 @@ type Options struct {
 	// (nil = the wall clock). Tests inject a fake to drive expiry and
 	// deadlines deterministically.
 	Clock clock.Clock
+	// TraceDir, when set, writes one JSONL trace file per session
+	// (<TraceDir>/<id>.jsonl) carrying the session's structured event
+	// stream. Rehydration truncates and rewrites the file — transcript
+	// replay regenerates the same events.
+	TraceDir string
+	// Metrics is the registry /metrics exposes (nil = the server builds its
+	// own). Sharing one registry across servers aggregates their counters.
+	Metrics *obs.Registry
 }
 
 // Server is the http.Handler managing interactive sessions.
@@ -72,6 +84,17 @@ type Server struct {
 	opt    Options
 	fp     uint64
 	start  time.Time
+	clk    clock.Clock
+
+	// Observability plumbing: reg backs /metrics, bridge folds every
+	// session's trace events into it, and the histograms/counters below are
+	// the server-level (not event-level) series.
+	reg                *obs.Registry
+	bridge             *obs.Metrics
+	questionLatency    *obs.Histogram
+	questionsToCertify *obs.Histogram
+	sessionsTotal      *obs.Counter
+	sessionsLive       *obs.Gauge
 
 	mu       sync.Mutex
 	sessions map[string]*sessionState
@@ -97,6 +120,11 @@ type sessionState struct {
 	result   ist.Point
 	resultID int
 	cert     *ist.Certificate
+	// questionAt stamps when the pending question was surfaced; the answer
+	// handler turns it into the question-latency observation.
+	questionAt time.Time
+	// trace is the session's JSONL trace stream (nil without TraceDir).
+	trace *obs.JSONL
 }
 
 // New builds a server over a preprocessed point set. If opt.Store is set,
@@ -112,11 +140,26 @@ func New(points []ist.Point, k int, opt Options) (*Server, error) {
 		fp:       ist.Fingerprint(points, k),
 		sessions: map[string]*sessionState{},
 		now:      clock.Real.Now,
+		clk:      clock.Real,
 	}
 	if opt.Clock != nil {
 		srv.now = opt.Clock.Now
+		srv.clk = opt.Clock
 	}
 	srv.start = srv.now()
+	srv.reg = opt.Metrics
+	if srv.reg == nil {
+		srv.reg = obs.NewRegistry()
+	}
+	srv.bridge = obs.NewMetrics(srv.reg)
+	srv.questionLatency = srv.reg.Histogram(obs.MetricQuestionLatency,
+		"Seconds between surfacing a question and receiving its answer.", obs.DefBuckets)
+	srv.questionsToCertify = srv.reg.Histogram(obs.MetricQuestionsCertify,
+		"Questions a session needed before finishing.", obs.QuestionCountBuckets)
+	srv.sessionsTotal = srv.reg.Counter(obs.MetricSessionsTotal,
+		"Sessions created (including rehydrated) since process start.")
+	srv.sessionsLive = srv.reg.Gauge(obs.MetricSessionsLive,
+		"Sessions currently live.")
 	if opt.Store != nil {
 		if err := srv.rehydrate(); err != nil {
 			return nil, err
@@ -131,9 +174,10 @@ func New(points []ist.Point, k int, opt Options) (*Server, error) {
 }
 
 // sessionOptions builds each session's anytime options from the server
-// configuration; empty when the server runs sessions unbudgeted. The
+// configuration plus the session's observer (the shared metrics bridge and,
+// with TraceDir set, a JSONL trace file named after the session id). The
 // deadline is anchored at session creation (or rehydration) time.
-func (srv *Server) sessionOptions() []ist.SessionOption {
+func (srv *Server) sessionOptions(id string, st *sessionState) []ist.SessionOption {
 	var opts []ist.SessionOption
 	if srv.opt.MaxQuestions > 0 {
 		opts = append(opts, ist.WithMaxQuestions(srv.opt.MaxQuestions))
@@ -144,6 +188,17 @@ func (srv *Server) sessionOptions() []ist.SessionOption {
 			opts = append(opts, ist.WithClock(srv.opt.Clock))
 		}
 	}
+	observers := []obs.Observer{srv.bridge}
+	if srv.opt.TraceDir != "" {
+		f, err := os.Create(filepath.Join(srv.opt.TraceDir, id+".jsonl"))
+		if err != nil {
+			log.Printf("server: trace file for %s: %v", id, err)
+		} else {
+			st.trace = obs.NewJSONL(f, srv.clk)
+			observers = append(observers, st.trace)
+		}
+	}
+	opts = append(opts, ist.WithObserver(obs.Combine(observers...)))
 	return opts
 }
 
@@ -187,22 +242,36 @@ func (srv *Server) rehydrate() error {
 		if srv.opt.WrapAlgorithm != nil {
 			alg = srv.opt.WrapAlgorithm(rec.ID, alg)
 		}
-		s, err := ist.ResumeSessionContext(context.Background(), alg, srv.points, srv.k, rec.Answers, srv.sessionOptions()...)
+		st := &sessionState{lastUsed: srv.now()}
+		s, err := ist.ResumeSessionContext(context.Background(), alg, srv.points, srv.k, rec.Answers, srv.sessionOptions(rec.ID, st)...)
 		if err != nil {
 			log.Printf("server: session %s failed to replay: %v; dropping", rec.ID, err)
+			srv.closeTrace(st)
 			_ = srv.opt.Store.Finish(rec.ID)
 			continue
 		}
-		st := &sessionState{s: s, lastUsed: srv.now()}
+		st.s = s
+		srv.sessionsTotal.Inc()
 		srv.advance(rec.ID, st)
 		if st.failed != nil {
 			s.Close()
+			srv.closeTrace(st)
 			_ = srv.opt.Store.Finish(rec.ID)
 			continue
 		}
 		srv.sessions[rec.ID] = st
 	}
 	return nil
+}
+
+// closeTrace closes a session's JSONL trace stream, if any. Callers may hold
+// st.mu or not — JSONL has its own lock and Close is idempotent.
+func (srv *Server) closeTrace(st *sessionState) {
+	if st.trace != nil {
+		if err := st.trace.Close(); err != nil {
+			log.Printf("server: close trace: %v", err)
+		}
+	}
 }
 
 // reapLoop runs expiry in the background so idle sessions are collected
@@ -248,6 +317,7 @@ func (srv *Server) Close() {
 			st.s.Close()
 		}
 		st.mu.Unlock()
+		srv.closeTrace(st)
 	}
 	if srv.opt.Store != nil {
 		_ = srv.opt.Store.Close()
@@ -274,10 +344,14 @@ type StateResponse struct {
 	Certificate *ist.Certificate `json:"certificate,omitempty"`
 }
 
-// HealthResponse is the JSON shape of GET /healthz.
+// HealthResponse is the JSON shape of GET /healthz. Sessions is the live
+// count; SessionsTotal counts every session this process created (including
+// rehydrated ones), so the two diverge as sessions finish or expire. Uptime
+// is measured on the server's injected clock.
 type HealthResponse struct {
 	Status        string  `json:"status"`
 	Sessions      int     `json:"sessions"`
+	SessionsTotal int64   `json:"sessionsTotal"`
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 	GoVersion     string  `json:"goVersion"`
 	Version       string  `json:"version"`
@@ -298,6 +372,10 @@ func (srv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.Method == http.MethodGet && path == "healthz":
 		srv.handleHealthz(w)
+	case r.Method == http.MethodGet && path == "metrics":
+		srv.handleMetrics(w)
+	case strings.HasPrefix(r.URL.Path, "/debug/pprof"):
+		srv.handlePprof(w, r)
 	case r.Method == http.MethodPost && path == "sessions":
 		srv.handleCreate(w, r)
 	case len(parts) == 2 && parts[0] == "sessions" && r.Method == http.MethodGet:
@@ -311,9 +389,21 @@ func (srv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// BuildVersion reports the main module's version as baked in by the Go
-// toolchain ("devel" for a plain source build).
+// Version is an explicit build version, meant to be injected at link time:
+//
+//	go build -ldflags "-X ist/internal/server.Version=v1.2.3" ./cmd/istserve
+//
+// When empty, BuildVersion falls back to the module version recorded by the
+// Go toolchain.
+var Version string
+
+// BuildVersion reports the injected Version when set, otherwise the main
+// module's version as baked in by the Go toolchain ("devel" for a plain
+// source build).
 func BuildVersion() string {
+	if Version != "" {
+		return Version
+	}
 	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
 		return bi.Main.Version
 	}
@@ -324,12 +414,39 @@ func (srv *Server) handleHealthz(w http.ResponseWriter) {
 	resp := HealthResponse{
 		Status:        "ok",
 		Sessions:      srv.Sessions(),
+		SessionsTotal: srv.sessionsTotal.Value(),
 		UptimeSeconds: srv.now().Sub(srv.start).Seconds(),
 		GoVersion:     runtime.Version(),
 		Version:       BuildVersion(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// handleMetrics renders the registry in the Prometheus text exposition
+// format. The live-session gauge is refreshed lazily at scrape time — it is
+// derived state, not an event counter.
+func (srv *Server) handleMetrics(w http.ResponseWriter) {
+	srv.sessionsLive.Set(float64(srv.Sessions()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	srv.reg.WritePrometheus(w)
+}
+
+// handlePprof routes /debug/pprof/* to the standard pprof handlers; the
+// named-profile paths (heap, goroutine, ...) are handled by Index.
+func (srv *Server) handlePprof(w http.ResponseWriter, r *http.Request) {
+	switch strings.TrimPrefix(r.URL.Path, "/debug/pprof/") {
+	case "cmdline":
+		pprof.Cmdline(w, r)
+	case "profile":
+		pprof.Profile(w, r)
+	case "symbol":
+		pprof.Symbol(w, r)
+	case "trace":
+		pprof.Trace(w, r)
+	default:
+		pprof.Index(w, r)
+	}
 }
 
 func (srv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -378,7 +495,8 @@ func (srv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if srv.opt.WrapAlgorithm != nil {
 		alg = srv.opt.WrapAlgorithm(id, alg)
 	}
-	st.s = ist.NewSessionContext(context.Background(), alg, srv.points, srv.k, srv.sessionOptions()...)
+	srv.sessionsTotal.Inc()
+	st.s = ist.NewSessionContext(context.Background(), alg, srv.points, srv.k, srv.sessionOptions(id, st)...)
 	if srv.opt.Store != nil {
 		if err := srv.opt.Store.Create(SessionRecord{ID: id, Algorithm: name, Seed: seed, Fingerprint: srv.fp}); err != nil {
 			log.Printf("server: persist create %s: %v", id, err)
@@ -428,6 +546,7 @@ func (srv *Server) handleDelete(w http.ResponseWriter, id string) {
 		st.s.Close()
 	}
 	st.mu.Unlock()
+	srv.closeTrace(st)
 	if srv.opt.Store != nil {
 		_ = srv.opt.Store.Finish(id)
 	}
@@ -474,6 +593,9 @@ func (srv *Server) handleAnswer(w http.ResponseWriter, r *http.Request, id strin
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
+	if !st.questionAt.IsZero() {
+		srv.questionLatency.Observe(srv.now().Sub(st.questionAt).Seconds())
+	}
 	if srv.opt.Store != nil {
 		if err := srv.opt.Store.Answer(id, req.Prefer == 1); err != nil {
 			log.Printf("server: persist answer %s: %v", id, err)
@@ -507,6 +629,8 @@ func (srv *Server) advance(id string, st *sessionState) {
 		if cert, ok := st.s.Certificate(); ok {
 			st.cert = &cert
 		}
+		srv.questionsToCertify.Observe(float64(st.s.Questions()))
+		srv.closeTrace(st)
 		// Completed sessions need no replay on restart; drop the record.
 		if srv.opt.Store != nil {
 			_ = srv.opt.Store.Finish(id)
@@ -514,6 +638,7 @@ func (srv *Server) advance(id string, st *sessionState) {
 		return
 	}
 	st.curP, st.curQ = p, q
+	st.questionAt = srv.now()
 }
 
 // teardown removes a failed session, releases its goroutine, and forgets
@@ -527,6 +652,7 @@ func (srv *Server) teardown(id string, st *sessionState) {
 		st.s.Close()
 	}
 	st.mu.Unlock()
+	srv.closeTrace(st)
 	if srv.opt.Store != nil {
 		_ = srv.opt.Store.Finish(id)
 	}
@@ -578,6 +704,7 @@ func (srv *Server) expire() {
 			e.st.s.Close()
 		}
 		e.st.mu.Unlock()
+		srv.closeTrace(e.st)
 		if srv.opt.Store != nil {
 			_ = srv.opt.Store.Finish(e.id)
 		}

@@ -30,6 +30,7 @@
 package ist
 
 import (
+	"io"
 	"math/rand"
 	"time"
 
@@ -38,6 +39,7 @@ import (
 	"ist/internal/core"
 	"ist/internal/dataset"
 	"ist/internal/geom"
+	"ist/internal/obs"
 	"ist/internal/oracle"
 	"ist/internal/polytope"
 	"ist/internal/skyband"
@@ -130,6 +132,42 @@ const (
 // Clock is the injectable time source for deadline budgets.
 type Clock = clock.Clock
 
+// Observer receives structured trace events from an instrumented run:
+// questions asked and answered, halfspace cuts, candidate prunes, LP solves,
+// convex-point tests, stop-condition checks and degradation steps. Attaching
+// an observer never changes an algorithm's behaviour — events carry only
+// already-computed state — and a nil observer is the zero-cost fast path.
+type Observer = obs.Observer
+
+// TraceEvent is one structured trace event.
+type TraceEvent = obs.Event
+
+// TraceEventKind labels a TraceEvent.
+type TraceEventKind = obs.EventKind
+
+// Observe attaches a trace observer to an algorithm built by this package
+// (TwoDPI, HD-PI and variants, RH and variants). It reports false when the
+// algorithm does not support tracing (the adapted baselines). Passing a nil
+// observer detaches.
+func Observe(alg any, o Observer) bool {
+	oa, ok := alg.(core.Observable)
+	if ok {
+		oa.SetObserver(o)
+	}
+	return ok
+}
+
+// TraceWriter streams trace events as JSON Lines, one event per line with a
+// sequence number and seconds-since-first-event timestamp.
+type TraceWriter = obs.JSONL
+
+// NewTraceWriter returns a TraceWriter over w (commonly a file or stderr),
+// timestamping events on the real clock. Close flushes nothing (every event
+// is written eagerly) but closes w when it is an io.Closer.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return obs.NewJSONL(w, clock.Real)
+}
+
 // Result is the outcome of a Solve call.
 type Result struct {
 	// Index is the returned point's index into the input slice.
@@ -178,7 +216,7 @@ func SolveBudgeted(alg Algorithm, points []Point, k int, o Oracle, b Budget) Res
 }
 
 // NewTwoDPI returns the asymptotically optimal 2-dimensional algorithm.
-func NewTwoDPI() Algorithm { return core.TwoDPI{} }
+func NewTwoDPI() Algorithm { return &core.TwoDPI{} }
 
 // NewHDPI returns HD-PI in sampling mode (the paper's practical default)
 // with the given seed.

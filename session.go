@@ -104,7 +104,8 @@ type sessionClosed struct{}
 type SessionOption func(*sessionConfig)
 
 type sessionConfig struct {
-	budget Budget
+	budget   Budget
+	observer Observer
 }
 
 // WithBudget runs the session's algorithm under the given anytime budget:
@@ -128,6 +129,14 @@ func WithDeadline(t time.Time) SessionOption {
 // WithClock injects the time source for deadline checks (tests, replay).
 func WithClock(clk Clock) SessionOption {
 	return func(c *sessionConfig) { c.budget.Clock = clk }
+}
+
+// WithObserver attaches a trace observer to the session's algorithm (see
+// Observe). It is ignored for algorithms that do not support tracing.
+// Observation is passive: the question sequence, answers and result are
+// bit-identical with and without an observer.
+func WithObserver(o Observer) SessionOption {
+	return func(c *sessionConfig) { c.observer = o }
 }
 
 // NewSession starts an interactive session for the algorithm on the given
@@ -158,6 +167,9 @@ func NewSessionContext(ctx context.Context, alg Algorithm, points []Point, k int
 	}
 	if ctx != nil && ctx.Done() != nil {
 		cfg.budget.Ctx = ctx
+	}
+	if cfg.observer != nil {
+		Observe(alg, cfg.observer)
 	}
 	s := &Session{
 		questions: make(chan sessionQuestion),
