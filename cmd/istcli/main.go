@@ -8,11 +8,17 @@
 //	istcli -alg hdpi -k 10 -n 500
 //	istcli -dataset nba -alg rh
 //	istcli -simulate                # answer with a random hidden utility
+//	istcli -store-dir mysession     # crash-resumable: rerun to continue
 //
-// Answer each question with 1 or 2.
+// Answer each question with 1 or 2. With -store-dir every answer is
+// fsynced to a write-ahead log before the next question appears; if the
+// terminal dies, rerunning the same command replays the transcript and
+// resumes exactly where you left off, and completing the session removes
+// the directory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -20,6 +26,7 @@ import (
 	"time"
 
 	"ist"
+	"ist/internal/wal"
 )
 
 var attrNames = map[string][]string{
@@ -43,8 +50,57 @@ func main() {
 		maxQ     = flag.Int("max-questions", 0, "answer best-effort after this many questions (0 = unlimited)")
 		timeout  = flag.Duration("timeout", 0, "answer best-effort after this much time (0 = none)")
 		trace    = flag.Bool("trace", false, "stream structured trace events to stderr as JSON lines")
+		storeDir = flag.String("store-dir", "", "persist every answer to a write-ahead log in this directory; rerunning with the same flags resumes a crashed session without re-asking (removed on completion)")
 	)
 	flag.Parse()
+
+	// A resumable transcript must be opened before the RNG exists: the
+	// recovered metadata pins the seed (and thereby the dataset, the
+	// question sequence and the simulated user) of the original run.
+	var tlog *wal.Log
+	var saved []bool
+	var meta *transcriptMeta
+	if *storeDir != "" {
+		if *want > 1 {
+			fmt.Fprintln(os.Stderr, "istcli: -store-dir does not support -want > 1")
+			os.Exit(1)
+		}
+		var recov *wal.Recovery
+		var err error
+		tlog, recov, err = wal.Open(*storeDir, wal.Options{}) // fsync always: an answered question is never re-asked
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "istcli:", err)
+			os.Exit(1)
+		}
+		for _, p := range recov.Records {
+			if len(p) == 0 {
+				continue
+			}
+			switch p[0] {
+			case 'm':
+				var m transcriptMeta
+				if err := json.Unmarshal(p[1:], &m); err == nil {
+					meta = &m
+				}
+			case 'a':
+				saved = append(saved, len(p) > 1 && p[1] == '1')
+			}
+		}
+		if recov.Damaged() {
+			fmt.Fprintf(os.Stderr, "istcli: transcript in %s recovered with damage (%d corrupt record(s), %d quarantined segment(s)); resuming what survived\n",
+				*storeDir, recov.CorruptRecords, recov.QuarantinedSegments)
+		}
+		if meta != nil {
+			if meta.Alg != *algName || meta.Dataset != *name || meta.Load != *load ||
+				meta.N != *n || meta.D != *d || meta.K != *k {
+				fmt.Fprintf(os.Stderr, "istcli: transcript in %s was recorded with different flags (alg=%s dataset=%s n=%d d=%d k=%d); rerun with those or remove the directory\n",
+					*storeDir, meta.Alg, meta.Dataset, meta.N, meta.D, meta.K)
+				os.Exit(1)
+			}
+			*seed = meta.Seed
+		}
+	}
+
 	if *seed == 0 {
 		*seed = time.Now().UnixNano()
 	}
@@ -108,6 +164,30 @@ func main() {
 		fmt.Printf("Answer each question with 1 or 2; %s will find one of your top-%d tuples.\n", alg.Name(), *k)
 	}
 
+	if tlog != nil {
+		fp := ist.Fingerprint(band, *k)
+		if meta != nil && meta.Fingerprint != fp {
+			fmt.Fprintf(os.Stderr, "istcli: transcript in %s was recorded against different data (fingerprint %x != %x); remove the directory to start over\n",
+				*storeDir, meta.Fingerprint, fp)
+			os.Exit(1)
+		}
+		if meta == nil {
+			m := transcriptMeta{Alg: *algName, Dataset: *name, Load: *load, N: *n, D: *d, K: *k, Seed: *seed, Fingerprint: fp}
+			b, err := json.Marshal(m)
+			if err == nil {
+				err = tlog.Append(append([]byte{'m'}, b...))
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "istcli:", err)
+				os.Exit(1)
+			}
+		}
+		if len(saved) > 0 {
+			fmt.Printf("Resuming: replaying %d previously answered question(s) from %s.\n", len(saved), *storeDir)
+		}
+		o = &persistedOracle{inner: o, log: tlog, saved: saved}
+	}
+
 	if *want > 1 {
 		var multi ist.MultiAlgorithm
 		switch *algName {
@@ -167,4 +247,62 @@ func main() {
 		fmt.Printf("Verification: in top-%d w.r.t. the hidden utility? %v (accuracy %.4f)\n",
 			*k, ist.IsTopK(band, hidden, *k, res.Point), ist.Accuracy(band, hidden, *k, res.Point))
 	}
+	if tlog != nil {
+		// The session reached its answer; nothing is left to resume.
+		if err := tlog.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "istcli:", err)
+		}
+		if err := os.RemoveAll(*storeDir); err != nil {
+			fmt.Fprintln(os.Stderr, "istcli:", err)
+		} else {
+			fmt.Printf("Session complete; transcript store %s removed.\n", *storeDir)
+		}
+	}
 }
+
+// transcriptMeta is the first record of a -store-dir transcript: it pins
+// everything the replay needs to regenerate the identical question
+// sequence — flags, seed, and the dataset fingerprint.
+type transcriptMeta struct {
+	Alg         string `json:"alg"`
+	Dataset     string `json:"dataset"`
+	Load        string `json:"load,omitempty"`
+	N           int    `json:"n"`
+	D           int    `json:"d"`
+	K           int    `json:"k"`
+	Seed        int64  `json:"seed"`
+	Fingerprint uint64 `json:"fingerprint"`
+}
+
+// persistedOracle replays the first len(saved) answers of a recovered
+// transcript without re-asking the human (the seeded algorithm re-derives
+// the same questions), then appends every fresh answer to the WAL —
+// fsynced before it is returned, so a crash never costs an answered
+// question.
+type persistedOracle struct {
+	inner ist.Oracle
+	log   *wal.Log
+	saved []bool
+	n     int
+}
+
+// Prefer implements ist.Oracle.
+func (o *persistedOracle) Prefer(p, q ist.Point) bool {
+	o.n++
+	if o.n <= len(o.saved) {
+		return o.saved[o.n-1]
+	}
+	ans := o.inner.Prefer(p, q)
+	rec := []byte{'a', '0'}
+	if ans {
+		rec[1] = '1'
+	}
+	if err := o.log.Append(rec); err != nil {
+		fmt.Fprintln(os.Stderr, "istcli: transcript append:", err)
+	}
+	return ans
+}
+
+// Questions implements ist.Oracle, counting replayed and fresh answers
+// alike — the human answered all of them, some in an earlier life.
+func (o *persistedOracle) Questions() int { return o.n }

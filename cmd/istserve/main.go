@@ -2,7 +2,7 @@
 // product would embed the library: the server holds the algorithm state,
 // the client (a web page, an app) relays questions to a human.
 //
-//	istserve -addr :8080 -dataset car -n 1000 -k 20 -store sessions.jsonl
+//	istserve -addr :8080 -dataset car -n 1000 -k 20 -store-dir sessions.wal
 //
 // API (JSON):
 //
@@ -16,11 +16,15 @@
 //
 // A question shows the two tuples' attribute values; answer with prefer 1
 // or 2. Sessions idle longer than -session-ttl are collected by a
-// background reaper, creation is capped at -max-sessions, and with -store
-// every in-flight session is persisted to an append-only JSONL log and
-// rehydrated (by deterministic transcript replay) when the server restarts
-// — a kill -9 mid-session costs the user no re-asked questions. SIGINT or
-// SIGTERM drains connections and shuts down gracefully.
+// background reaper, creation is capped at -max-sessions, and with
+// -store-dir every in-flight session is persisted to a checksummed
+// write-ahead log (segment-rotated, snapshot-compacted, fsynced per
+// -fsync) and rehydrated (by deterministic transcript replay) when the
+// server restarts — a kill -9 or power cut mid-session costs the user no
+// re-asked questions. -store keeps the legacy single-file JSONL log
+// working and, combined with -store-dir, is migrated into the WAL store
+// on first boot. SIGINT or SIGTERM drains connections and shuts down
+// gracefully.
 package main
 
 import (
@@ -37,7 +41,9 @@ import (
 	"time"
 
 	"ist"
+	"ist/internal/obs"
 	"ist/internal/server"
+	"ist/internal/wal"
 )
 
 func main() {
@@ -51,7 +57,11 @@ func main() {
 		ttl         = flag.Duration("session-ttl", 15*time.Minute, "idle session expiry")
 		reap        = flag.Duration("reap-interval", time.Minute, "how often the reaper scans for idle sessions")
 		maxSessions = flag.Int("max-sessions", 1024, "maximum live sessions; creation beyond it returns 429 (0 = unlimited)")
-		storePath   = flag.String("store", "", "append-only JSONL session store for crash recovery (empty = memory only)")
+		storePath   = flag.String("store", "", "legacy single-file JSONL session store; with -store-dir set it is migrated into the WAL store on first boot (empty = memory only)")
+		storeDir    = flag.String("store-dir", "", "checksummed write-ahead-log session store directory for crash recovery (empty = use -store or memory only)")
+		fsync       = flag.String("fsync", "always", "store fsync policy: always|interval|never")
+		fsyncEvery  = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync batching interval for -fsync interval")
+		snapEvery   = flag.Int("snapshot-every", 256, "fold the session log into a snapshot (and compact old segments) every N events (<0 disables)")
 		maxQ        = flag.Int("max-questions", 0, "question budget per session; past it the session answers best-effort with an uncertified certificate (0 = unlimited)")
 		deadline    = flag.Duration("session-deadline", 0, "wall-clock budget per session from creation; past it the session answers best-effort (0 = none)")
 		traceDir    = flag.String("trace-dir", "", "write one JSONL trace file per session into this directory (empty = no traces)")
@@ -73,9 +83,34 @@ func main() {
 	}
 	band := ist.Preprocess(ds.Points, *k)
 
+	policy, err := wal.ParseSyncPolicy(*fsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "istserve:", err)
+		os.Exit(1)
+	}
+	// One registry for everything /metrics exposes: the server's session
+	// metrics and the store's durability metrics land side by side.
+	reg := obs.NewRegistry()
 	var store server.SessionStore
-	if *storePath != "" {
-		js, err := server.OpenJSONLStore(*storePath)
+	switch {
+	case *storeDir != "":
+		ws, err := server.OpenWALStore(*storeDir, server.WALOptions{
+			Fsync:         policy,
+			FsyncEvery:    *fsyncEvery,
+			SnapshotEvery: *snapEvery,
+			Metrics:       wal.NewMetrics(reg),
+			MigrateJSONL:  *storePath,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "istserve:", err)
+			os.Exit(1)
+		}
+		if n := ws.Migrated(); n > 0 {
+			log.Printf("istserve: migrated %d session(s) from %s into %s", n, *storePath, *storeDir)
+		}
+		store = ws
+	case *storePath != "":
+		js, err := server.OpenJSONLStoreSync(*storePath, policy, *fsyncEvery, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "istserve:", err)
 			os.Exit(1)
@@ -91,6 +126,7 @@ func main() {
 		MaxQuestions:    *maxQ,
 		SessionDeadline: *deadline,
 		TraceDir:        *traceDir,
+		Metrics:         reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "istserve:", err)

@@ -24,6 +24,12 @@ type realClock struct{}
 
 func (realClock) Now() time.Time { return time.Now() }
 
+// Since reports the time elapsed on c since t — time.Since for injected
+// clocks. Library code that batches or measures durations (the WAL's
+// interval fsync policy, its fsync-latency histogram) uses this so fake
+// clocks drive it deterministically.
+func Since(c Clock, t time.Time) time.Duration { return c.Now().Sub(t) }
+
 // Func adapts a plain func() time.Time to a Clock, bridging APIs (like the
 // HTTP server's replaceable now field) that predate the interface.
 type Func func() time.Time

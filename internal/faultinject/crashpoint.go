@@ -1,0 +1,85 @@
+package faultinject
+
+import "fmt"
+
+// This file is the crash-point harness: an exhaustive sweep that simulates
+// a crash at every single filesystem write site of a workload, restarts,
+// and lets the caller assert the anytime invariant for storage — recovered
+// state is a consistent prefix of the committed operations, and under an
+// always-fsync policy no acknowledged operation is ever lost.
+
+// CrashSite is the outcome of one simulated crash.
+type CrashSite struct {
+	// Op is the 1-based filesystem operation the crash fired at.
+	Op int `json:"op"`
+	// Acked is how many workload operations were acknowledged before the
+	// crash killed the filesystem.
+	Acked int `json:"acked"`
+	// Err carries the invariant violation, empty on success.
+	Err string `json:"err,omitempty"`
+}
+
+// CrashMatrix is the report of one sweep (one workload × one configuration),
+// JSON-shaped so CI can upload it as an artifact.
+type CrashMatrix struct {
+	// Name labels the configuration (e.g. the fsync policy).
+	Name string `json:"name"`
+	// TotalOps is how many filesystem operations the fault-free workload
+	// performs — the number of distinct crash sites swept.
+	TotalOps int `json:"totalOps"`
+	// Sites holds one entry per simulated crash.
+	Sites []CrashSite `json:"sites"`
+	// Failures counts sites whose recovery check failed.
+	Failures int `json:"failures"`
+}
+
+// CrashPointSweep exhaustively crash-tests a storage workload.
+type CrashPointSweep struct {
+	// Name labels the resulting matrix.
+	Name string
+	// Workload drives the system under test over fs until it completes or
+	// the simulated crash starts failing its operations, and returns how
+	// many of its operations were acknowledged (returned nil) before that.
+	// It must tolerate errors mid-run — a crashed filesystem fails every
+	// call — and must not panic.
+	Workload func(fs *FS) (acked int)
+	// Check reopens the system on the restarted (post-crash) filesystem
+	// and verifies the storage invariant, given how many operations the
+	// dying process had acknowledged. It returns nil when the recovered
+	// state is acceptable.
+	Check func(fs *FS, acked int) error
+}
+
+// Run executes the sweep: a fault-free counting pass first (to learn how
+// many crash sites exist), then one full workload-crash-restart-check
+// cycle per filesystem operation. A panic in recovery is itself an
+// invariant violation, so Run converts it into a failing site rather than
+// letting it unwind the caller.
+func (s CrashPointSweep) Run() CrashMatrix {
+	probe := NewFS(FSPlan{})
+	s.Workload(probe)
+	m := CrashMatrix{Name: s.Name, TotalOps: probe.Ops()}
+	for op := 1; op <= m.TotalOps; op++ {
+		site := CrashSite{Op: op}
+		fs := NewFS(FSPlan{CrashAtOp: op})
+		site.Acked = s.Workload(fs)
+		fs.CrashAndRestart()
+		if err := s.runCheck(fs, site.Acked); err != nil {
+			site.Err = err.Error()
+			m.Failures++
+		}
+		m.Sites = append(m.Sites, site)
+	}
+	return m
+}
+
+// runCheck runs Check with panics converted to errors: recovery must never
+// panic, whatever the crash left behind.
+func (s CrashPointSweep) runCheck(fs *FS, acked int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("recovery panicked: %v", r)
+		}
+	}()
+	return s.Check(fs, acked)
+}

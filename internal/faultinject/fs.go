@@ -1,0 +1,373 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"ist/internal/wal"
+)
+
+// ErrCrashed is returned by every operation on an FS after its scheduled
+// crash fires: the simulated process is dead and nothing it does reaches
+// the disk anymore.
+var ErrCrashed = errors.New("faultinject: filesystem crashed")
+
+// errInjected marks a scheduled short write or write error.
+var errInjected = errors.New("faultinject: injected write fault")
+
+// FSPlan schedules filesystem faults by 1-based mutating-operation index
+// (writes, syncs, creates, renames, removes, truncates, directory syncs).
+// A zero field disables that fault.
+type FSPlan struct {
+	// WriteErrAt makes the write that lands on the Nth operation fail
+	// without writing anything (no effect if op N is not a write).
+	WriteErrAt int
+	// ShortWriteAt makes the write that lands on the Nth operation persist
+	// only half its bytes before failing — a torn write without a crash
+	// (an ENOSPC, a bad sector).
+	ShortWriteAt int
+	// CrashAtOp crashes the filesystem at the Nth mutating operation. The
+	// operation applies partially (a write lands half its bytes; a rename,
+	// remove or sync does not take effect), then every subsequent
+	// operation fails with ErrCrashed until CrashAndRestart.
+	CrashAtOp int
+	// CrashAfterBytes crashes the filesystem once cumulative bytes written
+	// exceed this count; the boundary-straddling write lands its prefix.
+	CrashAfterBytes int64
+}
+
+// FS is an in-memory wal.FS that models what a power cut actually
+// preserves: bytes written to a file are durable only after the file is
+// synced, and a created/renamed/removed directory entry is durable only
+// after its directory is synced. A crash (scheduled by the plan, or forced
+// with CrashAndRestart) drops everything non-durable — the strictest
+// reading of POSIX, so code that survives this FS survives real disks.
+// Losses are suffix-ordered per file: synced bytes are never lost and
+// writes persist in order, matching a journaling filesystem's data plane.
+//
+// Safe for concurrent use; deterministic given a fixed operation order.
+type FS struct {
+	mu      sync.Mutex
+	plan    FSPlan
+	ops     int
+	written int64
+	crashed bool
+	// current is the live view (what the running process sees); durable is
+	// what survives a crash. Entries map name -> file; files are shared
+	// between the views and carry their own synced watermark.
+	current map[string]*memFile
+	durable map[string]*memFile
+	dirs    map[string]bool
+}
+
+type memFile struct {
+	data   []byte
+	synced int
+}
+
+// NewFS returns an empty crash-simulating filesystem.
+func NewFS(plan FSPlan) *FS {
+	return &FS{
+		plan:    plan,
+		current: map[string]*memFile{},
+		durable: map[string]*memFile{},
+		dirs:    map[string]bool{},
+	}
+}
+
+// SetPlan replaces the fault plan (typically after a restart).
+func (f *FS) SetPlan(plan FSPlan) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.plan = plan
+}
+
+// Ops reports how many mutating operations have run — the counting pass of
+// a crash-point sweep runs the workload fault-free and reads this to learn
+// how many crash sites exist.
+func (f *FS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the scheduled crash has fired.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// CrashAndRestart simulates the power cut completing and the machine
+// booting: all non-durable state is dropped (unsynced bytes, entries never
+// made durable by a directory sync) and the filesystem is healthy again
+// with a clean op counter and an empty plan.
+func (f *FS) CrashAndRestart() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.applyCrashLocked()
+	f.crashed = false
+	f.ops = 0
+	f.written = 0
+	f.plan = FSPlan{}
+}
+
+// applyCrashLocked reverts the live view to durable state.
+func (f *FS) applyCrashLocked() {
+	for _, file := range f.durable {
+		file.data = file.data[:file.synced]
+	}
+	f.current = map[string]*memFile{}
+	for name, file := range f.durable {
+		f.current[name] = file
+	}
+}
+
+// op gates one mutating operation: it counts it, fires a scheduled crash,
+// and reports whether the operation may proceed (partially, if crashing).
+// partial is non-nil only when this exact op is the crash site.
+func (f *FS) op() (proceed bool, crashNow bool) {
+	if f.crashed {
+		return false, false
+	}
+	f.ops++
+	if f.plan.CrashAtOp > 0 && f.ops == f.plan.CrashAtOp {
+		f.crashed = true
+		return true, true
+	}
+	return true, false
+}
+
+// --- wal.FS implementation ---
+
+// faultFile is a handle on a memFile; writes route through the FS so
+// faults and op accounting stay centralized.
+type faultFile struct {
+	fs   *FS
+	name string
+	file *memFile
+}
+
+// OpenFile implements wal.FS.
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (wal.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	file, ok := f.current[name]
+	switch {
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	case !ok:
+		// Creating an entry mutates the directory.
+		proceed, crash := f.op()
+		if !proceed {
+			return nil, ErrCrashed
+		}
+		file = &memFile{}
+		f.current[name] = file
+		if crash {
+			return nil, ErrCrashed
+		}
+	case flag&os.O_TRUNC != 0:
+		proceed, crash := f.op()
+		if !proceed {
+			return nil, ErrCrashed
+		}
+		file.data = file.data[:0]
+		if file.synced > 0 {
+			file.synced = 0
+		}
+		if crash {
+			return nil, ErrCrashed
+		}
+	}
+	return &faultFile{fs: f, name: name, file: file}, nil
+}
+
+// Write implements wal.File. All writes behave as appends, which is the
+// only pattern the WAL uses.
+func (h *faultFile) Write(p []byte) (int, error) {
+	f := h.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	proceed, crash := f.op()
+	if !proceed {
+		return 0, ErrCrashed
+	}
+	n := len(p)
+	var failWith error
+	switch {
+	case crash:
+		n, failWith = len(p)/2, ErrCrashed
+	case f.plan.WriteErrAt > 0 && f.ops == f.plan.WriteErrAt:
+		n, failWith = 0, fmt.Errorf("%w: write error at op %d", errInjected, f.ops)
+	case f.plan.ShortWriteAt > 0 && f.ops == f.plan.ShortWriteAt:
+		n, failWith = len(p)/2, fmt.Errorf("%w: short write at op %d", errInjected, f.ops)
+	case f.plan.CrashAfterBytes > 0 && f.written+int64(len(p)) > f.plan.CrashAfterBytes:
+		n = int(f.plan.CrashAfterBytes - f.written)
+		if n < 0 {
+			n = 0
+		}
+		f.crashed = true
+		failWith = ErrCrashed
+	}
+	h.file.data = append(h.file.data, p[:n]...)
+	f.written += int64(n)
+	if failWith != nil {
+		return n, failWith
+	}
+	return n, nil
+}
+
+// Sync implements wal.File: the file's bytes become durable.
+func (h *faultFile) Sync() error {
+	f := h.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	proceed, crash := f.op()
+	if !proceed || crash {
+		return ErrCrashed
+	}
+	h.file.synced = len(h.file.data)
+	return nil
+}
+
+// Close implements wal.File. Closing is not a durability event.
+func (h *faultFile) Close() error {
+	f := h.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// ReadFile implements wal.FS.
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	file, ok := f.current[name]
+	if !ok {
+		return nil, &os.PathError{Op: "read", Path: name, Err: os.ErrNotExist}
+	}
+	return append([]byte(nil), file.data...), nil
+}
+
+// ReadDir implements wal.FS.
+func (f *FS) ReadDir(dir string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	clean := filepath.Clean(dir)
+	var names []string
+	for name := range f.current {
+		if filepath.Dir(name) == clean {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements wal.FS.
+func (f *FS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	proceed, crash := f.op()
+	if !proceed || crash {
+		return ErrCrashed
+	}
+	file, ok := f.current[oldname]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldname, Err: os.ErrNotExist}
+	}
+	delete(f.current, oldname)
+	f.current[newname] = file
+	return nil
+}
+
+// Remove implements wal.FS.
+func (f *FS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	proceed, crash := f.op()
+	if !proceed || crash {
+		return ErrCrashed
+	}
+	if _, ok := f.current[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(f.current, name)
+	return nil
+}
+
+// Truncate implements wal.FS.
+func (f *FS) Truncate(name string, size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	proceed, crash := f.op()
+	if !proceed || crash {
+		return ErrCrashed
+	}
+	file, ok := f.current[name]
+	if !ok {
+		return &os.PathError{Op: "truncate", Path: name, Err: os.ErrNotExist}
+	}
+	if int(size) < len(file.data) {
+		file.data = file.data[:size]
+		if file.synced > int(size) {
+			file.synced = int(size)
+		}
+	}
+	return nil
+}
+
+// MkdirAll implements wal.FS. Directories themselves are modeled as always
+// durable — the store creates its directory once at deploy time; entry
+// durability is what the crash model exercises.
+func (f *FS) MkdirAll(dir string, perm os.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.dirs[filepath.Clean(dir)] = true
+	return nil
+}
+
+// SyncDir implements wal.FS: the directory's entry set becomes durable.
+// Creates, renames and removes inside it survive a crash only after this.
+func (f *FS) SyncDir(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	proceed, crash := f.op()
+	if !proceed || crash {
+		return ErrCrashed
+	}
+	clean := filepath.Clean(dir)
+	for name := range f.durable {
+		if filepath.Dir(name) == clean {
+			if _, ok := f.current[name]; !ok {
+				delete(f.durable, name)
+			}
+		}
+	}
+	for name, file := range f.current {
+		if filepath.Dir(name) == clean {
+			f.durable[name] = file
+		}
+	}
+	return nil
+}

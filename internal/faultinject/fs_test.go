@@ -1,0 +1,247 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"ist/internal/wal"
+)
+
+// write is a test helper: open-or-create name, append p, optionally sync.
+func write(t *testing.T, fs *FS, name string, p []byte, sync bool) {
+	t.Helper()
+	f, err := fs.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(p); err != nil {
+		t.Fatal(err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnsyncedBytesLostOnCrash: a crash keeps a file's synced prefix and
+// drops everything after it — losses are suffix-ordered, never holes.
+func TestUnsyncedBytesLostOnCrash(t *testing.T) {
+	fs := NewFS(FSPlan{})
+	write(t, fs, "d/f", []byte("hello"), true)
+	write(t, fs, "d/f", []byte("world"), false)
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	fs.CrashAndRestart()
+	data, err := fs.ReadFile("d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" {
+		t.Fatalf("after crash file holds %q, want the synced prefix %q", data, "hello")
+	}
+}
+
+// TestUnsyncedDirEntryLostOnCrash: syncing the file is not enough — until
+// its directory is synced, the entry itself does not survive.
+func TestUnsyncedDirEntryLostOnCrash(t *testing.T) {
+	fs := NewFS(FSPlan{})
+	write(t, fs, "d/f", []byte("hello"), true) // file synced, directory not
+	fs.CrashAndRestart()
+	if _, err := fs.ReadFile("d/f"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("un-dir-synced entry survived the crash: %v", err)
+	}
+}
+
+// TestRenameDurableOnlyAfterDirSync: the rename-into-place idiom is atomic
+// but not durable until the directory is synced.
+func TestRenameDurableOnlyAfterDirSync(t *testing.T) {
+	fs := NewFS(FSPlan{})
+	write(t, fs, "d/a", []byte("x"), true)
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := fs.Rename("d/a", "d/b"); err != nil {
+		t.Fatal(err)
+	}
+	fs.CrashAndRestart()
+	if _, err := fs.ReadFile("d/a"); err != nil {
+		t.Fatalf("un-synced rename destroyed the source: %v", err)
+	}
+	if _, err := fs.ReadFile("d/b"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("un-synced rename survived the crash: %v", err)
+	}
+
+	if err := fs.Rename("d/a", "d/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	fs.CrashAndRestart()
+	if _, err := fs.ReadFile("d/b"); err != nil {
+		t.Fatalf("dir-synced rename lost: %v", err)
+	}
+	if _, err := fs.ReadFile("d/a"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("dir-synced rename left the source behind: %v", err)
+	}
+}
+
+// TestRemoveDurableOnlyAfterDirSync: a removed file resurrects on crash
+// unless the directory was synced.
+func TestRemoveDurableOnlyAfterDirSync(t *testing.T) {
+	fs := NewFS(FSPlan{})
+	write(t, fs, "d/f", []byte("x"), true)
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("d/f"); err != nil {
+		t.Fatal(err)
+	}
+	fs.CrashAndRestart()
+	if _, err := fs.ReadFile("d/f"); err != nil {
+		t.Fatalf("un-synced remove stuck: %v", err)
+	}
+	if err := fs.Remove("d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	fs.CrashAndRestart()
+	if _, err := fs.ReadFile("d/f"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("dir-synced remove undone by crash: %v", err)
+	}
+}
+
+// TestShortWriteFault: the scheduled write persists half its bytes and
+// fails — a torn write without a crash.
+func TestShortWriteFault(t *testing.T) {
+	fs := NewFS(FSPlan{ShortWriteAt: 2}) // op 1 = create, op 2 = write
+	f, err := fs.OpenFile("d/f", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if err == nil || n != 5 {
+		t.Fatalf("Write = %d, %v; want 5 bytes and an injected error", n, err)
+	}
+	if fs.Crashed() {
+		t.Fatal("a short write is not a crash")
+	}
+	data, err := fs.ReadFile("d/f")
+	if err != nil || string(data) != "01234" {
+		t.Fatalf("file holds %q, %v; want the short prefix", data, err)
+	}
+}
+
+// TestWriteErrFault: the scheduled write fails without writing anything.
+func TestWriteErrFault(t *testing.T) {
+	fs := NewFS(FSPlan{WriteErrAt: 2})
+	f, err := fs.OpenFile("d/f", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if err == nil || n != 0 {
+		t.Fatalf("Write = %d, %v; want 0 bytes and an injected error", n, err)
+	}
+	// The filesystem is still alive; the next write succeeds.
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("write after injected error: %v", err)
+	}
+}
+
+// TestCrashAfterBytes: the boundary-straddling write lands its prefix up to
+// the byte budget, then the filesystem is dead.
+func TestCrashAfterBytes(t *testing.T) {
+	fs := NewFS(FSPlan{CrashAfterBytes: 7})
+	f, err := fs.OpenFile("d/f", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("01234")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("56789"))
+	if !errors.Is(err, ErrCrashed) || n != 2 {
+		t.Fatalf("Write = %d, %v; want the 2-byte prefix and ErrCrashed", n, err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("Crashed() = false after byte budget hit")
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Sync on dead fs = %v", err)
+	}
+}
+
+// TestCrashAtOpKillsEverything: from the scheduled op on, every operation
+// fails until CrashAndRestart, and the crashing write lands half its bytes.
+func TestCrashAtOpKillsEverything(t *testing.T) {
+	fs := NewFS(FSPlan{CrashAtOp: 3})
+	f, err := fs.OpenFile("d/f", os.O_CREATE|os.O_WRONLY, 0o644) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("aa")); err != nil { // op 2
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("bbbb")) // op 3: the crash site
+	if !errors.Is(err, ErrCrashed) || n != 2 {
+		t.Fatalf("crash-site write = %d, %v; want 2 bytes and ErrCrashed", n, err)
+	}
+	if _, err := fs.OpenFile("d/g", os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("open on dead fs = %v", err)
+	}
+	if _, err := fs.ReadFile("d/f"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read on dead fs = %v", err)
+	}
+	fs.CrashAndRestart()
+	if fs.Crashed() || fs.Ops() != 0 {
+		t.Fatal("restart did not reset the filesystem")
+	}
+}
+
+// TestFSImplementsWALFS pins the interface contract at compile time.
+var _ wal.FS = (*FS)(nil)
+
+// TestCrashPointSweepConvertsPanics: a panicking recovery is an invariant
+// violation recorded per site, never an unwound test binary.
+func TestCrashPointSweepConvertsPanics(t *testing.T) {
+	sweep := CrashPointSweep{
+		Name: "panicky",
+		Workload: func(fs *FS) int {
+			f, err := fs.OpenFile("d/f", os.O_CREATE|os.O_WRONLY, 0o644)
+			if err != nil {
+				return 0
+			}
+			if _, err := f.Write([]byte("x")); err != nil {
+				return 0
+			}
+			if f.Sync() != nil {
+				return 0
+			}
+			return 1
+		},
+		Check: func(fs *FS, acked int) error { panic("recovery exploded") },
+	}
+	m := sweep.Run()
+	if m.TotalOps != 3 { // create, write, sync
+		t.Fatalf("TotalOps = %d, want 3", m.TotalOps)
+	}
+	if m.Failures != m.TotalOps || len(m.Sites) != m.TotalOps {
+		t.Fatalf("Failures = %d, Sites = %d, want %d each", m.Failures, len(m.Sites), m.TotalOps)
+	}
+	for _, site := range m.Sites {
+		if !strings.Contains(site.Err, "recovery panicked") {
+			t.Fatalf("site %d error %q does not record the panic", site.Op, site.Err)
+		}
+	}
+}

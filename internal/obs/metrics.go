@@ -212,6 +212,11 @@ var DefBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 
 // two up to far beyond any reasonable interactive session.
 var QuestionCountBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 
+// FsyncBuckets suit storage-latency distributions: fsync on a healthy
+// local disk lands well under DefBuckets' 5ms floor, so these extend two
+// decades further down while keeping a tail for stalled devices.
+var FsyncBuckets = []float64{0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1}
+
 // Histogram is a fixed-bucket cumulative histogram.
 type Histogram struct {
 	nm, hp string

@@ -1,11 +1,17 @@
 package server
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
+	"path/filepath"
 	"sync"
+	"time"
+
+	"ist/internal/clock"
+	"ist/internal/wal"
 )
 
 // SessionRecord is everything needed to deterministically rebuild an
@@ -52,27 +58,22 @@ func sessionIDNum(id string) int64 {
 }
 
 // MemStore is an in-memory SessionStore: no crash durability, but it gives
-// tests and single-process deployments the same code path as the JSONL
-// store.
+// tests and single-process deployments the same code path as the durable
+// stores.
 type MemStore struct {
-	mu     sync.Mutex
-	recs   map[string]*SessionRecord
-	lastID int64
+	mu   sync.Mutex
+	fold eventFold
 }
 
 // NewMemStore builds an empty in-memory store.
-func NewMemStore() *MemStore { return &MemStore{recs: map[string]*SessionRecord{}} }
+func NewMemStore() *MemStore { return &MemStore{fold: newEventFold()} }
 
 // Create implements SessionStore.
 func (m *MemStore) Create(rec SessionRecord) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	cp := rec
-	cp.Answers = append([]bool(nil), rec.Answers...)
-	m.recs[rec.ID] = &cp
-	if n := sessionIDNum(rec.ID); n > m.lastID {
-		m.lastID = n
-	}
+	m.fold.apply(storeEvent{Op: "create", ID: rec.ID, Rec: &cp})
 	return nil
 }
 
@@ -80,11 +81,10 @@ func (m *MemStore) Create(rec SessionRecord) error {
 func (m *MemStore) Answer(id string, preferFirst bool) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	rec, ok := m.recs[id]
-	if !ok {
+	if _, ok := m.fold.recs[id]; !ok {
 		return fmt.Errorf("server: store: answer for unknown session %q", id)
 	}
-	rec.Answers = append(rec.Answers, preferFirst)
+	m.fold.apply(storeEvent{Op: "answer", ID: id, Answer: &preferFirst})
 	return nil
 }
 
@@ -92,7 +92,7 @@ func (m *MemStore) Answer(id string, preferFirst bool) error {
 func (m *MemStore) Finish(id string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	delete(m.recs, id)
+	m.fold.apply(storeEvent{Op: "finish", ID: id})
 	return nil
 }
 
@@ -100,22 +100,16 @@ func (m *MemStore) Finish(id string) error {
 func (m *MemStore) Load() ([]SessionRecord, int64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make([]SessionRecord, 0, len(m.recs))
-	for _, rec := range m.recs {
-		cp := *rec
-		cp.Answers = append([]bool(nil), rec.Answers...)
-		out = append(out, cp)
-	}
-	return out, m.lastID, nil
+	return m.fold.records(), m.fold.lastID, nil
 }
 
 // Close implements SessionStore.
 func (m *MemStore) Close() error { return nil }
 
-// storeEvent is one line of the JSONL store: an append-only event log that
-// is folded back into per-session records on Load. Appending one small line
-// per answer (instead of rewriting a snapshot) keeps the write path O(1)
-// and makes a torn write affect at most the final line.
+// storeEvent is one event of the append-only session log (one JSONL line,
+// or one WAL record): folded back into per-session records on Load.
+// Appending one small event per answer (instead of rewriting a snapshot)
+// keeps the write path O(1) and bounds what a torn write can damage.
 type storeEvent struct {
 	Op     string         `json:"op"` // "create" | "answer" | "finish"
 	ID     string         `json:"id"`
@@ -123,23 +117,103 @@ type storeEvent struct {
 	Answer *bool          `json:"answer,omitempty"`
 }
 
-// JSONLStore is an append-only newline-delimited-JSON SessionStore. Events
-// are written unbuffered so a crash loses at most the event being written;
-// Load tolerates a torn final line (the signature of a mid-write crash) by
-// ignoring it.
-type JSONLStore struct {
-	mu   sync.Mutex
-	f    *os.File
-	path string
+// eventFold replays store events into the latest per-session state. It is
+// the one folding rule every store shares, so the in-memory view, the
+// JSONL loader and the WAL snapshotter cannot drift apart.
+type eventFold struct {
+	recs   map[string]*SessionRecord
+	order  []string
+	lastID int64
 }
 
-// OpenJSONLStore opens (creating if needed) an append-only JSONL store.
+func newEventFold() eventFold {
+	return eventFold{recs: map[string]*SessionRecord{}}
+}
+
+// apply folds one event. Unknown ops and answers for unknown sessions are
+// ignored: a recovered log may have gaps, and folding must never abort.
+func (f *eventFold) apply(ev storeEvent) {
+	switch ev.Op {
+	case "create":
+		if ev.Rec == nil {
+			return
+		}
+		cp := *ev.Rec
+		cp.Answers = append([]bool(nil), ev.Rec.Answers...)
+		if _, seen := f.recs[ev.ID]; !seen {
+			f.order = append(f.order, ev.ID)
+		}
+		f.recs[ev.ID] = &cp
+		if n := sessionIDNum(ev.ID); n > f.lastID {
+			f.lastID = n
+		}
+	case "answer":
+		if rec, ok := f.recs[ev.ID]; ok && ev.Answer != nil {
+			rec.Answers = append(rec.Answers, *ev.Answer)
+		}
+	case "finish":
+		delete(f.recs, ev.ID)
+	}
+}
+
+// records returns the unfinished sessions in creation order, deep-copied.
+func (f *eventFold) records() []SessionRecord {
+	out := make([]SessionRecord, 0, len(f.recs))
+	for _, id := range f.order {
+		if rec, ok := f.recs[id]; ok {
+			cp := *rec
+			cp.Answers = append([]bool(nil), rec.Answers...)
+			out = append(out, cp)
+		}
+	}
+	return out
+}
+
+// JSONLStore is an append-only newline-delimited-JSON SessionStore, kept
+// as the simple single-file option and as the migration source for
+// WALStore. Durability follows a wal.SyncPolicy (default: fsync every
+// append — an acknowledged answer survives a power cut); Load tolerates a
+// torn final line and skips-and-counts corrupt mid-file lines instead of
+// failing rehydration.
+type JSONLStore struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	policy   wal.SyncPolicy
+	every    time.Duration
+	clk      clock.Clock
+	lastSync time.Time
+	dirty    bool
+	corrupt  int // lines skipped by the most recent Load
+}
+
+// OpenJSONLStore opens (creating if needed) an append-only JSONL store
+// with the always-fsync policy.
 func OpenJSONLStore(path string) (*JSONLStore, error) {
+	return OpenJSONLStoreSync(path, wal.SyncAlways, 0, nil)
+}
+
+// OpenJSONLStoreSync opens the store with an explicit fsync policy. every
+// and clk matter only for wal.SyncInterval (zero values mean 100ms on the
+// real clock). The parent directory is fsynced after opening so a freshly
+// created log file survives a power cut — a store whose file vanishes
+// "persisted" nothing.
+func OpenJSONLStoreSync(path string, policy wal.SyncPolicy, every time.Duration, clk clock.Clock) (*JSONLStore, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("server: store: %w", err)
 	}
-	return &JSONLStore{f: f, path: path}, nil
+	if err := wal.OS.SyncDir(filepath.Dir(path)); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("server: store: sync dir: %w", err)
+	}
+	if every <= 0 {
+		every = 100 * time.Millisecond
+	}
+	if clk == nil {
+		clk = clock.Real
+	}
+	return &JSONLStore{f: f, path: path, policy: policy, every: every, clk: clk, lastSync: clk.Now()}, nil
 }
 
 func (s *JSONLStore) append(ev storeEvent) error {
@@ -153,6 +227,28 @@ func (s *JSONLStore) append(ev storeEvent) error {
 	if _, err := s.f.Write(line); err != nil {
 		return fmt.Errorf("server: store: %w", err)
 	}
+	s.dirty = true
+	switch s.policy {
+	case wal.SyncAlways:
+		return s.syncLocked()
+	case wal.SyncInterval:
+		if clock.Since(s.clk, s.lastSync) >= s.every {
+			return s.syncLocked()
+		}
+	}
+	return nil
+}
+
+// syncLocked flushes the file. Callers hold s.mu.
+func (s *JSONLStore) syncLocked() error {
+	if !s.dirty {
+		return nil
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("server: store: fsync: %w", err)
+	}
+	s.lastSync = s.clk.Now()
+	s.dirty = false
 	return nil
 }
 
@@ -173,70 +269,63 @@ func (s *JSONLStore) Finish(id string) error {
 }
 
 // Load implements SessionStore. It reads the whole event log and folds it
-// into the latest state of every unfinished session.
+// into the latest state of every unfinished session. A torn final line
+// (the signature of a mid-write crash) is ignored; a corrupt line earlier
+// in the file is skipped and counted — one bad sector must not discard
+// every session recorded after it.
 func (s *JSONLStore) Load() ([]SessionRecord, int64, error) {
-	f, err := os.Open(s.path)
+	data, err := os.ReadFile(s.path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, 0, nil
 		}
 		return nil, 0, fmt.Errorf("server: store: %w", err)
 	}
-	defer f.Close()
-
-	recs := map[string]*SessionRecord{}
-	var order []string
-	var lastID int64
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
+	// A file not ending in '\n' has a torn final line; everything before
+	// the last newline consists of complete lines that were once
+	// acknowledged, so damage there is corruption, not tearing.
+	torn := len(data) > 0 && data[len(data)-1] != '\n'
+	lines := bytes.Split(data, []byte("\n"))
+	if n := len(lines); n > 0 && (torn || len(lines[n-1]) == 0) {
+		lines = lines[:n-1]
+	}
+	fold := newEventFold()
+	corrupt := 0
+	for _, line := range lines {
 		if len(line) == 0 {
 			continue
 		}
 		var ev storeEvent
 		if err := json.Unmarshal(line, &ev); err != nil {
-			// A torn final line from a crash mid-write; anything after it
-			// was never acknowledged, so stop folding here.
-			break
+			corrupt++
+			continue
 		}
-		switch ev.Op {
-		case "create":
-			if ev.Rec == nil {
-				continue
-			}
-			cp := *ev.Rec
-			cp.Answers = append([]bool(nil), ev.Rec.Answers...)
-			if _, seen := recs[ev.ID]; !seen {
-				order = append(order, ev.ID)
-			}
-			recs[ev.ID] = &cp
-			if n := sessionIDNum(ev.ID); n > lastID {
-				lastID = n
-			}
-		case "answer":
-			if rec, ok := recs[ev.ID]; ok && ev.Answer != nil {
-				rec.Answers = append(rec.Answers, *ev.Answer)
-			}
-		case "finish":
-			delete(recs, ev.ID)
-		}
+		fold.apply(ev)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, 0, fmt.Errorf("server: store: %w", err)
+	if corrupt > 0 {
+		log.Printf("server: store: skipped %d corrupt line(s) in %s; continuing with %d session(s)",
+			corrupt, s.path, len(fold.recs))
 	}
-	out := make([]SessionRecord, 0, len(recs))
-	for _, id := range order {
-		if rec, ok := recs[id]; ok {
-			out = append(out, *rec)
-		}
-	}
-	return out, lastID, nil
+	s.mu.Lock()
+	s.corrupt = corrupt
+	s.mu.Unlock()
+	return fold.records(), fold.lastID, nil
 }
 
-// Close implements SessionStore.
+// CorruptLines reports how many corrupt lines the most recent Load skipped.
+func (s *JSONLStore) CorruptLines() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.corrupt
+}
+
+// Close implements SessionStore, flushing pending appends first.
 func (s *JSONLStore) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.f.Close()
+	err := s.syncLocked()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -1,0 +1,93 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the slice of the filesystem the log needs. It exists so the
+// fault-injection layer (internal/faultinject) can substitute a
+// crash-simulating filesystem: every durability claim the log makes is
+// tested by crashing a simulated FS at every single operation and checking
+// what survives. Production code uses OS.
+//
+// Durability contract the log relies on (and the simulated FS models):
+// bytes written to a File are durable only after File.Sync returns; a
+// created or renamed directory entry is durable only after SyncDir on its
+// parent returns. Un-synced state may vanish on a crash, but only as a
+// suffix: a file never loses synced bytes, and writes persist in order.
+type FS interface {
+	// OpenFile opens a file for writing with os.OpenFile semantics (the log
+	// uses O_CREATE|O_WRONLY with O_APPEND for segments and O_TRUNC for
+	// snapshot temporaries).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadFile returns the file's full contents.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists the names (not paths) of the directory's entries, sorted.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newname with oldname's file.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Truncate cuts a file to size bytes (recovery removes torn tails).
+	Truncate(name string, size int64) error
+	// MkdirAll creates a directory (and parents) if absent.
+	MkdirAll(dir string, perm os.FileMode) error
+	// SyncDir fsyncs a directory, making its entries (creates, renames,
+	// removes) durable.
+	SyncDir(dir string) error
+}
+
+// File is the writable handle the log appends through.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,94 @@
+package wal
+
+import "ist/internal/obs"
+
+// Standard durability metric names (DESIGN.md §10). Registered by
+// NewMetrics so /metrics always exposes the full set, zeros included.
+const (
+	MetricFsyncSeconds   = "ist_wal_fsync_seconds"
+	MetricAppends        = "ist_wal_appends_total"
+	MetricSegments       = "ist_wal_segments"
+	MetricSnapshotSeq    = "ist_wal_snapshot_seq"
+	MetricSnapshots      = "ist_wal_snapshots_total"
+	MetricCompactions    = "ist_wal_compactions_total"
+	MetricCorruptRecords = "ist_wal_corrupt_records_total"
+	MetricQuarantined    = "ist_wal_quarantined_segments_total"
+)
+
+// Metrics is the durability instrument cluster: istserve registers one on
+// its shared registry and hands it to the store, so fsync latency,
+// segment/snapshot state and corruption counts surface on /metrics next to
+// the session metrics. All methods are nil-receiver safe — an
+// unistrumented log pays one branch per event.
+type Metrics struct {
+	fsyncSeconds *obs.Histogram
+	appends      *obs.Counter
+	segments     *obs.Gauge
+	snapshotSeq  *obs.Gauge
+	snapshots    *obs.Counter
+	compactions  *obs.Counter
+	corrupt      *obs.Counter
+	quarantined  *obs.Counter
+}
+
+// NewMetrics registers the WAL metrics on reg and returns the cluster.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		fsyncSeconds: reg.Histogram(MetricFsyncSeconds, "WAL fsync latency in seconds.", obs.FsyncBuckets),
+		appends:      reg.Counter(MetricAppends, "Records appended to the WAL."),
+		segments:     reg.Gauge(MetricSegments, "Live (non-compacted) WAL segment files."),
+		snapshotSeq:  reg.Gauge(MetricSnapshotSeq, "Segment sequence covered by the latest durable snapshot."),
+		snapshots:    reg.Counter(MetricSnapshots, "Durable snapshots taken."),
+		compactions:  reg.Counter(MetricCompactions, "Segment compactions completed after a snapshot."),
+		corrupt:      reg.Counter(MetricCorruptRecords, "Corrupt WAL records skipped during recovery."),
+		quarantined:  reg.Counter(MetricQuarantined, "Damaged WAL segments quarantined during recovery."),
+	}
+}
+
+func (m *Metrics) observeFsync(seconds float64) {
+	if m != nil {
+		m.fsyncSeconds.Observe(seconds)
+	}
+}
+
+func (m *Metrics) incAppends() {
+	if m != nil {
+		m.appends.Inc()
+	}
+}
+
+func (m *Metrics) setSegments(n int) {
+	if m != nil {
+		m.segments.Set(float64(n))
+	}
+}
+
+func (m *Metrics) setSnapshotSeq(seq uint64) {
+	if m != nil {
+		m.snapshotSeq.Set(float64(seq))
+	}
+}
+
+func (m *Metrics) incSnapshots() {
+	if m != nil {
+		m.snapshots.Inc()
+	}
+}
+
+func (m *Metrics) incCompactions() {
+	if m != nil {
+		m.compactions.Inc()
+	}
+}
+
+func (m *Metrics) addCorrupt(n int) {
+	if m != nil && n > 0 {
+		m.corrupt.Add(int64(n))
+	}
+}
+
+func (m *Metrics) addQuarantined(n int) {
+	if m != nil && n > 0 {
+		m.quarantined.Add(int64(n))
+	}
+}

@@ -1,0 +1,214 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strings"
+)
+
+// Recovery is what Open salvaged from the directory. The log never aborts
+// on damage: a torn tail is truncated, a corrupt record is skipped and
+// counted, an unresyncable segment tail is quarantined to a side file —
+// recovery always yields a usable log plus an honest damage report.
+type Recovery struct {
+	// Snapshot is the payload of the latest durable snapshot (nil if none).
+	Snapshot []byte
+	// SnapshotSeq is the segment sequence that snapshot covers (0 if none).
+	SnapshotSeq uint64
+	// Records are the records appended after the snapshot, in order.
+	Records [][]byte
+	// CorruptRecords counts complete-but-checksum-bad records skipped.
+	CorruptRecords int
+	// QuarantinedSegments counts segments whose unreadable or unresyncable
+	// tails were moved to .quar side files.
+	QuarantinedSegments int
+	// TruncatedTail reports that the final segment ended in a torn write
+	// (the signature of a mid-append crash) and was truncated to the last
+	// complete record.
+	TruncatedTail bool
+	// DiscardedSnapshots counts snapshot files that failed their checksum
+	// and were passed over for an older one.
+	DiscardedSnapshots int
+}
+
+// Damaged reports whether recovery found anything other than a clean log
+// or a routine torn tail — the cases worth a log line and a counter.
+func (r *Recovery) Damaged() bool {
+	return r.CorruptRecords > 0 || r.QuarantinedSegments > 0 || r.DiscardedSnapshots > 0
+}
+
+// recover scans the directory, selects the newest valid snapshot, replays
+// the segments above it, repairs damage, and leaves the log positioned for
+// appending. Called by Open with no lock held (the log is not yet shared).
+func (l *Log) recover() (*Recovery, error) {
+	names, err := l.opt.FS.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: recover: %w", err)
+	}
+	rec := &Recovery{}
+	var segs, snaps []uint64
+	maxSeen := uint64(0) // highest segment seq ever observed, kept or not
+	for _, name := range names {
+		if seq, ok := parseName(name, "seg-", ".wal"); ok {
+			segs = append(segs, seq)
+			if seq > maxSeen {
+				maxSeen = seq
+			}
+		} else if seq, ok := parseName(name, "snap-", ".snap"); ok {
+			snaps = append(snaps, seq)
+		} else if strings.HasSuffix(name, ".tmp") {
+			// A snapshot that never reached its durable rename; a crash
+			// artifact with no standing.
+			_ = l.opt.FS.Remove(l.path(name))
+		}
+	}
+
+	// Newest checksum-valid snapshot wins; a corrupt one is set aside and
+	// the next older tried, so media damage degrades coverage instead of
+	// aborting the boot.
+	for i := len(snaps) - 1; i >= 0; i-- {
+		payload, ok := l.readSnapshot(snaps[i])
+		if !ok {
+			rec.DiscardedSnapshots++
+			l.quarantineFile(snapName(snaps[i]))
+			continue
+		}
+		rec.Snapshot = payload
+		l.snapSeq = snaps[i]
+		break
+	}
+	rec.SnapshotSeq = l.snapSeq
+
+	// Replay segments above the snapshot; delete the ones at or below it
+	// (finishing any compaction a crash interrupted), and superseded
+	// snapshots likewise.
+	var lastKept uint64
+	lastSize := int64(-1)
+	for _, seq := range segs {
+		if seq <= l.snapSeq {
+			_ = l.opt.FS.Remove(l.path(segName(seq)))
+			continue
+		}
+		final := seq == maxSeen
+		size, ok := l.replaySegment(seq, final, rec)
+		if !ok {
+			continue // fully unreadable, renamed away
+		}
+		l.liveSegs++
+		lastKept, lastSize = seq, size
+	}
+	for _, seq := range snaps {
+		if seq < l.snapSeq {
+			_ = l.opt.FS.Remove(l.path(snapName(seq)))
+		}
+	}
+
+	// Position appends: continue the last live segment, or start fresh
+	// past every sequence number ever used.
+	if lastSize >= 0 {
+		return rec, l.openSegment(lastKept, lastSize)
+	}
+	next := maxSeen + 1
+	if l.snapSeq >= next {
+		next = l.snapSeq + 1
+	}
+	return rec, l.openSegment(next, 0)
+}
+
+// readSnapshot loads and checksum-verifies one snapshot file, returning
+// its payload. A snapshot is exactly one record frame; anything else fails
+// verification.
+func (l *Log) readSnapshot(seq uint64) ([]byte, bool) {
+	data, err := l.opt.FS.ReadFile(l.path(snapName(seq)))
+	if err != nil || len(data) < headerSize {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint32(data[0:4])
+	if n > MaxRecord || int(headerSize+n) != len(data) {
+		return nil, false
+	}
+	payload := data[headerSize:]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[4:8]) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// replaySegment scans one segment into rec and repairs its damage. It
+// returns the segment's usable size and false only when the file could not
+// be read at all (it is then renamed to a .quar side file).
+func (l *Log) replaySegment(seq uint64, final bool, rec *Recovery) (int64, bool) {
+	name := segName(seq)
+	data, err := l.opt.FS.ReadFile(l.path(name))
+	if err != nil {
+		l.quarantineFile(name)
+		rec.QuarantinedSegments++
+		return 0, false
+	}
+	records, good, corrupt, torn, damaged := scanRecords(data, final)
+	rec.Records = append(rec.Records, records...)
+	rec.CorruptRecords += corrupt
+	switch {
+	case damaged:
+		// An unresyncable tail mid-log: preserve the bytes for forensics,
+		// then cut the segment back to its good prefix so future replays
+		// (and appends, if this is the final segment) run on clean frames.
+		l.quarantineTail(name, data[good:])
+		_ = l.opt.FS.Truncate(l.path(name), good)
+		rec.QuarantinedSegments++
+	case torn:
+		// The expected signature of a crash mid-append: anything past the
+		// last complete record was never acknowledged under SyncAlways.
+		_ = l.opt.FS.Truncate(l.path(name), good)
+		rec.TruncatedTail = true
+	}
+	return good, true
+}
+
+// quarantineTail saves damaged bytes to <name>.quar, best-effort.
+func (l *Log) quarantineTail(name string, tail []byte) {
+	f, err := l.opt.FS.OpenFile(l.path(name+".quar"), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return
+	}
+	_, _ = f.Write(tail)
+	_ = f.Close()
+}
+
+// quarantineFile renames an unreadable file to <name>.quar, best-effort.
+func (l *Log) quarantineFile(name string) {
+	_ = l.opt.FS.Rename(l.path(name), l.path(name+".quar"))
+}
+
+// scanRecords walks one segment's bytes. It returns the decoded records,
+// the length of the scannable prefix, the count of complete-but-corrupt
+// records skipped inside it, and how the scan ended: torn (incomplete
+// final frame — truncate silently) or damaged (a length field that cannot
+// be trusted mid-log — quarantine the tail). In the final segment an
+// untrustworthy length is classified as torn, because a crashed append is
+// overwhelmingly the likelier cause there.
+func scanRecords(data []byte, final bool) (records [][]byte, good int64, corrupt int, torn, damaged bool) {
+	off := 0
+	for off < len(data) {
+		rest := len(data) - off
+		if rest < headerSize {
+			torn, damaged = final, !final
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		if n > MaxRecord || rest < headerSize+n {
+			torn, damaged = final, !final
+			break
+		}
+		payload := data[off+headerSize : off+headerSize+n]
+		if crc32.Checksum(payload, castagnoli) == binary.LittleEndian.Uint32(data[off+4:off+8]) {
+			records = append(records, payload)
+		} else {
+			corrupt++
+		}
+		off += headerSize + n
+	}
+	return records, int64(off), corrupt, torn, damaged
+}

@@ -1,0 +1,202 @@
+package wal_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ist/internal/wal"
+)
+
+const (
+	seg1  = "seg-00000000000000000001.wal"
+	seg2  = "seg-00000000000000000002.wal"
+	snap1 = "snap-00000000000000000001.snap"
+	snap2 = "snap-00000000000000000002.snap"
+)
+
+// corruptAt flips one byte of a file in place.
+func corruptAt(t *testing.T, path string, off int) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[off] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornTailTruncated: garbage after the last complete record of the
+// final segment is the signature of a mid-append crash — silently cut,
+// not damage.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, wal.Options{})
+	appendAll(t, l, "aa", "bb") // two 10-byte frames
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, seg1), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x01, 0x02, 0x03}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := mustOpen(t, dir, wal.Options{})
+	wantRecords(t, rec, "aa", "bb")
+	if !rec.TruncatedTail {
+		t.Error("torn tail not reported")
+	}
+	if rec.Damaged() {
+		t.Errorf("a torn tail is routine, not damage: %+v", rec)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, seg1)); err != nil || fi.Size() != 20 {
+		t.Errorf("segment not truncated back to the last record: size %d", fi.Size())
+	}
+	// The log must be appendable right where the truncation left it.
+	appendAll(t, l2, "cc")
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec3 := mustOpen(t, dir, wal.Options{})
+	wantRecords(t, rec3, "aa", "bb", "cc")
+}
+
+// TestCorruptMidRecordSkipped: a checksum-bad record in the middle of a
+// segment (a bad sector) is skipped and counted; everything after it
+// still replays.
+func TestCorruptMidRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, wal.Options{})
+	appendAll(t, l, "aaaa", "bbbb", "cccc") // three 12-byte frames
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	corruptAt(t, filepath.Join(dir, seg1), 12+8) // first payload byte of record 1
+
+	l2, rec := mustOpen(t, dir, wal.Options{})
+	defer l2.Close()
+	wantRecords(t, rec, "aaaa", "cccc")
+	if rec.CorruptRecords != 1 {
+		t.Errorf("CorruptRecords = %d, want 1", rec.CorruptRecords)
+	}
+	if !rec.Damaged() {
+		t.Error("mid-file corruption must count as damage")
+	}
+	if rec.TruncatedTail {
+		t.Error("nothing was torn here")
+	}
+}
+
+// TestUnresyncableTailQuarantined: an untrustworthy length field in a
+// NON-final segment means the rest of that segment cannot be re-framed.
+// The good prefix keeps replaying, the damaged tail moves to a .quar side
+// file, and later segments are unaffected.
+func TestUnresyncableTailQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, wal.Options{SegmentBytes: 30})
+	appendAll(t, l, "rec-0", "rec-1", "rec-2", "rec-3", "rec-4") // 13-byte frames, 2+2+1 per segment
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Stamp an absurd length over segment 2's second record header.
+	path := filepath.Join(dir, seg2)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data[13:17], []byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := mustOpen(t, dir, wal.Options{SegmentBytes: 30})
+	wantRecords(t, rec, "rec-0", "rec-1", "rec-2", "rec-4")
+	if rec.QuarantinedSegments != 1 {
+		t.Errorf("QuarantinedSegments = %d, want 1", rec.QuarantinedSegments)
+	}
+	quar, err := os.ReadFile(path + ".quar")
+	if err != nil {
+		t.Fatalf("damaged tail not preserved: %v", err)
+	}
+	if len(quar) != 13 {
+		t.Errorf("quarantined %d bytes, want the 13-byte tail", len(quar))
+	}
+
+	// The repair is permanent: a second open replays the same records with
+	// nothing left to quarantine.
+	_, rec2 := mustOpen(t, dir, wal.Options{SegmentBytes: 30})
+	wantRecords(t, rec2, "rec-0", "rec-1", "rec-2", "rec-4")
+	if rec2.Damaged() {
+		t.Errorf("damage reported again after repair: %+v", rec2)
+	}
+}
+
+// TestCorruptSnapshotFallsBack: a checksum-bad snapshot is quarantined and
+// the next older one used — media damage degrades coverage instead of
+// aborting the boot.
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, wal.Options{})
+	appendAll(t, l, "r0")
+	if err := l.Snapshot([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "r1")
+	// Compaction will delete snap-1 when snap-2 lands; keep a copy so the
+	// directory ends up holding both generations, as it would after a crash
+	// that interrupted compaction.
+	keep, err := os.ReadFile(filepath.Join(dir, snap1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Snapshot([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snap1), keep, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	corruptAt(t, filepath.Join(dir, snap2), 9) // a payload byte of "two"
+
+	_, rec := mustOpen(t, dir, wal.Options{})
+	if string(rec.Snapshot) != "one" {
+		t.Errorf("Snapshot = %q, want the older generation %q", rec.Snapshot, "one")
+	}
+	if rec.SnapshotSeq != 1 {
+		t.Errorf("SnapshotSeq = %d, want 1", rec.SnapshotSeq)
+	}
+	if rec.DiscardedSnapshots != 1 {
+		t.Errorf("DiscardedSnapshots = %d, want 1", rec.DiscardedSnapshots)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snap2) + ".quar"); err != nil {
+		t.Errorf("corrupt snapshot not quarantined: %v", err)
+	}
+}
+
+// TestTmpSnapshotDiscarded: a .tmp left by a crash mid-snapshot has no
+// standing and is removed on open.
+func TestTmpSnapshotDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, "snap-00000000000000000005.tmp")
+	if err := os.WriteFile(tmp, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, rec := mustOpen(t, dir, wal.Options{})
+	defer l.Close()
+	if rec.Snapshot != nil || rec.Damaged() {
+		t.Errorf("a crash artifact .tmp must be silently discarded: %+v", rec)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Errorf(".tmp still present after open: %v", err)
+	}
+}

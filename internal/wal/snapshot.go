@@ -1,0 +1,125 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Snapshot atomically supersedes everything appended so far with state.
+// The sequence is crash-safe at every step:
+//
+//  1. appends move to a fresh segment, so the snapshot's coverage boundary
+//     is a whole number of sealed segments;
+//  2. the state is written (CRC-framed) and fsynced to a .tmp file;
+//  3. the .tmp is renamed to snap-<seq>.snap and the directory fsynced —
+//     this rename is the durability point;
+//  4. only then are the covered segments and the superseded snapshot
+//     deleted (compaction).
+//
+// A crash before step 3 completes leaves the previous snapshot and every
+// segment intact (the .tmp is discarded on the next Open); a crash during
+// step 4 leaves stale files that the next Open deletes. Old segments are
+// therefore never deleted before a durable snapshot rename covers them.
+func (l *Log) Snapshot(state []byte) error {
+	if len(state) > MaxRecord {
+		return fmt.Errorf("wal: snapshot of %d bytes exceeds MaxRecord", len(state))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	// Step 1: seal the current segment unless it is still empty (then it
+	// simply stays the append target and the snapshot covers everything
+	// before it).
+	if l.segSize > 0 {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	upto := l.segSeq - 1
+
+	// Step 2: write the framed state to a temporary, fsynced fully before
+	// it can be renamed into visibility.
+	tmp := l.path(fmt.Sprintf("snap-%020d.tmp", upto))
+	f, err := l.opt.FS.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if _, err := f.Write(frame(state)); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: snapshot fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: snapshot close: %w", err)
+	}
+
+	// Step 3: the durability point.
+	if err := l.opt.FS.Rename(tmp, l.path(snapName(upto))); err != nil {
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	if err := l.opt.FS.SyncDir(l.dir); err != nil {
+		return fmt.Errorf("wal: snapshot sync dir: %w", err)
+	}
+	l.snapSeq = upto
+	l.opt.Metrics.incSnapshots()
+	l.opt.Metrics.setSnapshotSeq(upto)
+
+	// Step 4: compaction, best-effort — failures cost disk space, never
+	// correctness, and the next Open retries.
+	l.compactLocked()
+	return nil
+}
+
+// compactLocked deletes segments covered by the durable snapshot and
+// snapshots older than it. Callers hold l.mu.
+func (l *Log) compactLocked() {
+	names, err := l.opt.FS.ReadDir(l.dir)
+	if err != nil {
+		return
+	}
+	deleted := 0
+	for _, name := range names {
+		if seq, ok := parseName(name, "seg-", ".wal"); ok && seq <= l.snapSeq {
+			if l.opt.FS.Remove(l.path(name)) == nil {
+				deleted++
+			}
+		}
+		if seq, ok := parseName(name, "snap-", ".snap"); ok && seq < l.snapSeq {
+			_ = l.opt.FS.Remove(l.path(name))
+		}
+	}
+	// Persist the deletions; if this fails they may resurrect on crash,
+	// which recovery handles (covered segments are deleted again).
+	_ = l.opt.FS.SyncDir(l.dir)
+	if deleted > 0 {
+		l.liveSegs -= deleted
+		l.opt.Metrics.setSegments(l.liveSegs)
+		l.opt.Metrics.incCompactions()
+	}
+}
+
+// parseName extracts the 20-digit sequence from "<prefix><seq><suffix>"
+// names, rejecting anything else.
+func parseName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	digits := name[len(prefix) : len(name)-len(suffix)]
+	if len(digits) != 20 {
+		return 0, false
+	}
+	var seq uint64
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		seq = seq*10 + uint64(c-'0')
+	}
+	return seq, true
+}
