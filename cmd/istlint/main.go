@@ -1,22 +1,32 @@
 // Command istlint runs the repository's custom static-analysis suite
-// (internal/analysis): the floatcmp, lpstatus, detrand, epsconst and
-// errdrop analyzers that enforce the numeric, LP and determinism invariants
-// the compiler cannot see. See DESIGN.md §7 "Static invariants".
+// (internal/analysis): the expression-level analyzers (floatcmp, lpstatus,
+// detrand, epsconst, errdrop, wallclock, obsnil) plus the flow-sensitive
+// ones built on the CFG/dataflow layer (locksafe, goroleak, errflow,
+// nilguard). They enforce the numeric, LP, determinism and concurrency
+// invariants the compiler cannot see. See DESIGN.md §7 and §11.
 //
 // Usage:
 //
-//	go run ./cmd/istlint ./...          # lint the whole module
-//	go run ./cmd/istlint ./internal/lp  # lint one package
-//	go run ./cmd/istlint -list          # describe the analyzers
+//	go run ./cmd/istlint ./...                # lint the whole module
+//	go run ./cmd/istlint ./internal/lp        # lint one package
+//	go run ./cmd/istlint -only locksafe ./... # run a single analyzer
+//	go run ./cmd/istlint -json ./...          # machine-readable findings
+//	go run ./cmd/istlint -list                # describe the analyzers
+//	go run ./cmd/istlint suppressions ./...   # audit every //lint:ignore
 //
 // istlint exits 1 when any diagnostic is reported. A finding can be
 // suppressed with a justified directive on the offending line or the line
 // above:
 //
 //	//lint:ignore floatcmp exact tie-break keeps the comparator a strict weak order
+//
+// The reason is mandatory; the suppressions subcommand lists every
+// directive with its justification and exits 1 on bare (reason-less)
+// directives, which suppress nothing and are either dead or mistaken.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,9 +34,27 @@ import (
 	"ist/internal/analysis"
 )
 
+// jsonDiag is the flat machine-readable shape of one finding, consumed by
+// the CI artifact upload.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -json document: findings plus the suppression audit, so
+// one artifact captures both what fired and what was deliberately waived.
+type jsonReport struct {
+	Diagnostics  []jsonDiag             `json:"diagnostics"`
+	Suppressions []analysis.Suppression `json:"suppressions"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	only := flag.String("only", "", "run a single analyzer by name")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	flag.Parse()
 
 	analyzers := analysis.All()
@@ -45,25 +73,115 @@ func main() {
 		analyzers = []*analysis.Analyzer{a}
 	}
 
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
+	args := flag.Args()
+	if len(args) > 0 && args[0] == "suppressions" {
+		os.Exit(runSuppressions(args[1:], *asJSON))
 	}
-	pkgs, err := analysis.Load(".", patterns...)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "istlint: %v\n", err)
-		os.Exit(2)
-	}
+
+	pkgs := load(args)
 	diags, err := analysis.Check(pkgs, analyzers)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "istlint: %v\n", err)
-		os.Exit(2)
+		fatal(err)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		report := jsonReport{
+			Diagnostics:  make([]jsonDiag, 0, len(diags)),
+			Suppressions: suppressionsOrEmpty(pkgs),
+		}
+		for _, d := range diags {
+			report.Diagnostics = append(report.Diagnostics, jsonDiag{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		emitJSON(report)
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "istlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// runSuppressions is the audit subcommand: every //lint:ignore directive
+// with its location, analyzers and justification. Bare directives (no
+// reason) suppress nothing; they are reported and fail the audit.
+func runSuppressions(patterns []string, asJSON bool) int {
+	pkgs := load(patterns)
+	sups := analysis.Suppressions(pkgs)
+	if asJSON {
+		emitJSON(struct {
+			Suppressions []analysis.Suppression `json:"suppressions"`
+		}{suppressionsOrEmpty(pkgs)})
+	}
+	bare := 0
+	for _, s := range sups {
+		if s.Reason == "" {
+			bare++
+		}
+		if asJSON {
+			continue
+		}
+		reason := s.Reason
+		if reason == "" {
+			reason = "MISSING REASON (directive is not honored)"
+		}
+		fmt.Printf("%s:%d: %s: %s\n", s.File, s.Line, joinNames(s.Analyzers), reason)
+	}
+	if !asJSON {
+		fmt.Fprintf(os.Stderr, "istlint: %d suppression(s), %d without a reason\n", len(sups), bare)
+	}
+	if bare > 0 {
+		return 1
+	}
+	return 0
+}
+
+func suppressionsOrEmpty(pkgs []*analysis.Package) []analysis.Suppression {
+	sups := analysis.Suppressions(pkgs)
+	if sups == nil {
+		sups = []analysis.Suppression{}
+	}
+	return sups
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ","
+		}
+		out += n
+	}
+	return out
+}
+
+func load(patterns []string) []*analysis.Package {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	return pkgs
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "istlint: %v\n", err)
+	os.Exit(2)
 }

@@ -108,7 +108,21 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return nil
 }
 
-// All returns the full istlint analyzer suite in reporting order.
+// All returns the full istlint analyzer suite in reporting order: the
+// seven expression-level analyzers above, then the four flow-sensitive
+// analyzers built on the CFG/dataflow layer (cfg.go, dataflow.go):
+//
+//   - locksafe: every Lock reaches an Unlock on all paths, no double
+//     locks, and no blocking call (fsync, stream write, LP solve, channel
+//     op, HTTP handler) runs while a mutex is held.
+//   - goroleak: goroutines launched in library/server packages have a
+//     reachable cancellation path (ctx.Done()/done-channel receive,
+//     select, or channel range).
+//   - errflow: path-sensitive err checking — a result returned alongside
+//     an error is not used on any path before the error is consulted.
+//   - nilguard: path-sensitive nil analysis for the nil-safe wrapper
+//     pattern — a pointer/interface nil-checked on one path is not
+//     dereferenced unguarded on another.
 func All() []*Analyzer {
 	return []*Analyzer{
 		FloatCmpAnalyzer,
@@ -118,6 +132,10 @@ func All() []*Analyzer {
 		ErrDropAnalyzer,
 		WallClockAnalyzer,
 		ObsNilAnalyzer,
+		LockSafeAnalyzer,
+		GoroLeakAnalyzer,
+		ErrFlowAnalyzer,
+		NilGuardAnalyzer,
 	}
 }
 

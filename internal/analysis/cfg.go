@@ -1,0 +1,572 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// This file is the control-flow half of the dataflow layer (DESIGN.md §11):
+// an intraprocedural CFG built from a function body's go/ast, consumed by
+// the forward worklist solver in dataflow.go. The flow-sensitive analyzers
+// (locksafe, goroleak, errflow, nilguard) are built on the pair.
+//
+// Design notes:
+//
+//   - Blocks hold only "leaf" statements (assignments, calls, sends,
+//     returns, defers, ...) plus at most one trailing branch condition;
+//     compound statements (if/for/switch/select) are decomposed into edges.
+//   - A block that ends on a condition records it in Cond; Succs[0] is the
+//     edge taken when Cond is true and Succs[1] when it is false. This is
+//     what gives errflow and nilguard their path sensitivity: the solver
+//     refines facts per edge through FlowAnalysis.Refine.
+//   - Expression-less switches are desugared into an if/else-if chain so a
+//     `case err != nil:` arm refines like the equivalent if-statement.
+//   - Statements that cannot complete normally (return, panic, os.Exit,
+//     log.Fatal*, runtime.Goexit, t.Fatal*) edge to the synthetic Exit
+//     block. Exit is also where falling off the end of the body lands, so
+//     "fact at Exit" means "fact at every function termination".
+//   - defer statements stay in their block (so an analyzer sees *where* the
+//     defer was registered, which is the point that guarantees the deferred
+//     call will run) and are additionally collected in CFG.Defers.
+type CFG struct {
+	// Blocks in creation order; Blocks[0] is Entry, Blocks[1] is Exit.
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+	// Defers lists every defer statement in the function, in source order,
+	// regardless of path.
+	Defers []*ast.DeferStmt
+}
+
+// Block is a straight-line run of statements with no internal control flow.
+type Block struct {
+	Index int
+	// Nodes are the block's leaf statements in execution order. When Cond
+	// is non-nil it is also the last element of Nodes (conditions can have
+	// side effects and must flow through Transfer like any node).
+	Nodes []ast.Node
+	// Cond, when non-nil, is the branch condition ending the block:
+	// Succs[0] is the true edge, Succs[1] the false edge.
+	Cond  ast.Expr
+	Succs []*Block
+	// desc labels the block's role for CFG dumps and tests ("entry",
+	// "exit", "for.head", "select.case", ...).
+	desc string
+}
+
+// BuildCFG constructs the CFG of one function body. Nested function
+// literals are NOT traversed — each deserves its own CFG (their bodies run
+// at some other time, on some other goroutine; splicing them in here would
+// be simply wrong).
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	b.cur = b.cfg.Entry
+	b.stmt(body)
+	// Falling off the end of the body is an implicit return.
+	b.jump(b.cfg.Exit)
+	b.resolveGotos()
+	return b.cfg
+}
+
+// Reachable returns the set of blocks reachable from Entry. Code after an
+// unconditional return/panic builds blocks that are absent here; analyzers
+// use this to skip dead statements.
+func (g *CFG) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if b == nil || seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// String renders the graph compactly for tests and debugging:
+//
+//	b0(entry): -> b2
+//	b2(for.head): [cond] -> b3 b4
+func (g *CFG) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d(%s):", b.Index, b.desc)
+		if len(b.Nodes) > 0 {
+			fmt.Fprintf(&sb, " %d node(s)", len(b.Nodes))
+		}
+		if b.Cond != nil {
+			sb.WriteString(" [cond]")
+		}
+		if len(b.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range b.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// cfgBuilder carries the construction state.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+	// loops/switches are the enclosing break/continue targets, innermost
+	// last. label is "" for unlabeled scopes.
+	scopes []scope
+	// labels maps a pending label to apply to the next loop/switch/select.
+	pendingLabel string
+	// gotos are unresolved goto edges; labeled targets fill in later.
+	gotos       []gotoEdge
+	labelBlocks map[string]*Block
+}
+
+type scope struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select scopes
+}
+
+type gotoEdge struct {
+	from  *Block
+	label string
+}
+
+func (b *cfgBuilder) newBlock(desc string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), desc: desc}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// jump ends the current block with an unconditional edge to dst and leaves
+// the builder on a fresh (possibly unreachable) block.
+func (b *cfgBuilder) jump(dst *Block) {
+	b.cur.Succs = append(b.cur.Succs, dst)
+	b.cur = b.newBlock("after." + b.cur.desc)
+}
+
+// edge adds an edge without retiring the current block.
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// branch ends the current block on cond: trueB on success, falseB on
+// failure. cond may be nil (unconditional multi-way dispatch; callers add
+// edges themselves).
+func (b *cfgBuilder) branch(cond ast.Expr, trueB, falseB *Block) {
+	b.cur.Nodes = append(b.cur.Nodes, cond)
+	b.cur.Cond = cond
+	b.cur.Succs = append(b.cur.Succs, trueB, falseB)
+}
+
+func (b *cfgBuilder) pushScope(s scope) { b.scopes = append(b.scopes, s) }
+func (b *cfgBuilder) popScope()         { b.scopes = b.scopes[:len(b.scopes)-1] }
+
+func (b *cfgBuilder) findBreak(label string) *Block {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		s := b.scopes[i]
+		if label == "" || s.label == label {
+			return s.breakTo
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) findContinue(label string) *Block {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		s := b.scopes[i]
+		if s.continueTo != nil && (label == "" || s.label == label) {
+			return s.continueTo
+		}
+	}
+	return nil
+}
+
+// takeLabel consumes the pending label for the construct that owns it.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) resolveGotos() {
+	for _, g := range b.gotos {
+		if dst, ok := b.labelBlocks[g.label]; ok {
+			b.edge(g.from, dst)
+		} else {
+			// Unknown label (shouldn't type-check); be safe, edge to exit.
+			b.edge(g.from, b.cfg.Exit)
+		}
+	}
+}
+
+// stmt translates one statement, growing the graph from b.cur.
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		thenB := b.newBlock("if.then")
+		elseB := b.newBlock("if.else")
+		joinB := b.newBlock("if.join")
+		b.branch(s.Cond, thenB, elseB)
+		b.cur = thenB
+		b.stmt(s.Body)
+		b.edge(b.cur, joinB)
+		b.cur = elseB
+		if s.Else != nil {
+			b.stmt(s.Else)
+		}
+		b.edge(b.cur, joinB)
+		b.cur = joinB
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock("for.head")
+		body := b.newBlock("for.body")
+		post := b.newBlock("for.post")
+		after := b.newBlock("for.after")
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.branch(s.Cond, body, after)
+		} else {
+			b.edge(b.cur, body)
+			// No false edge: for{} only leaves via break/return.
+		}
+		b.pushScope(scope{label: label, breakTo: after, continueTo: post})
+		b.cur = body
+		b.stmt(s.Body)
+		b.popScope()
+		b.edge(b.cur, post)
+		b.cur = post
+		if s.Post != nil {
+			b.add(s.Post)
+		}
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock("range.head")
+		body := b.newBlock("range.body")
+		after := b.newBlock("range.after")
+		b.edge(b.cur, head)
+		// The whole RangeStmt is the head's node so analyzers see the
+		// per-iteration assignment and the ranged expression (a channel
+		// range is a receive).
+		head.Nodes = append(head.Nodes, s)
+		b.edge(head, body)
+		b.edge(head, after)
+		b.pushScope(scope{label: label, breakTo: after, continueTo: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.popScope()
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		after := b.newBlock("switch.after")
+		b.pushScope(scope{label: label, breakTo: after})
+		if s.Tag != nil {
+			b.add(s.Tag)
+			b.tagSwitch(s.Body, after)
+		} else {
+			b.condSwitch(s.Body, after)
+		}
+		b.popScope()
+		b.cur = after
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		after := b.newBlock("typeswitch.after")
+		b.pushScope(scope{label: label, breakTo: after})
+		b.tagSwitch(s.Body, after)
+		b.popScope()
+		b.cur = after
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		after := b.newBlock("select.after")
+		head := b.cur
+		b.pushScope(scope{label: label, breakTo: after})
+		var bodies []*Block
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock("select.case")
+			b.edge(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			for _, st := range cc.Body {
+				b.stmt(st)
+			}
+			bodies = append(bodies, b.cur)
+		}
+		b.popScope()
+		for _, end := range bodies {
+			b.edge(end, after)
+		}
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever; no edge to after.
+			b.edge(head, b.cfg.Exit)
+		}
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		// Expose the label both to the following loop/switch (for labeled
+		// break/continue) and as a goto target.
+		lb := b.newBlock("label." + s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		if b.labelBlocks == nil {
+			b.labelBlocks = map[string]*Block{}
+		}
+		b.labelBlocks[s.Label.Name] = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if dst := b.findBreak(label); dst != nil {
+				b.add(s)
+				b.jump(dst)
+			}
+		case token.CONTINUE:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if dst := b.findContinue(label); dst != nil {
+				b.add(s)
+				b.jump(dst)
+			}
+		case token.GOTO:
+			b.add(s)
+			from := b.cur
+			b.cur = b.newBlock("after.goto")
+			b.gotos = append(b.gotos, gotoEdge{from: from, label: s.Label.Name})
+		case token.FALLTHROUGH:
+			// Handled structurally by tagSwitch; nothing to do here.
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isNoReturnCall(s.X) {
+			b.jump(b.cfg.Exit)
+		}
+
+	case nil:
+		// Absent optional statement.
+
+	default:
+		// Assignments, declarations, sends, inc/dec, go, empty: leaves.
+		b.add(s)
+	}
+}
+
+// tagSwitch wires a tag (or type) switch: every case body is an alternative
+// successor of the current block; fallthrough chains bodies.
+func (b *cfgBuilder) tagSwitch(body *ast.BlockStmt, after *Block) {
+	head := b.cur
+	type caseBlocks struct {
+		clause *ast.CaseClause
+		blk    *Block
+	}
+	var cases []caseBlocks
+	hasDefault := false
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		blk := b.newBlock("case")
+		if cc.List == nil {
+			hasDefault = true
+			blk.desc = "case.default"
+		}
+		b.edge(head, blk)
+		cases = append(cases, caseBlocks{cc, blk})
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	for i, c := range cases {
+		b.cur = c.blk
+		// Case expressions are evaluated (they can be calls).
+		for _, e := range c.clause.List {
+			b.add(e)
+		}
+		falls := false
+		for _, st := range c.clause.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				falls = true
+				continue
+			}
+			b.stmt(st)
+		}
+		if falls && i+1 < len(cases) {
+			b.edge(b.cur, cases[i+1].blk)
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+}
+
+// condSwitch desugars `switch { case c1: ... }` into an if/else-if chain so
+// that each case condition refines facts exactly like an if would — this is
+// what lets errflow treat `switch { case err != nil: return }` as a check.
+func (b *cfgBuilder) condSwitch(body *ast.BlockStmt, after *Block) {
+	var defaultClause *ast.CaseClause
+	var conds []*ast.CaseClause
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+		} else {
+			conds = append(conds, cc)
+		}
+	}
+	for _, cc := range conds {
+		caseB := b.newBlock("case")
+		nextB := b.newBlock("case.next")
+		if len(cc.List) == 1 {
+			b.branch(cc.List[0], caseB, nextB)
+		} else {
+			// `case a, b:` — evaluate both, branch without refinement.
+			for _, e := range cc.List {
+				b.add(e)
+			}
+			b.edge(b.cur, caseB)
+			b.edge(b.cur, nextB)
+		}
+		b.cur = caseB
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.edge(b.cur, after)
+		b.cur = nextB
+	}
+	if defaultClause != nil {
+		for _, st := range defaultClause.Body {
+			b.stmt(st)
+		}
+	}
+	b.edge(b.cur, after)
+}
+
+// isNoReturnCall recognizes calls that terminate the path: panic, os.Exit,
+// runtime.Goexit, log.Fatal*, and testing's t.Fatal*/t.Skip* (the latter
+// matter because testdata fixtures sometimes model them).
+func isNoReturnCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if id, ok := fun.X.(*ast.Ident); ok {
+			switch {
+			case id.Name == "os" && name == "Exit",
+				id.Name == "runtime" && name == "Goexit",
+				id.Name == "log" && strings.HasPrefix(name, "Fatal"):
+				return true
+			}
+		}
+		return strings.HasPrefix(name, "Fatal") || name == "Skip" || name == "SkipNow" || name == "Skipf"
+	}
+	return false
+}
+
+// funcBodies yields every function body in the file together with the node
+// that owns it (FuncDecl or FuncLit), outermost first. Analyzers iterate
+// this instead of walking for FuncDecls so closures get their own CFGs.
+func funcBodies(f *ast.File) []funcBody {
+	var out []funcBody
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				out = append(out, funcBody{owner: n, body: n.Body, name: n.Name.Name})
+			}
+		case *ast.FuncLit:
+			out = append(out, funcBody{owner: n, body: n.Body, name: "func literal"})
+		}
+		return true
+	})
+	sort.SliceStable(out, func(i, j int) bool { return out[i].body.Pos() < out[j].body.Pos() })
+	return out
+}
+
+type funcBody struct {
+	owner ast.Node
+	body  *ast.BlockStmt
+	name  string
+}
+
+// inspectLeaf walks the AST below a CFG leaf node without descending into
+// nested function literals — their statements belong to another CFG. A
+// RangeStmt leaf (a range head) exposes only its ranged expression and
+// iteration variables: the loop body lives in its own blocks.
+func inspectLeaf(n ast.Node, visit func(ast.Node) bool) {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		for _, sub := range []ast.Node{r.Key, r.Value, r.X} {
+			if sub != nil {
+				inspectLeaf(sub, visit)
+			}
+		}
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return visit(m)
+	})
+}

@@ -1,0 +1,384 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src as the body of a single function declaration and
+// returns its CFG plus the fileset for position lookups.
+func parseBody(t *testing.T, body string) (*CFG, *token.FileSet) {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing test body: %v\n%s", err, src)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body), fset
+}
+
+// reachableLeaves collects the source text of every leaf node in a reachable
+// block, in block order — a compact fingerprint of what the CFG considers
+// live code.
+func reachableLeaves(t *testing.T, g *CFG, fset *token.FileSet, src string) []string {
+	t.Helper()
+	_ = fset
+	_ = src
+	reach := g.Reachable()
+	var out []string
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			out = append(out, nodeText(n))
+		}
+	}
+	return out
+}
+
+func nodeText(n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		return nodeText(n.X)
+	case *ast.CallExpr:
+		return nodeText(n.Fun) + "()"
+	case *ast.Ident:
+		return n.Name
+	case *ast.SelectorExpr:
+		return nodeText(n.X) + "." + n.Sel.Name
+	case *ast.ReturnStmt:
+		return "return"
+	case *ast.BranchStmt:
+		return n.Tok.String()
+	case *ast.DeferStmt:
+		return "defer " + nodeText(n.Call)
+	case *ast.BinaryExpr:
+		return nodeText(n.X) + n.Op.String() + nodeText(n.Y)
+	case *ast.BasicLit:
+		return n.Value
+	case *ast.RangeStmt:
+		return "range " + nodeText(n.X)
+	case *ast.IncDecStmt:
+		return nodeText(n.X) + n.Tok.String()
+	default:
+		return "?"
+	}
+}
+
+func containsLeaf(leaves []string, want string) bool {
+	for _, l := range leaves {
+		if l == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGDeferInLoop(t *testing.T) {
+	g, _ := parseBody(t, `
+	for i := 0; i < 3; i++ {
+		defer cleanup()
+	}
+	work()
+`)
+	if len(g.Defers) != 1 {
+		t.Fatalf("Defers = %d, want 1 (the defer statement, not its executions)", len(g.Defers))
+	}
+	// The defer must live inside the loop body — on the back-edge path —
+	// not hoisted out of it: its block must reach the loop head again.
+	var deferBlock *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				deferBlock = b
+			}
+		}
+	}
+	if deferBlock == nil {
+		t.Fatal("defer statement not placed in any block")
+	}
+	if !reachesItself(deferBlock) {
+		t.Errorf("defer-in-loop block does not lie on a cycle; loop structure lost")
+	}
+}
+
+// reachesItself reports whether b can reach itself through successor edges.
+func reachesItself(b *Block) bool {
+	seen := map[*Block]bool{}
+	var walk func(c *Block) bool
+	walk = func(c *Block) bool {
+		for _, s := range c.Succs {
+			if s == b {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				if walk(s) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(b)
+}
+
+func TestCFGLabeledContinue(t *testing.T) {
+	src := `
+outer:
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if skip() {
+				continue outer
+			}
+			inner()
+		}
+		tail()
+	}
+	done()
+`
+	g, fset := parseBody(t, src)
+	leaves := reachableLeaves(t, g, fset, src)
+	for _, want := range []string{"continue", "inner()", "tail()", "done()"} {
+		if !containsLeaf(leaves, want) {
+			t.Errorf("leaf %q not reachable; CFG:\n%s", want, g)
+		}
+	}
+	// The `continue outer` block must edge directly to the OUTER post block
+	// (the one carrying i++), skipping the inner post (j++): after a labeled
+	// continue, i++ runs but j++ does not.
+	contBlock := blockWithLeaf(g, "continue")
+	if contBlock == nil {
+		t.Fatal("no block holds the continue statement")
+	}
+	if len(contBlock.Succs) != 1 || !blockHasLeaf(contBlock.Succs[0], "i++") {
+		t.Errorf("continue outer does not edge to the outer post block (i++); CFG:\n%s", g)
+	}
+	if blockHasLeaf(contBlock.Succs[0], "j++") {
+		t.Errorf("continue outer passes through the inner post block (j++); CFG:\n%s", g)
+	}
+}
+
+func blockWithLeaf(g *CFG, text string) *Block {
+	for _, b := range g.Blocks {
+		if blockHasLeaf(b, text) {
+			return b
+		}
+	}
+	return nil
+}
+
+func blockHasLeaf(b *Block, text string) bool {
+	for _, n := range b.Nodes {
+		if nodeText(n) == text {
+			return true
+		}
+	}
+	return false
+}
+
+// pathAvoiding reports whether a path from src exists that never enters a
+// block matched by avoid. dst==nil means "any exit-reaching path".
+func pathAvoiding(src, dst *Block, avoid func(*Block) bool) bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if avoid(b) || seen[b] {
+			return false
+		}
+		seen[b] = true
+		if len(b.Succs) == 0 {
+			return true
+		}
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(src)
+}
+
+func TestCFGSelectWithDefault(t *testing.T) {
+	src := `
+	select {
+	case v := <-in:
+		use(v)
+	case out <- 1:
+		sent()
+	default:
+		idle()
+	}
+	after()
+`
+	g, fset := parseBody(t, src)
+	leaves := reachableLeaves(t, g, fset, src)
+	for _, want := range []string{"use()", "sent()", "idle()", "after()"} {
+		if !containsLeaf(leaves, want) {
+			t.Errorf("leaf %q not reachable; CFG:\n%s", want, g)
+		}
+	}
+	// All three arms must merge back before after(): after()'s block needs
+	// at least three distinct predecessors.
+	afterB := blockWithLeaf(g, "after()")
+	if afterB == nil {
+		t.Fatal("after() not placed")
+	}
+	preds := 0
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s == afterB {
+				preds++
+			}
+		}
+	}
+	if preds < 3 {
+		t.Errorf("after() has %d predecessors, want >= 3 (one per select arm); CFG:\n%s", preds, g)
+	}
+}
+
+func TestCFGEmptySelectBlocksForever(t *testing.T) {
+	g, _ := parseBody(t, `
+	work()
+	select {}
+	unreached()
+`)
+	reach := g.Reachable()
+	if b := blockWithLeaf(g, "unreached()"); b != nil && reach[b] {
+		t.Errorf("code after select{} is reachable; CFG:\n%s", g)
+	}
+}
+
+func TestCFGEarlyReturnsInSwitch(t *testing.T) {
+	src := `
+	switch k() {
+	case 1:
+		one()
+		return
+	case 2:
+		two()
+	default:
+		panic("bad")
+	}
+	after()
+`
+	g, fset := parseBody(t, src)
+	leaves := reachableLeaves(t, g, fset, src)
+	for _, want := range []string{"one()", "two()", "after()"} {
+		if !containsLeaf(leaves, want) {
+			t.Errorf("leaf %q not reachable; CFG:\n%s", want, g)
+		}
+	}
+	// after() is reachable ONLY through case 2: case 1 returns and default
+	// panics. Every path into after() must pass through two().
+	afterB := blockWithLeaf(g, "after()")
+	oneB := blockWithLeaf(g, "one()")
+	if afterB == nil || oneB == nil {
+		t.Fatal("switch bodies not placed")
+	}
+	if pathAvoiding(oneB, nil, func(b *Block) bool { return b == afterB }) == false {
+		t.Errorf("case 1 (which returns) still always flows into after(); CFG:\n%s", g)
+	}
+	if !pathAvoiding(g.Entry, nil, func(b *Block) bool { return false }) {
+		t.Fatal("entry reaches no terminal block")
+	}
+}
+
+func TestCFGFallthroughChainsCases(t *testing.T) {
+	src := `
+	switch k() {
+	case 1:
+		one()
+		fallthrough
+	case 2:
+		two()
+	}
+	after()
+`
+	g, _ := parseBody(t, src)
+	oneB := blockWithLeaf(g, "one()")
+	twoB := blockWithLeaf(g, "two()")
+	if oneB == nil || twoB == nil {
+		t.Fatal("case bodies not placed")
+	}
+	found := false
+	for _, s := range oneB.Succs {
+		if s == twoB {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fallthrough edge from case 1 to case 2 missing; CFG:\n%s", g)
+	}
+}
+
+func TestCFGCondSwitchRefinesLikeIfChain(t *testing.T) {
+	// Tagless switches desugar to an if/else-if chain: each case condition
+	// must end a block with Cond set (true/false successors), because that
+	// is what lets errflow treat `case err != nil: return` as a check.
+	g, _ := parseBody(t, `
+	switch {
+	case a():
+		one()
+	case b():
+		two()
+	default:
+		other()
+	}
+	after()
+`)
+	conds := 0
+	for _, b := range g.Blocks {
+		if b.Cond != nil {
+			conds++
+			if len(b.Succs) != 2 {
+				t.Errorf("cond block b%d has %d successors, want 2", b.Index, len(b.Succs))
+			}
+		}
+	}
+	if conds != 2 {
+		t.Errorf("desugared tagless switch has %d cond blocks, want 2; CFG:\n%s", conds, g)
+	}
+}
+
+func TestCFGNoReturnCallsEndThePath(t *testing.T) {
+	g, _ := parseBody(t, `
+	if bad() {
+		panic("x")
+	}
+	work()
+`)
+	reach := g.Reachable()
+	workB := blockWithLeaf(g, "work()")
+	if workB == nil || !reach[workB] {
+		t.Fatalf("work() should stay reachable via the non-panic path; CFG:\n%s", g)
+	}
+	panicB := blockWithLeaf(g, "panic()")
+	if panicB == nil {
+		t.Fatal("panic not placed")
+	}
+	// panic's block must not flow into work(): its only successor chain goes
+	// to Exit.
+	if pathAvoiding(panicB, nil, func(b *Block) bool { return b == g.Exit }) {
+		t.Errorf("a path from panic() bypasses Exit; CFG:\n%s", g)
+	}
+}
+
+func TestCFGStringIsStable(t *testing.T) {
+	g, _ := parseBody(t, `
+	if c {
+		x()
+	}
+`)
+	s := g.String()
+	if !strings.Contains(s, "b0(entry)") || !strings.Contains(s, "[cond]") {
+		t.Errorf("String() missing entry/cond markers:\n%s", s)
+	}
+}

@@ -74,35 +74,82 @@ type ignoreSet map[string]map[int]map[string]bool // file -> line -> analyzer
 // without a reason are ignored — the justification is the point.
 func collectIgnores(pkg *Package) ignoreSet {
 	ig := ignoreSet{}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
-				if !ok {
-					continue
+	for _, sup := range packageSuppressions(pkg) {
+		if sup.Reason == "" {
+			continue // no justifying reason: not honored
+		}
+		lines := ig[sup.File]
+		if lines == nil {
+			lines = map[int]map[string]bool{}
+			ig[sup.File] = lines
+		}
+		for _, name := range sup.Analyzers {
+			for _, line := range []int{sup.Line, sup.Line + 1} {
+				if lines[line] == nil {
+					lines[line] = map[string]bool{}
 				}
-				fields := strings.Fields(text)
-				if len(fields) < 2 {
-					continue // no justifying reason: not honored
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				lines := ig[pos.Filename]
-				if lines == nil {
-					lines = map[int]map[string]bool{}
-					ig[pos.Filename] = lines
-				}
-				for _, name := range strings.Split(fields[0], ",") {
-					for _, line := range []int{pos.Line, pos.Line + 1} {
-						if lines[line] == nil {
-							lines[line] = map[string]bool{}
-						}
-						lines[line][name] = true
-					}
-				}
+				lines[line][name] = true
 			}
 		}
 	}
 	return ig
+}
+
+// Suppression is one //lint:ignore directive, as seen by the audit trail. A
+// directive with an empty Reason is bare — it suppresses nothing, and the
+// audit surfaces it as a mistake (either dead or missing its justification).
+type Suppression struct {
+	File      string   `json:"file"`
+	Line      int      `json:"line"`
+	Analyzers []string `json:"analyzers"`
+	Reason    string   `json:"reason,omitempty"`
+}
+
+// Suppressions lists every //lint:ignore directive in the packages, ordered
+// by file and line — the `istlint suppressions` audit: each deliberate
+// exception to the lint policy, with its mandatory justification.
+func Suppressions(pkgs []*Package) []Suppression {
+	var all []Suppression
+	for _, pkg := range pkgs {
+		all = append(all, packageSuppressions(pkg)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].File != all[j].File {
+			return all[i].File < all[j].File
+		}
+		return all[i].Line < all[j].Line
+	})
+	return all
+}
+
+func packageSuppressions(pkg *Package) []Suppression {
+	var out []Suppression
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok || (text != "" && text[0] != ' ' && text[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue // no analyzer names at all: not a directive
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				reason := ""
+				if len(fields) > 1 {
+					reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, Suppression{
+					File:      pos.Filename,
+					Line:      pos.Line,
+					Analyzers: strings.Split(fields[0], ","),
+					Reason:    reason,
+				})
+			}
+		}
+	}
+	return out
 }
 
 func (ig ignoreSet) suppresses(d Diagnostic) bool {

@@ -1,0 +1,139 @@
+package analysis
+
+import "go/ast"
+
+// This file is the solver half of the dataflow layer (DESIGN.md §11): a
+// generic forward worklist algorithm over the CFGs of cfg.go. An analyzer
+// describes its lattice with a FlowAnalysis — an entry fact, a transfer
+// function over leaf nodes, a join, and (optionally) an edge refinement for
+// branch conditions — and gets back the fixpoint fact at every block entry.
+//
+// Facts must behave as immutable values: Transfer/Refine/Join return fresh
+// facts rather than mutating their inputs, because a block's out-fact flows
+// into several successors and a loop re-applies Transfer arbitrarily often.
+// The concrete analyzers use small copy-on-write maps; function bodies are
+// a few dozen blocks, so the cost is noise.
+
+// FlowAnalysis describes one forward dataflow problem over fact type F.
+type FlowAnalysis[F any] struct {
+	// Entry is the fact at function entry.
+	Entry F
+	// Transfer applies one leaf node's effect to the incoming fact.
+	Transfer func(n ast.Node, fact F) F
+	// Refine, when non-nil, sharpens the fact along the two edges of a
+	// block ending in condition cond: it is called with branch=true for the
+	// Succs[0] edge and branch=false for Succs[1]. This is the
+	// path-sensitivity hook (nil-checks, err-checks).
+	Refine func(cond ast.Expr, branch bool, fact F) F
+	// Join merges facts where paths meet. It must be commutative,
+	// associative and idempotent (a semilattice join), or the worklist may
+	// not terminate.
+	Join func(a, b F) F
+	// Equal reports fact equality; the fixpoint stops when nothing changes.
+	Equal func(a, b F) bool
+}
+
+// SolveFlow runs the forward worklist to fixpoint and returns the fact at
+// the entry of every reachable block. Unreachable blocks are absent.
+func SolveFlow[F any](g *CFG, a FlowAnalysis[F]) map[*Block]F {
+	in := map[*Block]F{g.Entry: a.Entry}
+	// Seed with every reachable block so work-order is deterministic-ish;
+	// correctness does not depend on order, only termination speed.
+	reachable := g.Reachable()
+	work := []*Block{g.Entry}
+	inWork := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+		out := blockOut(a, b, in[b])
+		for i, s := range b.Succs {
+			if !reachable[s] {
+				continue
+			}
+			f := out
+			if b.Cond != nil && a.Refine != nil && i < 2 {
+				f = a.Refine(b.Cond, i == 0, out)
+			}
+			old, ok := in[s]
+			merged := f
+			if ok {
+				merged = a.Join(old, f)
+			}
+			if !ok || !a.Equal(old, merged) {
+				in[s] = merged
+				if !inWork[s] {
+					inWork[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return in
+}
+
+// blockOut pushes a fact through every node of a block.
+func blockOut[F any](a FlowAnalysis[F], b *Block, fact F) F {
+	for _, n := range b.Nodes {
+		fact = a.Transfer(n, fact)
+	}
+	return fact
+}
+
+// WalkFlow replays the solved facts node by node, calling visit with the
+// fact in force immediately BEFORE each node executes. This is where
+// analyzers report: the before-fact is exactly "what is known on the paths
+// reaching this statement". Unreachable blocks are skipped — dead code
+// cannot break a runtime invariant.
+func WalkFlow[F any](g *CFG, a FlowAnalysis[F], in map[*Block]F, visit func(n ast.Node, before F)) {
+	for _, b := range g.Blocks {
+		fact, ok := in[b]
+		if !ok {
+			continue
+		}
+		for _, n := range b.Nodes {
+			visit(n, fact)
+			fact = a.Transfer(n, fact)
+		}
+	}
+}
+
+// ExitFacts returns, for every reachable predecessor of Exit, the fact
+// after the block's last node together with that node (nil when the block
+// is empty — e.g. the entry of an empty function). locksafe uses this for
+// the all-paths lock-balance check.
+func ExitFacts[F any](g *CFG, a FlowAnalysis[F], in map[*Block]F) []ExitFact[F] {
+	var out []ExitFact[F]
+	for _, b := range g.Blocks {
+		fact, ok := in[b]
+		if !ok {
+			continue
+		}
+		exits := false
+		for _, s := range b.Succs {
+			if s == g.Exit {
+				exits = true
+			}
+		}
+		if !exits && b != g.Exit {
+			continue
+		}
+		if b == g.Exit {
+			continue
+		}
+		var last ast.Node
+		for _, n := range b.Nodes {
+			fact = a.Transfer(n, fact)
+			last = n
+		}
+		out = append(out, ExitFact[F]{Block: b, Last: last, Fact: fact})
+	}
+	return out
+}
+
+// ExitFact is one path's state at function termination.
+type ExitFact[F any] struct {
+	Block *Block
+	Last  ast.Node
+	Fact  F
+}

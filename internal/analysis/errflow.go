@@ -1,0 +1,296 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrFlowAnalyzer is the path-sensitive companion of errdrop. errdrop
+// catches an error that is never bound at all; errflow catches the subtler
+// bug where the error IS bound — `v, err := f()` — but a path exists on
+// which `v` is used before anything looked at `err`. The canonical shape:
+//
+//	f, err := os.Open(path)
+//	if verbose {
+//	    if err != nil { return err }
+//	    log.Println(f.Name())
+//	}
+//	return readAll(f)        // err was only checked on the verbose path
+//
+// Tracking is restricted to paired values of nil-able type (pointers,
+// interfaces, slices, maps, chans, funcs): those are what a failed call
+// leaves nil, so an unchecked use is a latent nil dereference. Plain ints
+// and strings (e.g. the n of a Write) are deliberately out of scope — io
+// semantics make partial counts meaningful even on error.
+//
+// Any read of the error marks it checked on the paths through that read:
+// a comparison, a branch condition, returning it, wrapping it with %w, or
+// passing it to errors.Is/log — the analysis does not care how it was
+// consulted, only that the path consulted it before using the value. A use
+// that mentions the error in the same statement (`return v, err`) is
+// propagation, not consumption, and is allowed.
+var ErrFlowAnalyzer = &Analyzer{
+	Name: "errflow",
+	Doc:  "flags paths that use a call's result before checking the error returned with it",
+	Run:  runErrFlow,
+}
+
+// errFact is the set of error variables NOT yet checked on this path, each
+// mapped to the paired result variables it guards. Immutable.
+type errFact map[*types.Var]errPair
+
+type errPair struct {
+	vals map[*types.Var]bool // results returned alongside the error
+}
+
+func (f errFact) without(v *types.Var) errFact {
+	out := make(errFact, len(f))
+	for k, p := range f {
+		if k != v {
+			out[k] = p
+		}
+	}
+	return out
+}
+
+func (f errFact) with(v *types.Var, p errPair) errFact {
+	out := make(errFact, len(f)+1)
+	for k, q := range f {
+		out[k] = q
+	}
+	out[v] = p
+	return out
+}
+
+func runErrFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, fb := range funcBodies(f) {
+			checkErrFlow(pass, fb)
+		}
+	}
+	return nil
+}
+
+func checkErrFlow(pass *Pass, fb funcBody) {
+	an := FlowAnalysis[errFact]{
+		Entry:    errFact{},
+		Transfer: func(n ast.Node, fact errFact) errFact { return errTransfer(pass, n, fact) },
+		Join:     joinErrFacts,
+		Equal:    equalErrFacts,
+	}
+	g := BuildCFG(fb.body)
+	in := SolveFlow(g, an)
+
+	reported := map[*types.Var]bool{}
+	WalkFlow(g, an, in, func(n ast.Node, before errFact) {
+		if len(before) == 0 {
+			return
+		}
+		reads := identReads(pass, n)
+		for errVar, pair := range before {
+			if reads[errVar] {
+				continue // same statement consults the error: propagation
+			}
+			for valVar := range pair.vals {
+				if reads[valVar] && !reported[valVar] {
+					reported[valVar] = true
+					pass.Reportf(firstReadPos(pass, n, valVar),
+						"%s is used here, but the %s returned with it is unchecked on at least one path reaching this point",
+						valVar.Name(), errVar.Name())
+				}
+			}
+		}
+	})
+}
+
+// errTransfer updates the unchecked set across one node:
+//
+//   - `v, err := f()` puts err into the unchecked set guarding v
+//     (reads in f's arguments are processed first);
+//   - any other read of err removes it — the path has consulted it;
+//   - a use of a guarded v also clears the guard, so one bug reports once
+//     per variable instead of cascading down the path.
+func errTransfer(pass *Pass, n ast.Node, fact errFact) errFact {
+	reads := identReads(pass, n)
+	for errVar := range fact {
+		if reads[errVar] {
+			fact = fact.without(errVar)
+			continue
+		}
+		for valVar := range fact[errVar].vals {
+			if reads[valVar] {
+				fact = fact.without(errVar)
+				break
+			}
+		}
+	}
+	if as, ok := n.(*ast.AssignStmt); ok {
+		fact = errAssign(pass, as, fact)
+	}
+	return fact
+}
+
+// errAssign handles `v1, ..., err := call(...)`: one error-typed LHS
+// becomes unchecked, guarding the nilable sibling results. Reassigning a
+// tracked variable by any other shape clears its stale tracking.
+func errAssign(pass *Pass, as *ast.AssignStmt, fact errFact) errFact {
+	// Any assignment overwrites: drop tracking that names an LHS.
+	for _, lhs := range as.Lhs {
+		if v := lhsVar(pass, lhs); v != nil {
+			if _, ok := fact[v]; ok {
+				fact = fact.without(v)
+			}
+			for errVar, pair := range fact {
+				if pair.vals[v] {
+					vals := map[*types.Var]bool{}
+					for k := range pair.vals {
+						if k != v {
+							vals[k] = true
+						}
+					}
+					fact = fact.with(errVar, errPair{vals: vals})
+				}
+			}
+		}
+	}
+	if len(as.Lhs) < 2 || len(as.Rhs) != 1 {
+		return fact
+	}
+	if _, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); !ok {
+		return fact
+	}
+	var errVar *types.Var
+	vals := map[*types.Var]bool{}
+	for _, lhs := range as.Lhs {
+		v := lhsVar(pass, lhs)
+		if v == nil {
+			continue
+		}
+		if isErrorType(v.Type()) {
+			if errVar != nil {
+				return fact // two error results: ambiguous, stay silent
+			}
+			errVar = v
+		} else if isNilable(v.Type()) {
+			vals[v] = true
+		}
+	}
+	if errVar == nil || len(vals) == 0 {
+		return fact
+	}
+	return fact.with(errVar, errPair{vals: vals})
+}
+
+func lhsVar(pass *Pass, e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	v, _ := pass.Info.ObjectOf(id).(*types.Var)
+	return v
+}
+
+// identReads collects the variables read in one leaf node. Identifiers on
+// the left of `=`/`:=` are writes, not reads (but indexed/field writes
+// like m[k] = x do read m).
+func identReads(pass *Pass, n ast.Node) map[*types.Var]bool {
+	reads := map[*types.Var]bool{}
+	writes := map[ast.Expr]bool{}
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if _, ok := lhs.(*ast.Ident); ok {
+				writes[lhs] = true
+			}
+		}
+	}
+	inspectLeaf(n, func(m ast.Node) bool {
+		if e, ok := m.(ast.Expr); ok && writes[e] {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok {
+			if v, ok := pass.Info.ObjectOf(id).(*types.Var); ok {
+				reads[v] = true
+			}
+		}
+		return true
+	})
+	return reads
+}
+
+func firstReadPos(pass *Pass, n ast.Node, v *types.Var) (pos token.Pos) {
+	pos = n.Pos()
+	found := false
+	inspectLeaf(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok {
+			if pass.Info.ObjectOf(id) == v {
+				pos, found = id.Pos(), true
+				return false
+			}
+		}
+		return true
+	})
+	return pos
+}
+
+func joinErrFacts(a, b errFact) errFact {
+	// Unchecked-on-any-path wins: the union keeps a guard alive if either
+	// branch failed to check it.
+	out := make(errFact, len(a)+len(b))
+	for k, p := range a {
+		out[k] = p
+	}
+	for k, p := range b {
+		if q, ok := out[k]; ok {
+			vals := map[*types.Var]bool{}
+			for v := range q.vals {
+				vals[v] = true
+			}
+			for v := range p.vals {
+				vals[v] = true
+			}
+			out[k] = errPair{vals: vals}
+		} else {
+			out[k] = p
+		}
+	}
+	return out
+}
+
+func equalErrFacts(a, b errFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, p := range a {
+		q, ok := b[k]
+		if !ok || len(p.vals) != len(q.vals) {
+			return false
+		}
+		for v := range p.vals {
+			if !q.vals[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isNilable reports whether a failed call leaves this type nil (and a
+// subsequent use deref-prone).
+func isNilable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Slice, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}

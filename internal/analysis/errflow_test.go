@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ist/internal/analysis"
+	"ist/internal/analysis/analysistest"
+)
+
+func TestErrFlow(t *testing.T) {
+	analysistest.Run(t, analysis.ErrFlowAnalyzer, "errflow")
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeakAnalyzer enforces that goroutines launched in library and server
+// packages are cancellable. The session layer's contract (PR 1) is that
+// Close releases the algorithm goroutine; the reaper and worker pools make
+// the same promise. A goroutine with no reachable way to be told to stop —
+// no receive on a ctx.Done()/done/stop channel, no select, no channel
+// range — outlives its owner, and a leaked goroutine per session is a slow
+// memory exhaustion with a -race-clean conscience.
+//
+// Accepted cancellation shapes, anywhere reachable in the goroutine body or
+// in same-package functions it calls (transitively):
+//
+//   - a channel receive (`<-ctx.Done()`, `<-stop`, `v, ok := <-c`);
+//   - a select statement (its cases are receives/sends that a closer can
+//     unblock);
+//   - ranging over a channel (closing the channel ends the loop).
+//
+// A goroutine that is genuinely fire-and-forget (bounded work, no channel
+// coupling) documents that with `//lint:ignore goroleak <reason>`.
+//
+// package main is exempt: a CLI's goroutines die with the process by
+// design. Test files are exempt with it.
+var GoroLeakAnalyzer = &Analyzer{
+	Name: "goroleak",
+	Doc:  "flags goroutines in library packages with no reachable cancellation path",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	decls := packageFuncDecls(pass)
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := launchedBody(pass, decls, g.Call)
+			if body == nil {
+				return true // cross-package or dynamic target: cannot see it
+			}
+			if !cancellable(pass, decls, body, map[*ast.BlockStmt]bool{}) {
+				pass.Reportf(g.Pos(), "goroutine has no reachable cancellation path (channel receive, select, or channel range); thread a done/ctx channel through it or justify with //lint:ignore goroleak")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// packageFuncDecls indexes the package's function declarations by their
+// types object, so `go s.loop()` resolves to loop's body.
+func packageFuncDecls(pass *Pass) map[types.Object]*ast.FuncDecl {
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.ObjectOf(fd.Name); obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// launchedBody resolves the body the go statement starts: a function
+// literal's own body, or the declaration of a same-package function or
+// method.
+func launchedBody(pass *Pass, decls map[types.Object]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fd := decls[pass.Info.ObjectOf(fun)]; fd != nil {
+			return fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd := decls[pass.Info.ObjectOf(fun.Sel)]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// cancellable reports whether a reachable cancellation point exists in the
+// body — via its CFG, so code after an unconditional return does not count
+// — or in the body of any same-package function it calls.
+func cancellable(pass *Pass, decls map[types.Object]*ast.FuncDecl, body *ast.BlockStmt, visiting map[*ast.BlockStmt]bool) bool {
+	if visiting[body] {
+		return false
+	}
+	visiting[body] = true
+
+	g := BuildCFG(body)
+	reachable := g.Reachable()
+	var callees []*ast.BlockStmt
+	found := false
+	for _, b := range g.Blocks {
+		if !reachable[b] || found {
+			continue
+		}
+		// A select head is decomposed: its comm statements are the first
+		// nodes of the case blocks, so receives/sends there are seen as
+		// ordinary nodes; a bare `select {}` parks forever (edge to exit)
+		// and counts as a (degenerate) cancellation point only through its
+		// comm cases — none, so it does not.
+		for _, n := range b.Nodes {
+			if nodeHasCancellationPoint(pass, n) {
+				found = true
+				break
+			}
+			inspectLeaf(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				var obj types.Object
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					obj = pass.Info.ObjectOf(fun)
+				case *ast.SelectorExpr:
+					obj = pass.Info.ObjectOf(fun.Sel)
+				}
+				if fd := decls[obj]; fd != nil {
+					callees = append(callees, fd.Body)
+				}
+				return true
+			})
+		}
+	}
+	if !found {
+		for _, callee := range callees {
+			if cancellable(pass, decls, callee, visiting) {
+				found = true
+				break
+			}
+		}
+	}
+	return found
+}
+
+// nodeHasCancellationPoint looks for a receive or channel range in one leaf
+// node. Sends inside a select are covered because the CommClause statement
+// is a leaf node of the case block; a bare blocking send is NOT a
+// cancellation point (nobody may ever receive).
+func nodeHasCancellationPoint(pass *Pass, n ast.Node) bool {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		if t := pass.TypeOf(r.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				return true
+			}
+		}
+	}
+	found := false
+	inspectLeaf(n, func(m ast.Node) bool {
+		if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

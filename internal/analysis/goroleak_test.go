@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ist/internal/analysis"
+	"ist/internal/analysis/analysistest"
+)
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, analysis.GoroLeakAnalyzer, "goroleak")
+}
+
+// TestGoroLeakMainExempt checks the package-main exemption: the fixture
+// launches an uncancellable goroutine and must produce zero diagnostics.
+func TestGoroLeakMainExempt(t *testing.T) {
+	analysistest.Run(t, analysis.GoroLeakAnalyzer, "goroleakmain")
+}

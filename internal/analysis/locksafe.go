@@ -1,0 +1,373 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockSafeAnalyzer enforces the lock discipline the race detector cannot:
+// it is a *shape* check over every path of a function, not a schedule
+// check over one run.
+//
+//  1. Balance: a sync.Mutex/RWMutex locked in a function must reach an
+//     Unlock (or a defer Unlock) on every path to a return. An early
+//     `return err` that forgets the Unlock deadlocks the next caller — the
+//     classic bug pattern in the server's per-session state machines.
+//  2. No double Lock: locking a mutex on a path where this function
+//     already holds it is a guaranteed self-deadlock.
+//  3. No blocking calls under a lock: an fsync, a file/stream Write, an LP
+//     Solve, a channel operation, time.Sleep, WaitGroup.Wait or an HTTP
+//     handler invoked while a mutex is held turns every other goroutine's
+//     microsecond-critical-section into a disk- or human-latency wait.
+//     Deliberate holds (a WAL serializing appends through its lock) carry a
+//     `//lint:ignore locksafe <reason>` so the policy stays auditable.
+//
+// The analysis is intraprocedural: helpers that assume "caller holds mu"
+// (the *Locked naming convention) are neither checked nor flagged — the
+// check fires where the Lock call itself is visible.
+var LockSafeAnalyzer = &Analyzer{
+	Name: "locksafe",
+	Doc:  "flags unbalanced mutex paths, double locks, and blocking calls while a mutex is held",
+	Run:  runLockSafe,
+}
+
+// lockState is the per-mutex lattice: absent (never locked) < held states
+// < lsMixed (conflicting paths — the analysis stays silent rather than
+// guessing).
+type lockState uint8
+
+const (
+	lsReleased lockState = iota + 1 // was held on this path, released
+	lsHeld                          // held, no release scheduled
+	lsDeferred                      // held, a defer guarantees release at exit
+	lsMixed                         // held on some paths only
+)
+
+// lockFact maps a canonical mutex expression ("w:s.mu" for write locks,
+// "r:s.mu" for read locks) to its state. Treated as immutable.
+type lockFact map[string]lockState
+
+func (f lockFact) with(key string, s lockState) lockFact {
+	out := make(lockFact, len(f)+1)
+	for k, v := range f {
+		out[k] = v
+	}
+	out[key] = s
+	return out
+}
+
+func runLockSafe(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, fb := range funcBodies(f) {
+			checkLockSafe(pass, fb)
+		}
+	}
+	return nil
+}
+
+func checkLockSafe(pass *Pass, fb funcBody) {
+	g := BuildCFG(fb.body)
+	an := FlowAnalysis[lockFact]{
+		Entry:    lockFact{},
+		Transfer: func(n ast.Node, fact lockFact) lockFact { return lockTransfer(pass, n, fact) },
+		Join:     joinLockFacts,
+		Equal:    equalLockFacts,
+	}
+	in := SolveFlow(g, an)
+
+	// Checks 2 and 3: double locks and blocking calls, with the fact in
+	// force just before each node.
+	WalkFlow(g, an, in, func(n ast.Node, before lockFact) {
+		for _, op := range lockOps(pass, n) {
+			if op.kind != lockAcquire || strings.HasPrefix(op.key, "r:") {
+				continue // recursive RLock is shared, not a self-deadlock
+			}
+			if s := before[op.key]; s == lsHeld || s == lsDeferred {
+				pass.Reportf(op.pos, "%s.%s() while %s is already held on this path (self-deadlock)",
+					op.expr, op.method, op.expr)
+			}
+		}
+		held := heldMutexes(before)
+		if len(held) == 0 {
+			return
+		}
+		for _, bc := range blockingCalls(pass, n) {
+			pass.Reportf(bc.pos, "%s while %s is held; release the lock first or justify with //lint:ignore locksafe",
+				bc.what, strings.Join(held, ", "))
+		}
+	})
+
+	// Check 1: every path to a return releases what it locked.
+	for _, ef := range ExitFacts(g, an, in) {
+		if es, ok := ef.Last.(*ast.ExprStmt); ok && isNoReturnCall(es.X) {
+			continue // a panicking path is not a leak the caller can see
+		}
+		pos := fb.body.End() - 1
+		if ef.Last != nil {
+			pos = ef.Last.Pos()
+		}
+		var leaked []string
+		for key, s := range ef.Fact {
+			if s == lsHeld {
+				leaked = append(leaked, strings.TrimPrefix(strings.TrimPrefix(key, "w:"), "r:"))
+			}
+		}
+		sort.Strings(leaked)
+		for _, m := range leaked {
+			pass.Reportf(pos, "%s is still held when %s returns here; add the missing Unlock or defer it",
+				m, fb.name)
+		}
+	}
+}
+
+func heldMutexes(f lockFact) []string {
+	var held []string
+	for key, s := range f {
+		if s == lsHeld || s == lsDeferred {
+			held = append(held, strings.TrimPrefix(strings.TrimPrefix(key, "w:"), "r:"))
+		}
+	}
+	sort.Strings(held)
+	return held
+}
+
+func lockTransfer(pass *Pass, n ast.Node, fact lockFact) lockFact {
+	for _, op := range lockOps(pass, n) {
+		switch op.kind {
+		case lockAcquire:
+			fact = fact.with(op.key, lsHeld)
+		case lockRelease:
+			fact = fact.with(op.key, lsReleased)
+		case lockDeferRelease:
+			fact = fact.with(op.key, lsDeferred)
+		}
+	}
+	return fact
+}
+
+func joinLockFacts(a, b lockFact) lockFact {
+	out := make(lockFact, len(a))
+	for k, v := range a {
+		if w, ok := b[k]; ok {
+			if v == w {
+				out[k] = v
+			} else {
+				out[k] = lsMixed
+			}
+		} else {
+			// Locked on one path, never touched on the other.
+			if v == lsReleased {
+				out[k] = lsReleased
+			} else {
+				out[k] = lsMixed
+			}
+		}
+	}
+	for k, v := range b {
+		if _, ok := a[k]; !ok {
+			if v == lsReleased {
+				out[k] = lsReleased
+			} else {
+				out[k] = lsMixed
+			}
+		}
+	}
+	return out
+}
+
+func equalLockFacts(a, b lockFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+type lockOpKind int
+
+const (
+	lockAcquire lockOpKind = iota
+	lockRelease
+	lockDeferRelease
+)
+
+type lockOp struct {
+	kind   lockOpKind
+	key    string // "w:<expr>" or "r:<expr>"
+	expr   string
+	method string
+	pos    token.Pos
+}
+
+// lockOps extracts sync lock/unlock operations from one leaf node, in
+// source order. A `defer x.Unlock()` is a deferred release at its
+// registration point: from here on, every path is guaranteed to release x
+// at function exit.
+func lockOps(pass *Pass, n ast.Node) []lockOp {
+	var ops []lockOp
+	deferred := false
+	if d, ok := n.(*ast.DeferStmt); ok {
+		deferred = true
+		n = d.Call
+	}
+	inspectLeaf(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		var kind lockOpKind
+		var rw string
+		switch name {
+		case "Lock":
+			kind, rw = lockAcquire, "w:"
+		case "RLock":
+			kind, rw = lockAcquire, "r:"
+		case "Unlock":
+			kind, rw = lockRelease, "w:"
+		case "RUnlock":
+			kind, rw = lockRelease, "r:"
+		default:
+			return true
+		}
+		if !isSyncLockMethod(pass, sel) {
+			return true
+		}
+		if deferred && kind == lockRelease {
+			kind = lockDeferRelease
+		}
+		expr := types.ExprString(sel.X)
+		ops = append(ops, lockOp{kind: kind, key: rw + expr, expr: expr, method: name, pos: call.Pos()})
+		return true
+	})
+	return ops
+}
+
+// isSyncLockMethod reports whether sel resolves to a method declared in
+// package sync (Mutex, RWMutex, or the Locker interface) — including when
+// the mutex is embedded in a larger struct.
+func isSyncLockMethod(pass *Pass, sel *ast.SelectorExpr) bool {
+	fn, _ := pass.Info.ObjectOf(sel.Sel).(*types.Func)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync"
+}
+
+type blockingCall struct {
+	what string
+	pos  token.Pos
+}
+
+// blockingCalls finds operations in one leaf node that can block for disk,
+// network, another goroutine, or a human: channel sends and receives,
+// fsyncs, writes to files/streams, LP solves, HTTP handler invocations,
+// time.Sleep and WaitGroup/Cond waits.
+func blockingCalls(pass *Pass, n ast.Node) []blockingCall {
+	var out []blockingCall
+	if _, ok := n.(*ast.DeferStmt); ok {
+		// The deferred call runs at exit, when this function's locks are
+		// normally released (the deferred-Unlock pattern); holding across
+		// it is the defer ordering's business, not this path's.
+		return out
+	}
+	inspectLeaf(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.SendStmt:
+			out = append(out, blockingCall{"channel send", m.Arrow})
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				out = append(out, blockingCall{"channel receive", m.OpPos})
+			}
+		case *ast.CallExpr:
+			if what, ok := blockingCallName(pass, m); ok {
+				out = append(out, blockingCall{what, m.Pos()})
+			}
+		}
+		return true
+	})
+	if r, ok := n.(*ast.RangeStmt); ok {
+		if t := pass.TypeOf(r.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				out = append(out, blockingCall{"channel range", r.For})
+			}
+		}
+	}
+	return out
+}
+
+func blockingCallName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	fn, _ := pass.Info.ObjectOf(sel.Sel).(*types.Func)
+	switch name {
+	case "Sync":
+		// fsync on a file or the repo's wal.File/FS abstractions.
+		if hasErrorOnlyResult(fn) {
+			return fmt.Sprintf("%s.Sync() (fsync)", types.ExprString(sel.X)), true
+		}
+	case "Write", "WriteString", "ReadFrom":
+		// Only writer-shaped receivers: interfaces (io.Writer, wal.File)
+		// and *os.File. Concrete in-memory buffers are cheap and common.
+		if t := pass.TypeOf(sel.X); t != nil {
+			if _, isIface := t.Underlying().(*types.Interface); isIface || isOSFile(t) {
+				return fmt.Sprintf("%s.%s() (stream write)", types.ExprString(sel.X), name), true
+			}
+		}
+	case "Solve", "SolveTraced":
+		if fn != nil && fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "internal/lp") {
+			return "an LP solve", true
+		}
+	case "ServeHTTP":
+		return "an HTTP handler call", true
+	case "Sleep":
+		if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+			return "time.Sleep", true
+		}
+	case "Wait":
+		if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+			return fmt.Sprintf("%s.Wait()", types.ExprString(sel.X)), true
+		}
+	}
+	return "", false
+}
+
+func hasErrorOnlyResult(fn *types.Func) bool {
+	if fn == nil {
+		return true // untyped (interface via testdata): assume fsync shape
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	return sig.Results().Len() == 1 &&
+		types.Identical(sig.Results().At(0).Type(), types.Universe.Lookup("error").Type())
+}
+
+func isOSFile(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File"
+}

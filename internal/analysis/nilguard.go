@@ -1,0 +1,437 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilGuardAnalyzer is the path-sensitive nil-deref check for the repo's
+// nil-safe wrapper pattern (obs.Observer, core's budget tracker,
+// wal.Metrics): those values are nil by contract on the uninstrumented
+// path, so the code is full of `if x == nil` guards — and the bug class is
+// a guard on one path with an unguarded dereference on another:
+//
+//	if o == nil {
+//	    log.Println("uninstrumented")   // forgot the return
+//	}
+//	o.Event(...)                        // panics exactly when unobserved
+//
+// The analysis tracks local variables and parameters that are compared to
+// nil somewhere in the function (the comparison is the evidence nil is
+// possible). Branch edges refine the state (== nil: true edge isnil, false
+// edge nonnil, through &&, || and !), assignments of fresh values set
+// nonnil, and a dereference is flagged when the state is isnil (every path
+// is nil) or maybenil (the nil branch of a check flows here unguarded).
+//
+// "Dereference" means what panics on nil: a field access, *p, an index on
+// a pointer-to-array, calling a method through a nil interface, or calling
+// a value-receiver method on a nil pointer. Calling a POINTER-receiver
+// method on a nil pointer is fine — that is precisely the sanctioned
+// nil-receiver wrapper idiom — and is not flagged.
+var NilGuardAnalyzer = &Analyzer{
+	Name: "nilguard",
+	Doc:  "flags dereferences of pointers/interfaces that are nil-checked on one path and used unguarded on another",
+	Run:  runNilGuard,
+}
+
+// nilState is the per-variable lattice: absent (untracked/no info) is
+// bottom; nnMaybeNil is top.
+type nilState uint8
+
+const (
+	nnNonNil nilState = iota + 1
+	nnIsNil
+	nnMaybeNil
+)
+
+// nilFact maps tracked variables to their state. Immutable.
+type nilFact map[*types.Var]nilState
+
+func (f nilFact) with(v *types.Var, s nilState) nilFact {
+	out := make(nilFact, len(f)+1)
+	for k, val := range f {
+		out[k] = val
+	}
+	out[v] = s
+	return out
+}
+
+func (f nilFact) without(v *types.Var) nilFact {
+	out := make(nilFact, len(f))
+	for k, val := range f {
+		if k != v {
+			out[k] = val
+		}
+	}
+	return out
+}
+
+func runNilGuard(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, fb := range funcBodies(f) {
+			checkNilGuard(pass, fb)
+		}
+	}
+	return nil
+}
+
+func checkNilGuard(pass *Pass, fb funcBody) {
+	tracked := nilComparedVars(pass, fb.body)
+	if len(tracked) == 0 {
+		return
+	}
+	an := FlowAnalysis[nilFact]{
+		Entry:    nilFact{},
+		Transfer: func(n ast.Node, fact nilFact) nilFact { return nilTransfer(pass, tracked, n, fact) },
+		Refine: func(cond ast.Expr, branch bool, fact nilFact) nilFact {
+			return nilRefine(pass, tracked, cond, branch, fact)
+		},
+		Join:  joinNilFacts,
+		Equal: equalNilFacts,
+	}
+	g := BuildCFG(fb.body)
+	in := SolveFlow(g, an)
+
+	reported := map[*types.Var]bool{}
+	WalkFlow(g, an, in, func(n ast.Node, before nilFact) {
+		for _, d := range derefs(pass, tracked, n) {
+			switch before[d.v] {
+			case nnIsNil:
+				if !reported[d.v] {
+					reported[d.v] = true
+					pass.Reportf(d.pos, "%s is nil on every path reaching this dereference", d.v.Name())
+				}
+			case nnMaybeNil:
+				if !reported[d.v] {
+					reported[d.v] = true
+					pass.Reportf(d.pos, "%s is nil-checked on another path but dereferenced unguarded here; hoist the guard or return from the nil branch", d.v.Name())
+				}
+			}
+		}
+	})
+}
+
+// nilComparedVars finds the local variables and parameters of pointer or
+// interface type that the function compares against nil — the tracking
+// universe. Variables never compared are assumed managed elsewhere.
+func nilComparedVars(pass *Pass, body *ast.BlockStmt) map[*types.Var]bool {
+	tracked := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+			id, ok := ast.Unparen(pair[0]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if !isNilIdent(pass, pair[1]) {
+				continue
+			}
+			v, ok := pass.Info.ObjectOf(id).(*types.Var)
+			if !ok || v.IsField() {
+				continue
+			}
+			switch v.Type().Underlying().(type) {
+			case *types.Pointer, *types.Interface:
+				tracked[v] = true
+			}
+		}
+		return true
+	})
+	return tracked
+}
+
+func isNilIdent(pass *Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.Info.ObjectOf(id).(*types.Nil)
+	return isNil
+}
+
+// nilTransfer applies assignments and survived dereferences.
+func nilTransfer(pass *Pass, tracked map[*types.Var]bool, n ast.Node, fact nilFact) nilFact {
+	// A dereference the path survived proves non-nil from here on (and
+	// stops cascading reports for the same variable).
+	for _, d := range derefs(pass, tracked, n) {
+		fact = fact.with(d.v, nnNonNil)
+	}
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) == len(s.Rhs) {
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v, _ := pass.Info.ObjectOf(id).(*types.Var)
+				if v == nil || !tracked[v] {
+					continue
+				}
+				if ns := rhsNilState(pass, s.Rhs[i]); ns != 0 {
+					fact = fact.with(v, ns)
+				} else {
+					fact = fact.without(v)
+				}
+			}
+		} else {
+			// Multi-value call: results are unknown.
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if v, _ := pass.Info.ObjectOf(id).(*types.Var); v != nil && tracked[v] {
+						fact = fact.without(v)
+					}
+				}
+			}
+		}
+	case *ast.UnaryExpr:
+		// Handled below via inspect for &v anywhere in the node.
+	}
+	// Taking a tracked variable's address lets callees mutate it: drop it.
+	inspectLeaf(n, func(m ast.Node) bool {
+		if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			if id, ok := ast.Unparen(u.X).(*ast.Ident); ok {
+				if v, _ := pass.Info.ObjectOf(id).(*types.Var); v != nil && tracked[v] {
+					fact = fact.without(v)
+				}
+			}
+		}
+		return true
+	})
+	return fact
+}
+
+// rhsNilState classifies what an assignment proves about the new value.
+func rhsNilState(pass *Pass, rhs ast.Expr) nilState {
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.Ident:
+		if isNilIdent(pass, e) {
+			return nnIsNil
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return nnNonNil // &x is never nil
+		}
+	case *ast.CompositeLit, *ast.FuncLit:
+		return nnNonNil
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && (id.Name == "new" || id.Name == "make") {
+			if _, isBuiltin := pass.Info.ObjectOf(id).(*types.Builtin); isBuiltin {
+				return nnNonNil
+			}
+		}
+	}
+	return 0 // unknown
+}
+
+// nilRefine sharpens facts along a branch edge through ==/!=, &&, || and !.
+func nilRefine(pass *Pass, tracked map[*types.Var]bool, cond ast.Expr, branch bool, fact nilFact) nilFact {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.EQL, token.NEQ:
+			v := comparedVar(pass, tracked, e)
+			if v == nil {
+				return fact
+			}
+			isNilWhenTrue := e.Op == token.EQL
+			if branch == isNilWhenTrue {
+				return fact.with(v, nnIsNil)
+			}
+			return fact.with(v, nnNonNil)
+		case token.LAND:
+			if branch { // both conjuncts known true
+				return nilRefine(pass, tracked, e.Y, true, nilRefine(pass, tracked, e.X, true, fact))
+			}
+		case token.LOR:
+			if !branch { // both disjuncts known false
+				return nilRefine(pass, tracked, e.Y, false, nilRefine(pass, tracked, e.X, false, fact))
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			return nilRefine(pass, tracked, e.X, !branch, fact)
+		}
+	}
+	return fact
+}
+
+// joinNilFacts merges path knowledge: agreement survives, disagreement
+// (one path proved nil, another proved otherwise) becomes nnMaybeNil — the
+// state that makes an unguarded dereference a finding. A path with no
+// information (absent) neither clears nor raises suspicion on its own —
+// EXCEPT against isnil: if one path definitely carries nil, the merge can
+// no longer claim "nil on every path", only "nil on some path", which is
+// exactly nnMaybeNil. (nonnil ⊔ absent stays nonnil so an untouched path
+// does not manufacture false positives.)
+func joinNilFacts(a, b nilFact) nilFact {
+	merge := func(s nilState, other nilFact, k *types.Var) nilState {
+		if w, ok := other[k]; ok {
+			if w == s {
+				return s
+			}
+			return nnMaybeNil
+		}
+		if s == nnIsNil {
+			return nnMaybeNil
+		}
+		return s
+	}
+	out := make(nilFact, len(a)+len(b))
+	for k, v := range a {
+		out[k] = merge(v, b, k)
+	}
+	for k, v := range b {
+		if _, ok := a[k]; !ok {
+			out[k] = merge(v, a, k)
+		}
+	}
+	return out
+}
+
+func equalNilFacts(a, b nilFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func comparedVar(pass *Pass, tracked map[*types.Var]bool, be *ast.BinaryExpr) *types.Var {
+	for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		id, ok := ast.Unparen(pair[0]).(*ast.Ident)
+		if !ok || !isNilIdent(pass, pair[1]) {
+			continue
+		}
+		if v, _ := pass.Info.ObjectOf(id).(*types.Var); v != nil && tracked[v] {
+			return v
+		}
+	}
+	return nil
+}
+
+type derefSite struct {
+	v   *types.Var
+	pos token.Pos
+}
+
+// derefs finds the nil-unsafe uses of tracked variables in one leaf node.
+// Short-circuit guards inside the node are honored: in `p != nil && p.f > 0`
+// (and `p == nil || p.f > 0`) the right operand only evaluates with p
+// proven non-nil, so derefs there are not findings.
+func derefs(pass *Pass, tracked map[*types.Var]bool, n ast.Node) []derefSite {
+	spans := guardSpans(pass, tracked, n)
+	var out []derefSite
+	add := func(e ast.Expr, pos token.Pos) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		if v, _ := pass.Info.ObjectOf(id).(*types.Var); v != nil && tracked[v] {
+			for _, sp := range spans {
+				if sp.vars[v] && sp.from <= pos && pos < sp.to {
+					return
+				}
+			}
+			out = append(out, derefSite{v, pos})
+		}
+	}
+	inspectLeaf(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.StarExpr:
+			add(m.X, m.Pos())
+		case *ast.SelectorExpr:
+			if unsafeSelection(pass, m) {
+				add(m.X, m.Pos())
+			}
+		case *ast.IndexExpr:
+			if t := pass.TypeOf(m.X); t != nil {
+				if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+					add(m.X, m.Pos())
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// guardSpan marks a source range in which vars are proven non-nil by the
+// left operand of a short-circuit operator.
+type guardSpan struct {
+	from, to token.Pos
+	vars     map[*types.Var]bool
+}
+
+// guardSpans collects, for every `X && Y` / `X || Y` under n, the variables
+// X proves non-nil on the edge that evaluates Y, spanning Y.
+func guardSpans(pass *Pass, tracked map[*types.Var]bool, n ast.Node) []guardSpan {
+	var spans []guardSpan
+	inspectLeaf(n, func(m ast.Node) bool {
+		be, ok := m.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.LAND && be.Op != token.LOR) {
+			return true
+		}
+		// Y runs only when X is true (&&) or false (||).
+		refined := nilRefine(pass, tracked, be.X, be.Op == token.LAND, nilFact{})
+		vars := map[*types.Var]bool{}
+		for v, s := range refined {
+			if s == nnNonNil {
+				vars[v] = true
+			}
+		}
+		if len(vars) > 0 {
+			spans = append(spans, guardSpan{from: be.Y.Pos(), to: be.Y.End(), vars: vars})
+		}
+		return true
+	})
+	return spans
+}
+
+// unsafeSelection reports whether x.sel panics when x is nil: a field
+// access through a pointer, any selection through a nil interface, or a
+// value-receiver method on a pointer (the auto-deref). Pointer-receiver
+// methods are the nil-safe idiom and return false.
+func unsafeSelection(pass *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.Info.Selections[sel]
+	if !ok {
+		return false // qualified identifier (pkg.Name), not a selection
+	}
+	recv := pass.TypeOf(sel.X)
+	if recv == nil {
+		return false
+	}
+	if _, isIface := recv.Underlying().(*types.Interface); isIface {
+		return true // any selection on a nil interface panics at the call
+	}
+	if _, isPtr := recv.Underlying().(*types.Pointer); !isPtr {
+		return false // value receivers cannot be nil
+	}
+	switch s.Kind() {
+	case types.FieldVal:
+		return true
+	case types.MethodVal, types.MethodExpr:
+		fn, _ := s.Obj().(*types.Func)
+		if fn == nil {
+			return true
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		if sig == nil || sig.Recv() == nil {
+			return true
+		}
+		_, ptrRecv := sig.Recv().Type().Underlying().(*types.Pointer)
+		return !ptrRecv // value-receiver method on *T derefs the pointer
+	}
+	return false
+}

@@ -23,6 +23,46 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
+// TestSuiteComposition pins the suite: TestRepoIsClean only means "the repo
+// satisfies every registered analyzer", so an analyzer silently dropped from
+// All() would weaken the gate without failing anything. The four
+// flow-sensitive analyzers ride the same CFG/dataflow layer; losing one
+// loses a whole invariant class.
+func TestSuiteComposition(t *testing.T) {
+	want := []string{
+		"floatcmp", "lpstatus", "detrand", "epsconst", "errdrop",
+		"wallclock", "obsnil",
+		"locksafe", "goroleak", "errflow", "nilguard",
+	}
+	all := analysis.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, name := range want {
+		if all[i].Name != name {
+			t.Errorf("All()[%d] = %q, want %q", i, all[i].Name, name)
+		}
+		if all[i].Doc == "" {
+			t.Errorf("analyzer %q has no Doc", all[i].Name)
+		}
+	}
+}
+
+// TestSuppressionsAreJustified audits every //lint:ignore in the module: a
+// bare directive (no reason) suppresses nothing — it is either dead or a
+// missing justification, and both are mistakes.
+func TestSuppressionsAreJustified(t *testing.T) {
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, s := range analysis.Suppressions(pkgs) {
+		if s.Reason == "" {
+			t.Errorf("%s:%d: //lint:ignore without a reason (not honored)", s.File, s.Line)
+		}
+	}
+}
+
 func TestByName(t *testing.T) {
 	for _, a := range analysis.All() {
 		if got := analysis.ByName(a.Name); got != a {

@@ -1,0 +1,111 @@
+// Package errflowdata exercises the errflow analyzer: a result returned
+// alongside an error must not be used on any path before the error is
+// consulted.
+package errflowdata
+
+import "fmt"
+
+type conn struct{ id int }
+
+func (c *conn) ping() {}
+
+func dial() (*conn, error)            { return nil, nil }
+func dialTwo() (*conn, *conn, error)  { return nil, nil, nil }
+func readN() (int, error)             { return 0, nil }
+func lookup() (map[string]int, error) { return nil, nil }
+
+// --- flagged -------------------------------------------------------------
+
+func straightLine() {
+	c, err := dial()
+	c.ping() // want `c is used here, but the err returned with it is unchecked`
+	_ = err
+}
+
+func checkedOnOneBranchOnly(verbose bool) *conn {
+	c, err := dial()
+	if verbose {
+		if err != nil {
+			return nil
+		}
+		c.ping()
+	}
+	return c // want `c is used here, but the err returned with it is unchecked`
+}
+
+func usedInCall() {
+	m, err := lookup()
+	fmt.Println(len(m)) // want `m is used here, but the err returned with it is unchecked`
+	_ = err
+}
+
+func siblingResults() {
+	a, b, err := dialTwo()
+	a.ping() // want `a is used here, but the err returned with it is unchecked`
+	if err != nil {
+		return
+	}
+	b.ping() // fine: err checked by now
+}
+
+// --- clean ---------------------------------------------------------------
+
+func checkedFirst() {
+	c, err := dial()
+	if err != nil {
+		return
+	}
+	c.ping()
+}
+
+func checkedViaSwitch() {
+	c, err := dial()
+	switch {
+	case err != nil:
+		return
+	}
+	c.ping()
+}
+
+func propagation() (*conn, error) {
+	c, err := dial()
+	return c, err // same statement consults err: propagation, not use
+}
+
+func errorFuncConsult() {
+	c, err := dial()
+	if fmt.Errorf("dial: %w", err) != nil {
+		c.ping() // err was consulted (wrapped) before the use
+	}
+}
+
+func nonNilableResultsIgnored() int {
+	n, err := readN()
+	_ = err
+	return n // int is not deref-prone; out of scope by design
+}
+
+func reboundGuard() {
+	c, err := dial()
+	if err != nil {
+		return
+	}
+	d, err := dial()
+	c.ping() // c's guard was already discharged
+	_ = err
+	_ = d
+}
+
+func reassignedValueDropsGuard() {
+	c, err := dial()
+	c = &conn{id: 1}
+	c.ping() // c no longer holds the fallible result
+	_ = err
+}
+
+func justified() {
+	c, err := dial()
+	//lint:ignore errflow dial's contract returns a usable sentinel conn even on error
+	c.ping()
+	_ = err
+}

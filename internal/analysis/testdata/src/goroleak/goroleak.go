@@ -1,0 +1,121 @@
+// Package goroleakdata exercises the goroleak analyzer: goroutines in
+// library packages must have a reachable cancellation path.
+package goroleakdata
+
+import "context"
+
+type pool struct {
+	jobs chan int
+	done chan struct{}
+}
+
+func work(int) {}
+
+// --- flagged: no way to tell the goroutine to stop ----------------------
+
+func spinForever(p *pool) {
+	go func() { // want `no reachable cancellation path`
+		for {
+			work(0)
+		}
+	}()
+}
+
+func unreachableCancel(p *pool) {
+	go func() { // want `no reachable cancellation path`
+		for {
+			work(0)
+		}
+		<-p.done // dead code: the loop above never exits
+	}()
+}
+
+func namedLeaky(p *pool) {
+	go p.hotLoop() // want `no reachable cancellation path`
+}
+
+func (p *pool) hotLoop() {
+	for {
+		work(1)
+	}
+}
+
+// --- clean: a closer can unblock them -----------------------------------
+
+func selectLoop(p *pool, ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case j := <-p.jobs:
+				work(j)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+func rangeOverChannel(p *pool) {
+	go func() {
+		for j := range p.jobs {
+			work(j)
+		}
+	}()
+}
+
+func directReceive(p *pool) {
+	go func() {
+		<-p.done
+		work(0)
+	}()
+}
+
+func namedMethod(p *pool) {
+	go p.drain()
+}
+
+func (p *pool) drain() {
+	for j := range p.jobs {
+		work(j)
+	}
+}
+
+// transitive: the goroutine body calls a same-package helper that blocks on
+// the done channel.
+func viaHelper(p *pool) {
+	go func() {
+		for {
+			work(0)
+			if p.waitQuiet() {
+				return
+			}
+		}
+	}()
+}
+
+func (p *pool) waitQuiet() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// mutually recursive helpers with no cancellation anywhere must not hang
+// the analysis — and are flagged.
+func pingPong(p *pool) {
+	go func() { // want `no reachable cancellation path`
+		ping(p)
+	}()
+}
+
+func ping(p *pool) { pong(p) }
+func pong(p *pool) { ping(p) }
+
+func justified(p *pool) {
+	//lint:ignore goroleak bounded one-shot warmup; exits on its own within a tick
+	go func() {
+		work(0)
+	}()
+}

@@ -1,0 +1,15 @@
+// Package main is exempt from goroleak: a CLI's goroutines die with the
+// process by design. No diagnostics expected anywhere in this file.
+package main
+
+func work() {}
+
+func spawn() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+func main() { spawn() }

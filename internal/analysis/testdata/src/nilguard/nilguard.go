@@ -1,0 +1,124 @@
+// Package nilguarddata exercises the nilguard analyzer: a pointer or
+// interface that is nil-checked on one path must not be dereferenced
+// unguarded on another.
+package nilguarddata
+
+type observer interface {
+	event(string)
+}
+
+type metrics struct {
+	count int
+}
+
+// observe is a pointer-receiver method: calling it on a nil *metrics is the
+// repo's sanctioned nil-safe wrapper idiom.
+func (m *metrics) observe() {
+	if m == nil {
+		return
+	}
+	m.count++
+}
+
+// snapshot has a value receiver: calling it through a nil pointer derefs.
+func (m metrics) snapshot() int { return m.count }
+
+// --- flagged -------------------------------------------------------------
+
+func forgotTheReturn(o observer) {
+	if o == nil {
+		println("uninstrumented") // forgot to return here
+	}
+	o.event("x") // want `o is nil-checked on another path but dereferenced unguarded here`
+}
+
+func nilOnEveryPath(m *metrics) int {
+	if m == nil {
+		return m.count // want `m is nil on every path reaching this dereference`
+	}
+	return m.count
+}
+
+func valueReceiverOnNilPointer(m *metrics) int {
+	if m == nil {
+		println("no metrics")
+	}
+	return m.snapshot() // want `m is nil-checked on another path but dereferenced unguarded here`
+}
+
+func fieldAccessAfterPartialGuard(m *metrics, verbose bool) int {
+	if verbose && m == nil {
+		println("no metrics")
+	}
+	return m.count // want `m is nil-checked on another path but dereferenced unguarded here`
+}
+
+func starDeref(p *int) int {
+	if p != nil {
+		println("have value")
+	}
+	return *p // want `p is nil-checked on another path but dereferenced unguarded here`
+}
+
+// --- clean ---------------------------------------------------------------
+
+func guardedWithReturn(o observer) {
+	if o == nil {
+		return
+	}
+	o.event("x")
+}
+
+func guardedElse(m *metrics) int {
+	if m == nil {
+		return 0
+	} else {
+		return m.count
+	}
+}
+
+func pointerReceiverIdiom(m *metrics) {
+	if m == nil {
+		println("uninstrumented")
+	}
+	m.observe() // pointer-receiver method: nil-safe by contract
+}
+
+func shortCircuitGuard(m *metrics) int {
+	if m != nil && m.count > 0 {
+		return m.count
+	}
+	return 0
+}
+
+func orGuard(m *metrics) bool {
+	return m == nil || m.count == 0
+}
+
+func reassignedInNilBranch(m *metrics) int {
+	if m == nil {
+		m = &metrics{}
+	}
+	return m.count
+}
+
+func untrackedNeverCompared(m *metrics) int {
+	return m.count // never compared to nil: assumed managed by the caller
+}
+
+func survivedDerefStopsCascade(m *metrics) int {
+	if m == nil {
+		println("no metrics")
+	}
+	a := m.count // want `m is nil-checked on another path but dereferenced unguarded here`
+	b := m.count // the path survived the first deref; no second report
+	return a + b
+}
+
+func justified(o observer) {
+	if o == nil {
+		println("uninstrumented")
+	}
+	//lint:ignore nilguard the registry rejects nil observers before this point
+	o.event("x")
+}

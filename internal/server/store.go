@@ -224,6 +224,7 @@ func (s *JSONLStore) append(ev storeEvent) error {
 	line = append(line, '\n')
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	//lint:ignore locksafe s.mu is the append serialization point: interleaved writes would corrupt the JSONL stream
 	if _, err := s.f.Write(line); err != nil {
 		return fmt.Errorf("server: store: %w", err)
 	}

@@ -1,0 +1,105 @@
+package wal_test
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"ist/internal/wal"
+)
+
+// gateFS wraps an FS and blocks writes to .tmp snapshot files until the
+// test releases them, simulating a slow snapshot disk write.
+type gateFS struct {
+	wal.FS
+	entered chan struct{} // closed-ish: one token per gated write entry
+	release chan struct{}
+}
+
+func (g *gateFS) OpenFile(name string, flag int, perm os.FileMode) (wal.File, error) {
+	f, err := g.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	if len(name) > 4 && name[len(name)-4:] == ".tmp" {
+		return &gateFile{File: f, fs: g}, nil
+	}
+	return f, nil
+}
+
+type gateFile struct {
+	wal.File
+	fs *gateFS
+}
+
+func (f *gateFile) Write(p []byte) (int, error) {
+	f.fs.entered <- struct{}{}
+	<-f.fs.release
+	return f.File.Write(p)
+}
+
+// TestAppendProceedsDuringSnapshotWrite is the regression test for the
+// locksafe finding that Snapshot held l.mu across the bulk state write:
+// with the snapshot's temporary-file write stalled on "disk", an Append
+// must still complete — it goes to the fresh segment the snapshot does not
+// cover — instead of queueing behind the fsync.
+func TestAppendProceedsDuringSnapshotWrite(t *testing.T) {
+	dir := t.TempDir()
+	g := &gateFS{FS: wal.OS, entered: make(chan struct{}, 1), release: make(chan struct{})}
+	l, _, err := wal.Open(dir, wal.Options{FS: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+
+	snapDone := make(chan error, 1)
+	go func() { snapDone <- l.Snapshot([]byte("state")) }()
+
+	// Wait until the snapshot is inside its stalled temporary-file write —
+	// the window in which the old code still held l.mu.
+	select {
+	case <-g.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("snapshot never reached the state write")
+	}
+
+	appendDone := make(chan error, 1)
+	go func() { appendDone <- l.Append([]byte("during")) }()
+	select {
+	case err := <-appendDone:
+		if err != nil {
+			t.Fatalf("Append during snapshot write: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Append blocked behind the snapshot's state write")
+	}
+
+	close(g.release)
+	if err := <-snapDone; err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	// The record appended mid-snapshot survives recovery alongside the
+	// snapshot: it lives in the fresh segment the snapshot does not cover.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if string(rec.Snapshot) != "state" {
+		t.Errorf("recovered snapshot = %q, want %q", rec.Snapshot, "state")
+	}
+	if len(rec.Records) != 1 || string(rec.Records[0]) != "during" {
+		got := make([]string, len(rec.Records))
+		for i, r := range rec.Records {
+			got[i] = string(r)
+		}
+		t.Errorf("recovered records = %q, want [during]", got)
+	}
+}

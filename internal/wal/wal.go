@@ -121,6 +121,12 @@ type Log struct {
 	dir string
 	opt Options
 
+	// snapMu serializes Snapshot callers. It is held across the snapshot's
+	// temporary-file write so two snapshots never interleave on the same
+	// path, and it is always acquired BEFORE mu (never the other way), so
+	// appends — which take only mu — proceed during the bulk state write.
+	snapMu sync.Mutex
+
 	mu       sync.Mutex
 	seg      File   // current segment handle (append mode)
 	segName  string // current segment file name (not path)
@@ -219,6 +225,7 @@ func (l *Log) Append(payload []byte) error {
 			return err
 		}
 	}
+	//lint:ignore locksafe l.mu is the append serialization point: interleaved frames would corrupt the segment
 	if _, err := l.seg.Write(buf); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
