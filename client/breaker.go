@@ -1,0 +1,81 @@
+package client
+
+import (
+	"sync"
+	"time"
+
+	"ist/internal/clock"
+)
+
+// breaker is a consecutive-failure circuit breaker. Closed: requests flow,
+// each failure increments a streak, each success clears it. When the streak
+// reaches the threshold the circuit opens for a cooldown window (measured on
+// the injected clock): requests fail fast with ErrBreakerOpen instead of
+// burning a full retry schedule against a dead server. After the window one
+// probe is admitted (half-open); its success closes the circuit, its failure
+// re-opens for another window.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	clk       clock.Clock
+	onTrip    func() // metric hook; nil ok
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+	probing   bool
+}
+
+// newBreaker builds a breaker; threshold < 0 disables it (allow always).
+func newBreaker(threshold int, cooldown time.Duration, clk clock.Clock) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, clk: clk}
+}
+
+// allow gates one attempt: nil to proceed, ErrBreakerOpen to fail fast.
+func (b *breaker) allow() error {
+	if b.threshold <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.fails < b.threshold {
+		return nil // closed
+	}
+	if b.clk.Now().Before(b.openUntil) {
+		return ErrBreakerOpen
+	}
+	if b.probing {
+		return ErrBreakerOpen // one half-open probe at a time
+	}
+	b.probing = true
+	return nil
+}
+
+// success reports a completed exchange, closing the circuit.
+func (b *breaker) success() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// failure reports a failed attempt; crossing the threshold (or failing the
+// half-open probe) opens the circuit for a fresh cooldown window.
+func (b *breaker) failure() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.probing = false
+	b.fails++
+	if b.fails >= b.threshold {
+		b.openUntil = b.clk.Now().Add(b.cooldown)
+		if b.onTrip != nil {
+			b.onTrip()
+		}
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,492 @@
+// Package client is a dependency-free, retry-safe Go client for the
+// istserve session API (internal/server): create a session, read questions,
+// post answers, collect the result.
+//
+// The paper's dialogue is strictly sequential and every question costs real
+// human effort, so the client is built for hostile networks: every request
+// runs under its own deadline, transient failures (connection errors,
+// truncated responses, 429/503/5xx) are retried with capped exponential
+// backoff and injected-RNG jitter, Retry-After hints from the server's
+// backpressure responses are honored, and a circuit breaker fails fast when
+// the server is persistently down. Retrying a POST /answer blindly is safe
+// because the wire protocol is exactly-once: each answer quotes the seq of
+// the question it answers, and the server absorbs duplicates idempotently
+// (DESIGN.md §12).
+//
+// Session creation is NOT idempotent: a retried create whose original
+// succeeded (response lost) leaves an orphan session behind, which the
+// server's idle reaper collects. That is garbage, not corruption — the
+// trade is deliberate.
+//
+// Time and randomness are injected (clock.Clock, *rand.Rand, a Sleep hook)
+// so the retry schedule is fully deterministic under test; the wallclock
+// and detrand analyzers enforce this.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ist"
+	"ist/internal/clock"
+	"ist/internal/obs"
+)
+
+// Options tunes the client's resilience machinery. The zero value is usable:
+// every field has a production default.
+type Options struct {
+	// HTTP is the underlying HTTP client (nil = a fresh http.Client; the
+	// per-request deadline comes from RequestTimeout, not http.Client.Timeout).
+	HTTP *http.Client
+	// MaxAttempts bounds tries per request, the first included (0 = 6).
+	MaxAttempts int
+	// BaseBackoff is the first retry delay, doubled per attempt (0 = 100ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (0 = 5s).
+	MaxBackoff time.Duration
+	// RequestTimeout is the per-attempt deadline, layered under whatever
+	// deadline the caller's context carries (0 = 10s, negative = none).
+	RequestTimeout time.Duration
+	// Rand supplies backoff jitter (nil = a private generator seeded from
+	// the process id — never from the wall clock, so tests that inject
+	// nothing still replay deterministically per pid).
+	Rand *rand.Rand
+	// Clock feeds the circuit breaker's cooldown window (nil = clock.Real).
+	Clock clock.Clock
+	// Sleep waits between retries (nil = a timer honoring ctx cancellation).
+	// Tests inject a fake that advances a fake clock instead of sleeping.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// BreakerThreshold opens the circuit after this many consecutive failed
+	// attempts (0 = 8, negative = breaker disabled).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects requests before
+	// letting a single probe through (0 = 15s).
+	BreakerCooldown time.Duration
+	// Metrics, when set, registers the ist_client_* series there.
+	Metrics *obs.Registry
+}
+
+// Client talks to one istserve base URL. Safe for concurrent use.
+type Client struct {
+	base  string
+	http  *http.Client
+	opt   Options
+	clk   clock.Clock
+	sleep func(ctx context.Context, d time.Duration) error
+	br    *breaker
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// nil when no registry was supplied; use the count* helpers.
+	requests *obs.CounterVec
+	retries  *obs.CounterVec
+	trips    *obs.Counter
+}
+
+// New builds a client for the istserve instance at baseURL (scheme + host,
+// e.g. "http://localhost:8080"; a trailing slash is tolerated).
+func New(baseURL string, opt Options) (*Client, error) {
+	if baseURL == "" {
+		return nil, errors.New("client: empty base URL")
+	}
+	if opt.HTTP == nil {
+		opt.HTTP = &http.Client{}
+	}
+	if opt.MaxAttempts <= 0 {
+		opt.MaxAttempts = 6
+	}
+	if opt.BaseBackoff <= 0 {
+		opt.BaseBackoff = 100 * time.Millisecond
+	}
+	if opt.MaxBackoff <= 0 {
+		opt.MaxBackoff = 5 * time.Second
+	}
+	if opt.RequestTimeout == 0 {
+		opt.RequestTimeout = 10 * time.Second
+	}
+	if opt.BreakerThreshold == 0 {
+		opt.BreakerThreshold = 8
+	}
+	if opt.BreakerCooldown <= 0 {
+		opt.BreakerCooldown = 15 * time.Second
+	}
+	c := &Client{
+		base: strings.TrimSuffix(baseURL, "/"),
+		http: opt.HTTP,
+		opt:  opt,
+		clk:  opt.Clock,
+		rng:  opt.Rand,
+	}
+	if c.clk == nil {
+		c.clk = clock.Real
+	}
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(int64(os.Getpid()) ^ 0x697374636c69)) // "istcli"
+	}
+	c.sleep = opt.Sleep
+	if c.sleep == nil {
+		c.sleep = timerSleep
+	}
+	c.br = newBreaker(opt.BreakerThreshold, opt.BreakerCooldown, c.clk)
+	if reg := opt.Metrics; reg != nil {
+		c.requests = reg.CounterVec(obs.MetricClientRequests,
+			"API requests by final outcome (ok, conflict, error).", "outcome")
+		c.retries = reg.CounterVec(obs.MetricClientRetries,
+			"Request attempts retried, by failure reason.", "reason")
+		c.trips = reg.Counter(obs.MetricClientBreakerTrips,
+			"Times the client circuit breaker opened.")
+		c.br.onTrip = c.trips.Inc
+	}
+	return c, nil
+}
+
+// ErrBreakerOpen is returned (wrapped) while the circuit breaker rejects
+// requests; check with errors.Is.
+var ErrBreakerOpen = errors.New("client: circuit breaker open")
+
+// StatusError is a terminal non-2xx response (after retries, for retryable
+// statuses).
+type StatusError struct {
+	Code int
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Code, strings.TrimSpace(e.Body))
+}
+
+// ConflictError reports a 409 on answer: the quoted seq was stale or the
+// session had already finished. The session's cached state has already been
+// resynced to the authoritative state the server sent back — re-read the
+// question and answer again.
+type ConflictError struct {
+	State State
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("client: seq conflict (server at seq %d, done=%v); state resynced", e.State.Seq, e.State.Done)
+}
+
+// Question is one pairwise question.
+type Question struct {
+	Option1 []float64 `json:"option1"`
+	Option2 []float64 `json:"option2"`
+}
+
+// State mirrors the server's session state JSON (server.StateResponse —
+// internal/server owns the wire contract and a cross-check test keeps the
+// two in sync).
+type State struct {
+	ID          string           `json:"id"`
+	Seq         int              `json:"seq"`
+	Questions   int              `json:"questions"`
+	Done        bool             `json:"done"`
+	Question    *Question        `json:"question,omitempty"`
+	Result      []float64        `json:"result,omitempty"`
+	ResultID    int              `json:"resultId,omitempty"`
+	Certificate *ist.Certificate `json:"certificate,omitempty"`
+}
+
+// Session is a handle on one server-side session. Its cached State tracks
+// the last response; Answer quotes the cached seq so retries are idempotent.
+// Safe for concurrent use, though the dialogue itself is sequential.
+type Session struct {
+	c  *Client
+	id string
+
+	mu    sync.Mutex
+	state State
+}
+
+// Create starts a session ("" = the server's default algorithm).
+func (c *Client) Create(ctx context.Context, algorithm string) (*Session, error) {
+	body, err := json.Marshal(map[string]string{"algorithm": algorithm})
+	if err != nil {
+		return nil, err
+	}
+	st, err := c.stateRequest(ctx, http.MethodPost, "/sessions", body, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{c: c, id: st.ID, state: st}, nil
+}
+
+// Resume re-attaches to an existing session by id (e.g. after the client
+// process restarted), fetching its current state.
+func (c *Client) Resume(ctx context.Context, id string) (*Session, error) {
+	st, err := c.stateRequest(ctx, http.MethodGet, "/sessions/"+id, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{c: c, id: id, state: st}, nil
+}
+
+// ID returns the server-assigned session id.
+func (s *Session) ID() string { return s.id }
+
+// State returns the last state the server sent.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Answer submits the answer to the pending question (prefer is 1 or 2) and
+// returns the next state. The request quotes the cached seq, so any number
+// of transparent retries apply the answer exactly once. On a 409 the cached
+// state is resynced and a *ConflictError returned.
+func (s *Session) Answer(ctx context.Context, prefer int) (State, error) {
+	if prefer != 1 && prefer != 2 {
+		return State{}, fmt.Errorf("client: prefer must be 1 or 2, got %d", prefer)
+	}
+	s.mu.Lock()
+	seq := s.state.Seq
+	s.mu.Unlock()
+	body, err := json.Marshal(map[string]int{"prefer": prefer, "seq": seq})
+	if err != nil {
+		return State{}, err
+	}
+	return s.c.stateRequest(ctx, http.MethodPost, "/sessions/"+s.id+"/answer", body, s)
+}
+
+// Refresh re-reads the session state from the server.
+func (s *Session) Refresh(ctx context.Context) (State, error) {
+	return s.c.stateRequest(ctx, http.MethodGet, "/sessions/"+s.id, nil, s)
+}
+
+// Close aborts the session server-side (DELETE). Closing an already-gone
+// session is not an error.
+func (s *Session) Close(ctx context.Context) error {
+	status, body, err := s.c.do(ctx, http.MethodDelete, "/sessions/"+s.id, nil)
+	if err != nil {
+		return err
+	}
+	if status == http.StatusNoContent || status == http.StatusNotFound {
+		return nil
+	}
+	return &StatusError{Code: status, Body: string(body)}
+}
+
+// stateRequest runs one API exchange that yields a session state, updating
+// sess's cache (when non-nil) on both success and 409 resync.
+func (c *Client) stateRequest(ctx context.Context, method, path string, body []byte, sess *Session) (State, error) {
+	status, respBody, err := c.do(ctx, method, path, body)
+	if err != nil {
+		c.countRequest("error")
+		return State{}, err
+	}
+	switch status {
+	case http.StatusOK, http.StatusCreated, http.StatusConflict:
+		var st State
+		if err := json.Unmarshal(respBody, &st); err != nil {
+			c.countRequest("error")
+			return State{}, fmt.Errorf("client: bad state JSON (status %d): %w", status, err)
+		}
+		if sess != nil {
+			sess.mu.Lock()
+			sess.state = st
+			sess.mu.Unlock()
+		}
+		if status == http.StatusConflict {
+			c.countRequest("conflict")
+			return st, &ConflictError{State: st}
+		}
+		c.countRequest("ok")
+		return st, nil
+	default:
+		c.countRequest("error")
+		return State{}, &StatusError{Code: status, Body: string(respBody)}
+	}
+}
+
+// do runs one request with the full resilience stack: breaker gate,
+// per-attempt deadline, retry-on-transient with jittered capped backoff and
+// Retry-After honoring. It returns the final status and fully-read body;
+// err is non-nil only when no usable response was obtained.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.opt.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			// Backoff before the retry; a server-provided Retry-After hint
+			// overrides the schedule when it asks for longer.
+			d := c.backoff(attempt - 1)
+			if ra, ok := retryAfterOf(lastErr); ok && ra > d {
+				d = ra
+			}
+			if err := c.sleep(ctx, d); err != nil {
+				return 0, nil, err
+			}
+		}
+		if err := c.br.allow(); err != nil {
+			return 0, nil, err
+		}
+		status, respBody, retryable, err := c.attempt(ctx, method, path, body)
+		if err == nil {
+			c.br.success()
+			return status, respBody, nil
+		}
+		if !retryable {
+			return 0, nil, err // caller's context died or the request is malformed
+		}
+		c.br.failure()
+		lastErr = err
+		c.countRetry(retryReason(lastErr))
+		if ctx.Err() != nil {
+			return 0, nil, fmt.Errorf("%w (last attempt: %v)", ctx.Err(), lastErr)
+		}
+	}
+	return 0, nil, fmt.Errorf("client: %s %s failed after %d attempts: %w", method, path, c.opt.MaxAttempts, lastErr)
+}
+
+// attempt performs a single HTTP exchange under the per-attempt deadline,
+// classifying the outcome: retryable covers connection errors, truncated
+// bodies, 429 and all 5xx.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (status int, respBody []byte, retryable bool, err error) {
+	actx := ctx
+	if c.opt.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.opt.RequestTimeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set("User-Agent", "ist-client/1")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return 0, nil, false, ctx.Err() // caller gave up; not ours to retry
+		}
+		return 0, nil, true, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	respBody, rerr := io.ReadAll(resp.Body)
+	if rerr != nil {
+		if ctx.Err() != nil {
+			return 0, nil, false, ctx.Err()
+		}
+		// A body cut mid-flight (proxy died, connection reset): the
+		// response cannot be trusted, so treat the whole attempt as lost.
+		return 0, nil, true, fmt.Errorf("client: truncated response: %w", rerr)
+	}
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+		return resp.StatusCode, respBody, true, &transientStatusError{
+			status:     resp.StatusCode,
+			body:       string(respBody),
+			retryAfter: parseRetryAfter(resp.Header),
+		}
+	}
+	return resp.StatusCode, respBody, false, nil
+}
+
+// transientStatusError carries a retryable HTTP status between attempts,
+// with the server's Retry-After hint if it sent one.
+type transientStatusError struct {
+	status     int
+	body       string
+	retryAfter time.Duration
+}
+
+func (e *transientStatusError) Error() string {
+	return fmt.Sprintf("client: transient status %d: %s", e.status, strings.TrimSpace(e.body))
+}
+
+// retryAfterOf extracts a Retry-After hint from a transient error.
+func retryAfterOf(err error) (time.Duration, bool) {
+	var te *transientStatusError
+	if errors.As(err, &te) && te.retryAfter > 0 {
+		return te.retryAfter, true
+	}
+	return 0, false
+}
+
+// retryReason buckets an attempt failure for the retry counter.
+func retryReason(err error) string {
+	var te *transientStatusError
+	if errors.As(err, &te) {
+		return "status_" + strconv.Itoa(te.status)
+	}
+	if strings.Contains(err.Error(), "truncated") {
+		return "truncated"
+	}
+	return "network"
+}
+
+// parseRetryAfter reads an integer-seconds Retry-After header (the only
+// form the server emits; HTTP-date would need a wall-clock read).
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// backoff computes the delay before retry number n (0-based): capped
+// exponential with jitter drawn from the injected RNG on the upper half of
+// the window, so synchronized clients decorrelate without ever retrying
+// faster than half the nominal schedule.
+func (c *Client) backoff(n int) time.Duration {
+	d := c.opt.BaseBackoff
+	for i := 0; i < n && d < c.opt.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > c.opt.MaxBackoff {
+		d = c.opt.MaxBackoff
+	}
+	c.rngMu.Lock()
+	j := c.rng.Float64()
+	c.rngMu.Unlock()
+	return d/2 + time.Duration(j*float64(d/2))
+}
+
+// timerSleep is the production Sleep: a timer that honors cancellation.
+func timerSleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (c *Client) countRequest(outcome string) {
+	if c.requests != nil {
+		c.requests.With(outcome).Inc()
+	}
+}
+
+func (c *Client) countRetry(reason string) {
+	if c.retries != nil {
+		c.retries.With(reason).Inc()
+	}
+}

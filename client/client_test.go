@@ -1,0 +1,424 @@
+package client
+
+// White-box tests for the resilience stack: retry classification, backoff
+// jitter bounds, Retry-After honoring, the circuit breaker's lifecycle, and
+// seq-conflict resync. Every test injects its transport, clock, RNG and
+// Sleep hook, so nothing here sleeps or reads the wall clock.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"ist/internal/clock"
+	"ist/internal/obs"
+)
+
+// scriptedTransport replays a fixed list of outcomes, one per attempt.
+type scriptedTransport struct {
+	t     *testing.T
+	steps []func(*http.Request) (*http.Response, error)
+	calls int
+	// lastDeadline records whether the final request carried a deadline.
+	sawDeadline bool
+}
+
+func (s *scriptedTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if s.calls >= len(s.steps) {
+		s.t.Fatalf("transport called %d times, only %d steps scripted", s.calls+1, len(s.steps))
+	}
+	_, s.sawDeadline = req.Context().Deadline()
+	step := s.steps[s.calls]
+	s.calls++
+	return step(req)
+}
+
+func respond(code int, body string, hdr map[string]string) func(*http.Request) (*http.Response, error) {
+	return func(req *http.Request) (*http.Response, error) {
+		h := http.Header{}
+		for k, v := range hdr {
+			h.Set(k, v)
+		}
+		return &http.Response{
+			StatusCode: code,
+			Header:     h,
+			Body:       io.NopCloser(strings.NewReader(body)),
+			Request:    req,
+		}, nil
+	}
+}
+
+func failConn(req *http.Request) (*http.Response, error) {
+	return nil, fmt.Errorf("dial tcp: connection refused")
+}
+
+const stateSeq0 = `{"id":"s1","seq":0,"questions":0,"done":false,"question":{"option1":[1,0],"option2":[0,1]}}`
+
+// newTestClient wires a client around the scripted transport with fully
+// injected time: sleeps are recorded, never performed.
+func newTestClient(t *testing.T, tr *scriptedTransport, opt Options) (*Client, *[]time.Duration) {
+	t.Helper()
+	var sleeps []time.Duration
+	opt.HTTP = &http.Client{Transport: tr}
+	if opt.Sleep == nil {
+		opt.Sleep = func(ctx context.Context, d time.Duration) error {
+			sleeps = append(sleeps, d)
+			return ctx.Err()
+		}
+	}
+	if opt.Rand == nil {
+		opt.Rand = rand.New(rand.NewSource(42))
+	}
+	if opt.Clock == nil {
+		opt.Clock = clock.NewFake(time.Unix(1_700_000_000, 0))
+	}
+	c, err := New("http://ist.test", opt)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c, &sleeps
+}
+
+func TestRetriesTransientThenSucceeds(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := &scriptedTransport{t: t, steps: []func(*http.Request) (*http.Response, error){
+		respond(http.StatusServiceUnavailable, "overloaded", nil),
+		failConn,
+		respond(http.StatusCreated, stateSeq0, nil),
+	}}
+	c, sleeps := newTestClient(t, tr, Options{Metrics: reg})
+	s, err := c.Create(context.Background(), "")
+	if err != nil {
+		t.Fatalf("Create after transients: %v", err)
+	}
+	if s.ID() != "s1" || s.State().Question == nil {
+		t.Fatalf("unexpected session state: %+v", s.State())
+	}
+	if tr.calls != 3 {
+		t.Fatalf("transport calls = %d, want 3", tr.calls)
+	}
+	if len(*sleeps) != 2 {
+		t.Fatalf("sleeps = %v, want exactly 2 backoffs", *sleeps)
+	}
+	if got := c.retries.With("status_503").Value() + c.retries.With("network").Value(); got != 2 {
+		t.Fatalf("retry counters = %d, want 2 (one per transient failure)", got)
+	}
+	if !tr.sawDeadline {
+		t.Fatal("attempt carried no per-request deadline")
+	}
+}
+
+func TestBackoffDoublesWithBoundedJitter(t *testing.T) {
+	tr := &scriptedTransport{t: t}
+	c, _ := newTestClient(t, tr, Options{BaseBackoff: 100 * time.Millisecond, MaxBackoff: 400 * time.Millisecond})
+	// Nominal schedule: 100ms, 200ms, 400ms, 400ms (capped). Jitter keeps
+	// each delay in [nominal/2, nominal].
+	for n, nominal := range []time.Duration{100, 200, 400, 400, 400} {
+		nominal *= time.Millisecond
+		got := c.backoff(n)
+		if got < nominal/2 || got > nominal {
+			t.Errorf("backoff(%d) = %v, want within [%v, %v]", n, got, nominal/2, nominal)
+		}
+	}
+}
+
+func TestBackoffIsDeterministicPerSeed(t *testing.T) {
+	mk := func() *Client {
+		tr := &scriptedTransport{t: t}
+		c, _ := newTestClient(t, tr, Options{Rand: rand.New(rand.NewSource(7))})
+		return c
+	}
+	a, b := mk(), mk()
+	for n := 0; n < 5; n++ {
+		if da, db := a.backoff(n), b.backoff(n); da != db {
+			t.Fatalf("backoff(%d) differs across identical seeds: %v vs %v", n, da, db)
+		}
+	}
+}
+
+func TestRetryAfterOverridesShorterBackoff(t *testing.T) {
+	tr := &scriptedTransport{t: t, steps: []func(*http.Request) (*http.Response, error){
+		respond(http.StatusTooManyRequests, "slow down", map[string]string{"Retry-After": "7"}),
+		respond(http.StatusOK, stateSeq0, nil),
+	}}
+	c, sleeps := newTestClient(t, tr, Options{BaseBackoff: 10 * time.Millisecond})
+	if _, _, err := c.do(context.Background(), http.MethodGet, "/sessions/s1", nil); err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	if len(*sleeps) != 1 || (*sleeps)[0] != 7*time.Second {
+		t.Fatalf("sleeps = %v, want exactly [7s] from the Retry-After hint", *sleeps)
+	}
+}
+
+func TestRetryAfterShorterThanBackoffIgnored(t *testing.T) {
+	tr := &scriptedTransport{t: t, steps: []func(*http.Request) (*http.Response, error){
+		respond(http.StatusServiceUnavailable, "busy", map[string]string{"Retry-After": "0"}),
+		respond(http.StatusOK, stateSeq0, nil),
+	}}
+	c, sleeps := newTestClient(t, tr, Options{BaseBackoff: time.Second, MaxBackoff: time.Second})
+	if _, _, err := c.do(context.Background(), http.MethodGet, "/x", nil); err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	if len(*sleeps) != 1 || (*sleeps)[0] < 500*time.Millisecond {
+		t.Fatalf("sleeps = %v, want the backoff schedule to win over Retry-After: 0", *sleeps)
+	}
+}
+
+func TestNonRetryableStatusFailsImmediately(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := &scriptedTransport{t: t, steps: []func(*http.Request) (*http.Response, error){
+		respond(http.StatusBadRequest, "prefer must be 1 or 2", nil),
+	}}
+	c, sleeps := newTestClient(t, tr, Options{Metrics: reg})
+	_, err := c.stateRequest(context.Background(), http.MethodPost, "/sessions", []byte("{}"), nil)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want *StatusError with 400", err)
+	}
+	if tr.calls != 1 || len(*sleeps) != 0 {
+		t.Fatalf("4xx was retried: %d calls, sleeps %v", tr.calls, *sleeps)
+	}
+}
+
+func TestTruncatedBodyIsRetried(t *testing.T) {
+	truncated := func(req *http.Request) (*http.Response, error) {
+		return &http.Response{
+			StatusCode: http.StatusOK,
+			Header:     http.Header{},
+			Body:       io.NopCloser(io.MultiReader(strings.NewReader(`{"id":"s`), errReader{})),
+			Request:    req,
+		}, nil
+	}
+	tr := &scriptedTransport{t: t, steps: []func(*http.Request) (*http.Response, error){
+		truncated,
+		respond(http.StatusOK, stateSeq0, nil),
+	}}
+	c, _ := newTestClient(t, tr, Options{})
+	st, err := c.stateRequest(context.Background(), http.MethodGet, "/sessions/s1", nil, nil)
+	if err != nil {
+		t.Fatalf("stateRequest after truncation: %v", err)
+	}
+	if st.ID != "s1" {
+		t.Fatalf("state = %+v, want the clean retry's", st)
+	}
+	if tr.calls != 2 {
+		t.Fatalf("transport calls = %d, want 2 (truncated + retry)", tr.calls)
+	}
+}
+
+type errReader struct{}
+
+func (errReader) Read([]byte) (int, error) { return 0, io.ErrUnexpectedEOF }
+
+func TestExhaustedAttemptsReportsLastError(t *testing.T) {
+	steps := make([]func(*http.Request) (*http.Response, error), 3)
+	for i := range steps {
+		steps[i] = respond(http.StatusBadGateway, "upstream down", nil)
+	}
+	tr := &scriptedTransport{t: t, steps: steps}
+	c, sleeps := newTestClient(t, tr, Options{MaxAttempts: 3})
+	_, _, err := c.do(context.Background(), http.MethodGet, "/sessions/s1", nil)
+	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("err = %v, want exhaustion after 3 attempts", err)
+	}
+	if tr.calls != 3 || len(*sleeps) != 2 {
+		t.Fatalf("calls=%d sleeps=%v, want 3 attempts with 2 backoffs", tr.calls, *sleeps)
+	}
+}
+
+func TestConflictResyncsSessionState(t *testing.T) {
+	authoritative := `{"id":"s1","seq":2,"questions":2,"done":false,"question":{"option1":[3,4],"option2":[4,3]}}`
+	tr := &scriptedTransport{t: t, steps: []func(*http.Request) (*http.Response, error){
+		respond(http.StatusCreated, stateSeq0, nil),
+		respond(http.StatusConflict, authoritative, nil),
+	}}
+	c, _ := newTestClient(t, tr, Options{})
+	s, err := c.Create(context.Background(), "")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	_, err = s.Answer(context.Background(), 1)
+	var conflict *ConflictError
+	if !errors.As(err, &conflict) {
+		t.Fatalf("err = %v, want *ConflictError", err)
+	}
+	if conflict.State.Seq != 2 {
+		t.Fatalf("conflict state seq = %d, want the server's 2", conflict.State.Seq)
+	}
+	if got := s.State(); got.Seq != 2 || got.Question == nil || got.Question.Option1[0] != 3 {
+		t.Fatalf("cached state not resynced: %+v", got)
+	}
+}
+
+func TestAnswerValidatesPrefer(t *testing.T) {
+	s := &Session{c: &Client{}, id: "s1"}
+	if _, err := s.Answer(context.Background(), 3); err == nil {
+		t.Fatal("Answer(3) accepted, want validation error")
+	}
+}
+
+func TestBreakerOpensFailsFastAndRecovers(t *testing.T) {
+	fake := clock.NewFake(time.Unix(1_700_000_000, 0))
+	reg := obs.NewRegistry()
+	steps := []func(*http.Request) (*http.Response, error){failConn, failConn}
+	tr := &scriptedTransport{t: t, steps: steps}
+	c, _ := newTestClient(t, tr, Options{
+		MaxAttempts:      2,
+		BreakerThreshold: 2,
+		BreakerCooldown:  10 * time.Second,
+		Clock:            fake,
+		Metrics:          reg,
+	})
+	if _, _, err := c.do(context.Background(), http.MethodGet, "/x", nil); err == nil {
+		t.Fatal("want failure from dead transport")
+	}
+	if c.trips.Value() != 1 {
+		t.Fatalf("breaker trips = %v, want 1", c.trips.Value())
+	}
+
+	// Open circuit: fail fast without touching the transport.
+	callsBefore := tr.calls
+	_, _, err := c.do(context.Background(), http.MethodGet, "/x", nil)
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen while circuit is open", err)
+	}
+	if tr.calls != callsBefore {
+		t.Fatal("open breaker still reached the transport")
+	}
+
+	// After the cooldown a single probe goes through; success closes it.
+	fake.Advance(11 * time.Second)
+	tr.steps = append(tr.steps, respond(http.StatusOK, stateSeq0, nil))
+	if _, _, err := c.do(context.Background(), http.MethodGet, "/x", nil); err != nil {
+		t.Fatalf("probe after cooldown failed: %v", err)
+	}
+	// Closed again: normal traffic flows.
+	tr.steps = append(tr.steps, respond(http.StatusOK, stateSeq0, nil))
+	if _, _, err := c.do(context.Background(), http.MethodGet, "/x", nil); err != nil {
+		t.Fatalf("request after recovery failed: %v", err)
+	}
+}
+
+func TestHalfOpenProbeFailureReopens(t *testing.T) {
+	fake := clock.NewFake(time.Unix(1_700_000_000, 0))
+	b := newBreaker(1, 10*time.Second, fake)
+	b.failure() // trip
+	if err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("allow during cooldown = %v, want ErrBreakerOpen", err)
+	}
+	fake.Advance(11 * time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	if err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("second concurrent probe admitted, want one at a time")
+	}
+	b.failure() // probe failed: reopen for a fresh window
+	if err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("circuit closed after failed probe, want reopened")
+	}
+	fake.Advance(11 * time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatalf("probe after second cooldown rejected: %v", err)
+	}
+	b.success()
+	if err := b.allow(); err != nil {
+		t.Fatalf("closed circuit rejecting traffic: %v", err)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(-1, time.Second, clock.NewFake(time.Unix(0, 0)))
+	for i := 0; i < 100; i++ {
+		b.failure()
+	}
+	if err := b.allow(); err != nil {
+		t.Fatalf("disabled breaker rejected a request: %v", err)
+	}
+}
+
+func TestCallerContextCancelsRetryLoop(t *testing.T) {
+	steps := make([]func(*http.Request) (*http.Response, error), 10)
+	for i := range steps {
+		steps[i] = respond(http.StatusServiceUnavailable, "down", nil)
+	}
+	tr := &scriptedTransport{t: t, steps: steps}
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	c, _ := newTestClient(t, tr, Options{
+		MaxAttempts: 10,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			calls++
+			if calls == 2 {
+				cancel() // the user gave up mid-backoff
+			}
+			return ctx.Err()
+		},
+	})
+	_, _, err := c.do(ctx, http.MethodGet, "/x", nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if tr.calls >= 10 {
+		t.Fatalf("retry loop ignored cancellation: %d attempts", tr.calls)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0}, {"1", time.Second}, {"30", 30 * time.Second},
+		{"-5", 0}, {"soon", 0}, {"Tue, 29 Oct 2024 16:56:32 GMT", 0},
+	}
+	for _, tc := range cases {
+		h := http.Header{}
+		if tc.in != "" {
+			h.Set("Retry-After", tc.in)
+		}
+		if got := parseRetryAfter(h); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRetryReasonBuckets(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{&transientStatusError{status: 503}, "status_503"},
+		{&transientStatusError{status: 429}, "status_429"},
+		{fmt.Errorf("client: truncated response: %w", io.ErrUnexpectedEOF), "truncated"},
+		{fmt.Errorf("client: dial tcp: connection refused"), "network"},
+	}
+	for _, tc := range cases {
+		if got := retryReason(tc.err); got != tc.want {
+			t.Errorf("retryReason(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestNewRejectsEmptyURL(t *testing.T) {
+	if _, err := New("", Options{}); err == nil {
+		t.Fatal("New(\"\") succeeded, want error")
+	}
+}
+
+func TestCloseToleratesGoneSession(t *testing.T) {
+	tr := &scriptedTransport{t: t, steps: []func(*http.Request) (*http.Response, error){
+		respond(http.StatusNotFound, "no such session", nil),
+	}}
+	c, _ := newTestClient(t, tr, Options{})
+	s := &Session{c: c, id: "ghost"}
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatalf("Close on gone session: %v", err)
+	}
+}

@@ -9,6 +9,7 @@
 //	istcli -dataset nba -alg rh
 //	istcli -simulate                # answer with a random hidden utility
 //	istcli -store-dir mysession     # crash-resumable: rerun to continue
+//	istcli -server http://host:8080 # drive a remote istserve session
 //
 // Answer each question with 1 or 2. With -store-dir every answer is
 // fsynced to a write-ahead log before the next question appears; if the
@@ -51,8 +52,20 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "answer best-effort after this much time (0 = none)")
 		trace    = flag.Bool("trace", false, "stream structured trace events to stderr as JSON lines")
 		storeDir = flag.String("store-dir", "", "persist every answer to a write-ahead log in this directory; rerunning with the same flags resumes a crashed session without re-asking (removed on completion)")
+		server   = flag.String("server", "", "drive a remote istserve session at this base URL (e.g. http://localhost:8080) instead of running locally; retries and duplicate deliveries are absorbed by the exactly-once protocol")
 	)
 	flag.Parse()
+
+	if *server != "" {
+		if *storeDir != "" || *load != "" || *want > 1 {
+			fmt.Fprintln(os.Stderr, "istcli: -server is incompatible with -store-dir, -load and -want (the server owns the dataset and transcript)")
+			os.Exit(1)
+		}
+		if *seed == 0 {
+			*seed = time.Now().UnixNano()
+		}
+		os.Exit(runRemote(*server, *algName, *k, *simulate, *trace, rand.New(rand.NewSource(*seed))))
+	}
 
 	// A resumable transcript must be opened before the RNG exists: the
 	// recovered metadata pins the seed (and thereby the dataset, the

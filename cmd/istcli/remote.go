@@ -1,0 +1,106 @@
+package main
+
+// Remote mode: -server <url> drives a session hosted by istserve instead of
+// running the algorithm in-process. The dialogue goes through ist/client,
+// so lost responses, proxy retries and 503 bursts are absorbed by the
+// exactly-once seq protocol — every question is answered at most once no
+// matter how flaky the network is.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"ist"
+	"ist/client"
+	"ist/internal/obs"
+)
+
+// runRemote executes the full remote dialogue and returns an exit code.
+func runRemote(serverURL, algName string, k int, simulate, trace bool, rng *rand.Rand) int {
+	reg := obs.NewRegistry()
+	c, err := client.New(serverURL, client.Options{Metrics: reg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "istcli:", err)
+		return 1
+	}
+	ctx := context.Background()
+	s, err := c.Create(ctx, algName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "istcli: create session:", err)
+		return 1
+	}
+	st := s.State()
+	fmt.Printf("Remote session %s on %s (algorithm %s).\n", s.ID(), serverURL, algName)
+
+	var o ist.Oracle
+	var hidden ist.Point
+	if simulate {
+		// The hidden utility's dimensionality comes from the first question
+		// — the dataset lives server-side.
+		if st.Question == nil || len(st.Question.Option1) == 0 {
+			fmt.Fprintln(os.Stderr, "istcli: server sent no question to size the simulated utility")
+			return 1
+		}
+		hidden = ist.RandomUtility(rng, len(st.Question.Option1))
+		o = ist.NewUser(hidden)
+		fmt.Printf("Simulating a user with hidden utility %v.\n", hidden)
+	} else {
+		o = ist.NewConsoleOracle(os.Stdin, os.Stdout, nil)
+		fmt.Println("Answer each question with 1 or 2; the server will find one of your top tuples.")
+	}
+
+	for !st.Done {
+		if st.Question == nil {
+			// Shouldn't happen in a healthy dialogue; resync rather than spin.
+			if st, err = s.Refresh(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "istcli:", err)
+				return 1
+			}
+			continue
+		}
+		prefer := 2
+		if o.Prefer(st.Question.Option1, st.Question.Option2) {
+			prefer = 1
+		}
+		st, err = s.Answer(ctx, prefer)
+		var conflict *client.ConflictError
+		if errors.As(err, &conflict) {
+			// The server refused our seq (e.g. an operator answered from
+			// another tab). Its state came back with the 409: re-read the
+			// question and continue from there.
+			fmt.Fprintln(os.Stderr, "istcli: state out of sync with server; resynced")
+			st = conflict.State
+			continue
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "istcli: answer:", err)
+			return 1
+		}
+	}
+
+	fmt.Printf("\nServer finished after %d questions.\n", st.Questions)
+	fmt.Printf("Recommended tuple: %v\n", ist.Point(st.Result))
+	if cert := st.Certificate; cert != nil {
+		if cert.Certified {
+			fmt.Printf("Certificate: guaranteed top-%d (stop: %s).\n", k, cert.Reason)
+		} else {
+			fmt.Printf("Certificate: BEST-EFFORT, not guaranteed top-%d (stop: %s, %d candidates remained).\n",
+				k, cert.Reason, cert.Candidates)
+		}
+	}
+	if trace {
+		// The client-side counters tell the network story of the session.
+		var sb strings.Builder
+		reg.WritePrometheus(&sb)
+		for _, line := range strings.Split(sb.String(), "\n") {
+			if strings.HasPrefix(line, "ist_client_") {
+				fmt.Fprintln(os.Stderr, line)
+			}
+		}
+	}
+	return 0
+}

@@ -6,25 +6,30 @@
 //
 // API (JSON):
 //
-//	POST /sessions                {"algorithm":"hdpi"}        -> {"id":..., "question":{...}}
-//	POST /sessions/{id}/answer    {"prefer":1}                -> next question or {"result":{...}}
+//	POST /sessions                {"algorithm":"hdpi"}        -> {"id":..., "seq":0, "question":{...}}
+//	POST /sessions/{id}/answer    {"prefer":1,"seq":0}        -> next question or {"result":{...}}
 //	GET  /sessions/{id}                                       -> current state
 //	DELETE /sessions/{id}                                     -> abort
 //	GET  /healthz                                             -> liveness, session counts, build info
+//	GET  /readyz                                              -> readiness (503 while starting/draining)
 //	GET  /metrics                                             -> Prometheus text exposition
 //	GET  /debug/pprof/                                        -> runtime profiles
 //
 // A question shows the two tuples' attribute values; answer with prefer 1
-// or 2. Sessions idle longer than -session-ttl are collected by a
-// background reaper, creation is capped at -max-sessions, and with
-// -store-dir every in-flight session is persisted to a checksummed
+// or 2, quoting the question's "seq" — a retried POST with the same seq is
+// absorbed idempotently, so lossy networks and eager proxies cannot apply
+// an answer twice (DESIGN.md §12). Sessions idle longer than -session-ttl
+// are collected by a background reaper, creation is capped at
+// -max-sessions, concurrent create/answer work is bounded by -max-inflight
+// (excess requests queue for -admission-timeout, then shed with 503), and
+// with -store-dir every in-flight session is persisted to a checksummed
 // write-ahead log (segment-rotated, snapshot-compacted, fsynced per
 // -fsync) and rehydrated (by deterministic transcript replay) when the
 // server restarts — a kill -9 or power cut mid-session costs the user no
 // re-asked questions. -store keeps the legacy single-file JSONL log
 // working and, combined with -store-dir, is migrated into the WAL store
-// on first boot. SIGINT or SIGTERM drains connections and shuts down
-// gracefully.
+// on first boot. SIGINT or SIGTERM flips /readyz to 503, drains
+// connections, and shuts down gracefully.
 package main
 
 import (
@@ -37,6 +42,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -65,6 +71,8 @@ func main() {
 		maxQ        = flag.Int("max-questions", 0, "question budget per session; past it the session answers best-effort with an uncertified certificate (0 = unlimited)")
 		deadline    = flag.Duration("session-deadline", 0, "wall-clock budget per session from creation; past it the session answers best-effort (0 = none)")
 		traceDir    = flag.String("trace-dir", "", "write one JSONL trace file per session into this directory (empty = no traces)")
+		maxInflight = flag.Int("max-inflight", 256, "maximum concurrent create/answer requests; excess requests queue up to -admission-timeout and are then shed with 503 (0 = unbounded)")
+		admTimeout  = flag.Duration("admission-timeout", 250*time.Millisecond, "how long an over-limit request may queue for admission before being shed")
 	)
 	flag.Parse()
 
@@ -117,32 +125,22 @@ func main() {
 		}
 		store = js
 	}
-	srv, err := server.New(band, *k, server.Options{
-		Seed:            *seed,
-		TTL:             *ttl,
-		ReapInterval:    *reap,
-		MaxSessions:     *maxSessions,
-		Store:           store,
-		MaxQuestions:    *maxQ,
-		SessionDeadline: *deadline,
-		TraceDir:        *traceDir,
-		Metrics:         reg,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "istserve:", err)
-		os.Exit(1)
-	}
-	log.Printf("istserve %s (%s): %s, %d tuples (%d in the %d-skyband), %d sessions rehydrated",
-		server.BuildVersion(), runtime.Version(), ds.Name, ds.Size(), len(band), *k, srv.Sessions())
-	log.Printf("istserve: listening on %s (health at /healthz, metrics at /metrics, profiles at /debug/pprof/, max %d sessions, ttl %s)",
-		*addr, *maxSessions, *ttl)
-
-	// Per-request read/write deadlines bound a stalled or malicious client;
-	// the handler work itself is sub-second, so generous values only guard
-	// the transport.
+	// The listener comes up BEFORE session rehydration so that readiness is
+	// honest from the first instant: while the WAL replays, /healthz says
+	// the process is alive ("starting"), /readyz says 503 do-not-route, and
+	// everything else is refused with Retry-After. Once the server is built
+	// the handler is swapped in atomically.
+	var handler atomic.Pointer[http.Handler]
+	boot := http.Handler(bootHandler{})
+	handler.Store(&boot)
 	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv,
+		Addr: *addr,
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			(*handler.Load()).ServeHTTP(w, r)
+		}),
+		// Per-request read/write deadlines bound a stalled or malicious
+		// client; the handler work itself is sub-second, so generous values
+		// only guard the transport.
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -150,13 +148,43 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	srv, err := server.New(band, *k, server.Options{
+		Seed:             *seed,
+		TTL:              *ttl,
+		ReapInterval:     *reap,
+		MaxSessions:      *maxSessions,
+		Store:            store,
+		MaxQuestions:     *maxQ,
+		SessionDeadline:  *deadline,
+		TraceDir:         *traceDir,
+		Metrics:          reg,
+		MaxInflight:      *maxInflight,
+		AdmissionTimeout: *admTimeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "istserve:", err)
+		os.Exit(1)
+	}
+	live := http.Handler(srv)
+	handler.Store(&live)
+	log.Printf("istserve %s (%s): %s, %d tuples (%d in the %d-skyband), %d sessions rehydrated",
+		server.BuildVersion(), runtime.Version(), ds.Name, ds.Size(), len(band), *k, srv.Sessions())
+	log.Printf("istserve: ready on %s (health at /healthz, readiness at /readyz, metrics at /metrics, profiles at /debug/pprof/, max %d sessions, %d in-flight, ttl %s)",
+		*addr, *maxSessions, *maxInflight, *ttl)
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
 		log.Fatal("istserve: ", err)
 	case sig := <-sigc:
-		log.Printf("istserve: %v: draining connections", sig)
+		// Drain in two phases: flip /readyz to 503 (load balancers stop
+		// routing, new sessions are refused, in-flight dialogues keep
+		// answering), then shut the listener down gracefully.
+		if srv.BeginDrain() {
+			log.Printf("istserve: %v: draining (readyz now 503, refusing new sessions)", sig)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
@@ -165,6 +193,29 @@ func main() {
 		// Sessions close but (with -store) stay persisted: the next start
 		// resumes them where the users left off.
 		srv.Close()
-		log.Print("istserve: bye")
+		log.Print("istserve: drained, bye")
+	}
+}
+
+// bootHandler serves the window between bind and rehydration: alive but not
+// ready. Clients that race the boot get an honest 503 + Retry-After instead
+// of a connection refused, so their retry layer handles it like any other
+// transient overload.
+type bootHandler struct{}
+
+func (bootHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodGet && r.URL.Path == "/healthz":
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"starting"}`)
+	default:
+		w.Header().Set("Retry-After", "1")
+		if r.URL.Path == "/readyz" {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"status":"starting"}`)
+			return
+		}
+		http.Error(w, "server starting", http.StatusServiceUnavailable)
 	}
 }

@@ -63,6 +63,28 @@ func TestSuppressionsAreJustified(t *testing.T) {
 	}
 }
 
+// TestSweepCoversNetworkPackages pins the network-protocol packages into
+// the repo-wide sweep: ist/client and ist/internal/netchaos promise fully
+// injected time and randomness (their retry schedules and fault plans must
+// replay deterministically), which is only enforced while the wallclock and
+// detrand analyzers actually see them. A build-tag or module-layout change
+// that silently dropped them from `./...` would void the promise.
+func TestSweepCoversNetworkPackages(t *testing.T) {
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	covered := map[string]bool{}
+	for _, p := range pkgs {
+		covered[p.PkgPath] = true
+	}
+	for _, want := range []string{"ist/client", "ist/internal/netchaos", "ist/internal/server"} {
+		if !covered[want] {
+			t.Errorf("package %s is not in the analyzer sweep", want)
+		}
+	}
+}
+
 func TestByName(t *testing.T) {
 	for _, a := range analysis.All() {
 		if got := analysis.ByName(a.Name); got != a {

@@ -1,0 +1,292 @@
+package netchaos_test
+
+// The network-chaos suite: a real ist/client (full retry stack) drives a
+// real internal/server over a fault-injecting Transport, and under EVERY
+// fault plan the dialogue must be bit-identical to the fault-free run and
+// end on a point inside the hidden utility's top-k. This is the end-to-end
+// proof of the exactly-once seq protocol (DESIGN.md §12): dropped
+// responses, truncated bodies, proxy retransmits and 5xx bursts may cost
+// retries, but they can never inject, lose or double-apply an answer.
+//
+// Everything is injected — clock, RNG, Sleep, transport — so the whole
+// suite runs in milliseconds under -race and replays identically. Set
+// NETCHAOS_REPORT to a path to get the per-plan fault matrix as JSON (CI
+// uploads it as an artifact).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"ist"
+	"ist/client"
+	"ist/internal/clock"
+	"ist/internal/netchaos"
+	"ist/internal/server"
+)
+
+// dialogueResult is one full session's outcome, summarized for comparison
+// and for the report artifact.
+type dialogueResult struct {
+	Plan       string           `json:"plan"`
+	Transcript string           `json:"-"`
+	Questions  int              `json:"questions"`
+	Requests   int              `json:"requests"`
+	Faults     int              `json:"faults"`
+	FaultKinds map[string]int   `json:"faultKinds,omitempty"`
+	Conflicts  int              `json:"conflicts"`
+	TopK       bool             `json:"topK"`
+	Identical  bool             `json:"transcriptIdentical"`
+	Result     []float64        `json:"result"`
+	FaultLog   []netchaos.Fault `json:"faultLog,omitempty"`
+}
+
+// chaosBand builds the deterministic dataset every plan runs against.
+func chaosBand() ([]ist.Point, int, ist.Point) {
+	rng := rand.New(rand.NewSource(1))
+	ds := ist.CarLike(rng, 500)
+	k := 2
+	band := ist.Preprocess(ds.Points, k)
+	hidden := ist.RandomUtility(rng, 4)
+	return band, k, hidden
+}
+
+// runDialogue plays one complete session through the fault plan and returns
+// its outcome. The server, client, user and fault schedule are all seeded
+// identically across plans, so any divergence in the transcript is the
+// fault's doing.
+func runDialogue(t *testing.T, plan netchaos.Plan) dialogueResult {
+	t.Helper()
+	band, k, hidden := chaosBand()
+	srv, err := server.New(band, k, server.Options{Seed: 1, TTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	fake := clock.NewFake(time.Unix(1_700_000_000, 0))
+	tr := &netchaos.Transport{
+		Inner:        netchaos.HandlerTransport{Handler: srv},
+		Plan:         plan,
+		AdvanceClock: fake.Advance,
+	}
+	c, err := client.New("http://chaos.test", client.Options{
+		HTTP:        &http.Client{Transport: tr},
+		Clock:       fake,
+		Rand:        rand.New(rand.NewSource(9)),
+		MaxAttempts: 8,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			fake.Advance(d) // backoff spends fake time, never wall time
+			return ctx.Err()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	s, err := c.Create(ctx, "")
+	if err != nil {
+		t.Fatalf("%s: create: %v", plan.Name, err)
+	}
+	user := ist.NewUser(hidden)
+	var transcript strings.Builder
+	st := s.State()
+	conflicts := 0
+	for steps := 0; !st.Done; steps++ {
+		if steps > 500 {
+			t.Fatalf("%s: dialogue did not converge after %d answers", plan.Name, steps)
+		}
+		if st.Question == nil {
+			t.Fatalf("%s: live session carries no question: %+v", plan.Name, st)
+		}
+		prefer := 2
+		if user.Prefer(st.Question.Option1, st.Question.Option2) {
+			prefer = 1
+		}
+		fmt.Fprintf(&transcript, "seq=%d q=%v|%v prefer=%d\n",
+			st.Seq, st.Question.Option1, st.Question.Option2, prefer)
+		next, err := s.Answer(ctx, prefer)
+		if cerr, ok := err.(*client.ConflictError); ok {
+			// The protocol's resync path: adopt the authoritative state.
+			conflicts++
+			st = cerr.State
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: answer at seq %d: %v", plan.Name, st.Seq, err)
+		}
+		st = next
+	}
+
+	kinds := map[string]int{}
+	faults := tr.Faults()
+	for _, f := range faults {
+		kinds[f.Kind]++
+	}
+	return dialogueResult{
+		Plan:       plan.Name,
+		Transcript: transcript.String(),
+		Questions:  st.Questions,
+		Requests:   tr.Requests(),
+		Faults:     len(faults),
+		FaultKinds: kinds,
+		Conflicts:  conflicts,
+		TopK:       ist.IsTopK(band, hidden, k, ist.Point(st.Result)),
+		Result:     st.Result,
+		FaultLog:   faults,
+	}
+}
+
+// chaosPlans is the fault matrix. Step 1 is the session create: plans keep
+// response-loss and duplication off it because a lost create response
+// legitimately orphans a session (documented client trade-off), which would
+// shift the per-session seed and make transcript comparison meaningless.
+func chaosPlans() []netchaos.Plan {
+	return []netchaos.Plan{
+		{Name: "latency-everywhere", LatencyAt: []int{1}, Every: 1, Latency: 250 * time.Millisecond},
+		{Name: "drop-request", DropRequestAt: []int{2}, Every: 3},
+		{Name: "drop-response", DropResponseAt: []int{3}, Every: 4},
+		{Name: "truncate-body", TruncateAt: []int{2}, Every: 4},
+		{Name: "duplicate-delivery", DuplicateAt: []int{2}, Every: 3},
+		{Name: "503-burst", Status503At: []int{2, 3}, Every: 6},
+		{Name: "500-burst", Status500At: []int{4}, Every: 5},
+		{
+			Name:           "kitchen-sink",
+			Every:          7,
+			LatencyAt:      []int{1},
+			Latency:        100 * time.Millisecond,
+			DropRequestAt:  []int{2},
+			DropResponseAt: []int{3},
+			TruncateAt:     []int{4},
+			DuplicateAt:    []int{5},
+			Status503At:    []int{6},
+		},
+	}
+}
+
+func TestChaosTranscriptsBitIdentical(t *testing.T) {
+	clean := runDialogue(t, netchaos.Plan{Name: "clean"})
+	if !clean.TopK {
+		t.Fatalf("clean run ended outside the top-%d: %v", 10, clean.Result)
+	}
+	if clean.Faults != 0 {
+		t.Fatalf("clean plan injected %d faults", clean.Faults)
+	}
+
+	clean.Identical = true // the baseline is trivially identical to itself
+	report := []dialogueResult{clean}
+	for _, plan := range chaosPlans() {
+		got := runDialogue(t, plan)
+		got.Identical = got.Transcript == clean.Transcript
+		report = append(report, got)
+
+		if got.Faults == 0 {
+			t.Errorf("%s: injected no faults — the plan is not exercising anything", plan.Name)
+		}
+		if !got.Identical {
+			t.Errorf("%s: transcript diverged from the clean run\nclean:\n%s\nchaos:\n%s",
+				plan.Name, clean.Transcript, got.Transcript)
+		}
+		if got.Questions != clean.Questions {
+			t.Errorf("%s: server counted %d questions, clean run %d — an answer was lost or double-applied",
+				plan.Name, got.Questions, clean.Questions)
+		}
+		if !got.TopK {
+			t.Errorf("%s: final result %v is outside the hidden utility's top-k", plan.Name, got.Result)
+		}
+		if got.Requests <= clean.Requests && got.Faults > 0 && plan.Name != "duplicate-delivery" &&
+			plan.Name != "latency-everywhere" {
+			t.Errorf("%s: %d requests vs clean %d — faults should cost retries, not answers",
+				plan.Name, got.Requests, clean.Requests)
+		}
+		t.Logf("%-20s requests=%-3d faults=%-2d conflicts=%d kinds=%v",
+			plan.Name, got.Requests, got.Faults, got.Conflicts, got.FaultKinds)
+	}
+
+	if path := os.Getenv("NETCHAOS_REPORT"); path != "" {
+		data, err := json.MarshalIndent(struct {
+			Clean int              `json:"cleanQuestions"`
+			Plans []dialogueResult `json:"plans"`
+		}{clean.Questions, report}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatalf("write netchaos report: %v", err)
+		}
+		t.Logf("netchaos report written to %s", path)
+	}
+}
+
+// TestChaosDuplicateNeverDoubleApplies pins the sharpest corruption case
+// directly: every single answer POST is retransmitted, and the session must
+// still advance exactly one question per logical answer.
+func TestChaosDuplicateNeverDoubleApplies(t *testing.T) {
+	clean := runDialogue(t, netchaos.Plan{Name: "clean"})
+	// Steps 2..600 absolute: every answer POST, but not the create (a
+	// duplicated create forks a second session and shifts the seed).
+	everyAnswer := make([]int, 0, 599)
+	for step := 2; step <= 600; step++ {
+		everyAnswer = append(everyAnswer, step)
+	}
+	dup := runDialogue(t, netchaos.Plan{Name: "dup-every-answer", DuplicateAt: everyAnswer})
+	if dup.Questions != clean.Questions {
+		t.Fatalf("with every answer duplicated: %d questions, clean %d", dup.Questions, clean.Questions)
+	}
+	if dup.Transcript != clean.Transcript {
+		t.Fatalf("duplicated deliveries changed the dialogue:\nclean:\n%s\ndup:\n%s",
+			clean.Transcript, dup.Transcript)
+	}
+	if dup.FaultKinds["duplicate"] == 0 {
+		t.Fatal("no duplicates were injected")
+	}
+}
+
+// TestChaosRetryAfterTimeout is the satellite regression: the client gives
+// up cleanly (ctx deadline honored) when the network eats every request,
+// instead of spinning forever.
+func TestChaosRetryAfterTimeout(t *testing.T) {
+	band, k, _ := chaosBand()
+	srv, err := server.New(band, k, server.Options{Seed: 1, TTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	fake := clock.NewFake(time.Unix(1_700_000_000, 0))
+	tr := &netchaos.Transport{
+		Inner: netchaos.HandlerTransport{Handler: srv},
+		Plan:  netchaos.Plan{Name: "blackhole", DropRequestAt: []int{1}, Every: 1},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c, err := client.New("http://chaos.test", client.Options{
+		HTTP:        &http.Client{Transport: tr},
+		Clock:       fake,
+		Rand:        rand.New(rand.NewSource(9)),
+		MaxAttempts: 4,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			fake.Advance(d)
+			if fake.Now().After(time.Unix(1_700_000_000, 0).Add(2 * time.Second)) {
+				cancel() // the injected "deadline": the user walks away
+			}
+			return ctx.Err()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Create(ctx, "")
+	if err == nil {
+		t.Fatal("create through a blackhole network succeeded")
+	}
+	if tr.Requests() > 4 {
+		t.Fatalf("client kept hammering a dead network: %d attempts (max 4)", tr.Requests())
+	}
+}

@@ -1,0 +1,262 @@
+// Package netchaos injects network faults between an HTTP client and an
+// in-process server, completing the faultinject ecosystem (process crashes:
+// faultinject.FS; algorithm faults: faultinject.Oracle/Algorithm; server-side
+// HTTP faults: faultinject.Middleware) with the client-observed failure
+// modes of a real network: added latency, connections dropped before or
+// after delivery, truncated response bodies, duplicated deliveries, and 5xx
+// bursts.
+//
+// The faults live in a Transport (an http.RoundTripper) so any client —
+// ist/client in particular — experiences them exactly where a flaky proxy
+// or dying NAT would sit. Fault schedules are deterministic step lists, and
+// injected latency advances an injected clock rather than sleeping, so a
+// whole chaos suite runs in microseconds under -race and replays
+// identically (the wallclock and detrand analyzers keep this package free
+// of real time and global randomness).
+//
+// The one-line threat model: a request the client believes failed may have
+// been fully applied by the server (DropResponseAt, TruncateAt,
+// DuplicateAt), and a request the client believes succeeded happened
+// exactly once. The exactly-once seq protocol (DESIGN.md §12) is what makes
+// the first half survivable; the chaos suite in this package proves it.
+package netchaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+)
+
+// Plan schedules faults by request step: the Transport numbers the requests
+// it carries 1, 2, 3, ... and fires each fault at the listed steps. With
+// Every > 0 the schedule repeats: a step fires a fault when step mod Every
+// equals a listed value (mod Every). Inner deliveries made on behalf of one
+// client request (the duplicate of DuplicateAt) do not advance the step
+// counter — steps count client-visible exchanges.
+type Plan struct {
+	Name string
+
+	// LatencyAt adds Latency to the injected clock before delivery.
+	LatencyAt []int
+	Latency   time.Duration
+
+	// DropRequestAt fails the exchange before the server sees it — a SYN
+	// that never arrived. The server state does not change.
+	DropRequestAt []int
+
+	// DropResponseAt delivers the request, then loses the response — the
+	// worst case: the server applied the answer, the client saw an error.
+	DropResponseAt []int
+
+	// TruncateAt delivers the request but cuts the response body in half
+	// mid-stream (io.ErrUnexpectedEOF), like a proxy dying mid-transfer.
+	TruncateAt []int
+
+	// DuplicateAt delivers the request TWICE (an eager proxy retransmit);
+	// the client receives the second response.
+	DuplicateAt []int
+
+	// Status503At short-circuits with a synthesized 503 + Retry-After: 1,
+	// Status500At with a bare 500 — the shapes of an overloaded LB and a
+	// crashed backend. The server never sees these requests.
+	Status503At []int
+	Status500At []int
+
+	// Every repeats the schedule with this period (0 = absolute steps).
+	Every int
+}
+
+// Fault records one injected fault, for reports and assertions.
+type Fault struct {
+	Step int    `json:"step"`
+	Kind string `json:"kind"`
+	Path string `json:"path"`
+}
+
+// Transport is the fault-injecting http.RoundTripper. Safe for concurrent
+// use, though fault steps interleave nondeterministically under concurrency
+// — chaos suites drive it sequentially for reproducibility.
+type Transport struct {
+	// Inner carries the surviving requests (e.g. a HandlerTransport).
+	Inner http.RoundTripper
+	// Plan is the fault schedule.
+	Plan Plan
+	// AdvanceClock advances the injected test clock for latency faults
+	// (nil = latency faults only record themselves). Wire it to
+	// (*clock.Fake).Advance.
+	AdvanceClock func(time.Duration)
+
+	mu     sync.Mutex
+	step   int
+	faults []Fault
+}
+
+// Requests returns how many client-visible exchanges the transport carried.
+func (t *Transport) Requests() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.step
+}
+
+// Faults returns every fault injected so far, in order.
+func (t *Transport) Faults() []Fault {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Fault(nil), t.faults...)
+}
+
+// hits reports whether step n is scheduled in list under the plan's period.
+func (p Plan) hits(list []int, n int) bool {
+	for _, at := range list {
+		if at == n {
+			return true
+		}
+		if p.Every > 0 && at%p.Every == n%p.Every {
+			return true
+		}
+	}
+	return false
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	// Buffer the body once so the request can be delivered more than once
+	// (duplicate fault) or re-formed after a drop records it as consumed.
+	var body []byte
+	if req.Body != nil {
+		b, err := io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("netchaos: reading request body: %w", err)
+		}
+		body = b
+	}
+	fresh := func() *http.Request {
+		r := req.Clone(req.Context())
+		if body != nil {
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+		}
+		return r
+	}
+
+	t.mu.Lock()
+	t.step++
+	n := t.step
+	t.mu.Unlock()
+	record := func(kind string) {
+		t.mu.Lock()
+		t.faults = append(t.faults, Fault{Step: n, Kind: kind, Path: req.URL.Path})
+		t.mu.Unlock()
+	}
+
+	if t.Plan.hits(t.Plan.LatencyAt, n) && t.Plan.Latency > 0 {
+		record("latency")
+		if t.AdvanceClock != nil {
+			t.AdvanceClock(t.Plan.Latency)
+		}
+	}
+	switch {
+	case t.Plan.hits(t.Plan.DropRequestAt, n):
+		record("drop-request")
+		return nil, fmt.Errorf("netchaos: connection dropped before delivery (step %d)", n)
+	case t.Plan.hits(t.Plan.Status503At, n):
+		record("503-burst")
+		return synthResponse(req, http.StatusServiceUnavailable, "netchaos: synthetic overload", "1"), nil
+	case t.Plan.hits(t.Plan.Status500At, n):
+		record("500-burst")
+		return synthResponse(req, http.StatusInternalServerError, "netchaos: synthetic backend crash", ""), nil
+	}
+
+	resp, err := t.Inner.RoundTrip(fresh())
+	if err != nil {
+		return resp, err
+	}
+	if t.Plan.hits(t.Plan.DuplicateAt, n) {
+		record("duplicate")
+		// The retransmit: same bytes hit the server a second time; the
+		// client only ever sees the second response.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		resp, err = t.Inner.RoundTrip(fresh())
+		if err != nil {
+			return resp, err
+		}
+	}
+	if t.Plan.hits(t.Plan.DropResponseAt, n) {
+		record("drop-response")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("netchaos: connection reset after delivery (step %d)", n)
+	}
+	if t.Plan.hits(t.Plan.TruncateAt, n) {
+		record("truncate")
+		full, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		resp.Body = &truncatedBody{data: full[:len(full)/2]}
+	}
+	return resp, nil
+}
+
+// truncatedBody yields a prefix of the real body and then fails the way a
+// severed connection does.
+type truncatedBody struct {
+	data []byte
+	off  int
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}
+
+func (b *truncatedBody) Close() error { return nil }
+
+// synthResponse fabricates a minimal error response that never touched the
+// server.
+func synthResponse(req *http.Request, code int, msg, retryAfter string) *http.Response {
+	h := http.Header{"Content-Type": {"text/plain; charset=utf-8"}}
+	if retryAfter != "" {
+		h.Set("Retry-After", retryAfter)
+	}
+	body := msg + "\n"
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", code, http.StatusText(code)),
+		StatusCode:    code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// HandlerTransport adapts an http.Handler into an http.RoundTripper, so a
+// real *http.Client (and therefore ist/client with its full retry stack)
+// can drive an in-process server with no sockets — which keeps the chaos
+// suite deterministic and -race-friendly.
+type HandlerTransport struct {
+	Handler http.Handler
+}
+
+// RoundTrip implements http.RoundTripper.
+func (h HandlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	h.Handler.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}

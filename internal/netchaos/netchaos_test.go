@@ -1,0 +1,207 @@
+package netchaos
+
+// White-box tests for the fault transport itself: step accounting, the
+// periodic schedule, and the exact client-observable shape of each fault
+// kind. The end-to-end proof that the protocol survives these faults lives
+// in chaos_test.go.
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// countingInner records every delivery it carries.
+type countingInner struct {
+	calls  int
+	bodies []string
+	status int
+}
+
+func (c *countingInner) RoundTrip(req *http.Request) (*http.Response, error) {
+	c.calls++
+	var body string
+	if req.Body != nil {
+		b, err := io.ReadAll(req.Body)
+		if err != nil {
+			return nil, err
+		}
+		body = string(b)
+	}
+	c.bodies = append(c.bodies, body)
+	status := c.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	return &http.Response{
+		StatusCode: status,
+		Header:     http.Header{},
+		Body:       io.NopCloser(strings.NewReader("response to: " + body)),
+		Request:    req,
+	}, nil
+}
+
+func get(t *testing.T, tr *Transport, body string) (*http.Response, error) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(http.MethodPost, "http://chaos.test/x", rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.RoundTrip(req)
+}
+
+func TestHitsAbsoluteAndPeriodic(t *testing.T) {
+	abs := Plan{DropRequestAt: []int{3}}
+	for n := 1; n <= 6; n++ {
+		if got, want := abs.hits(abs.DropRequestAt, n), n == 3; got != want {
+			t.Errorf("absolute: hits(3, %d) = %v, want %v", n, got, want)
+		}
+	}
+	per := Plan{DropRequestAt: []int{2}, Every: 5}
+	for n := 1; n <= 13; n++ {
+		if got, want := per.hits(per.DropRequestAt, n), n%5 == 2; got != want {
+			t.Errorf("periodic: hits(2 mod 5, %d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestDropRequestNeverReachesServer(t *testing.T) {
+	inner := &countingInner{}
+	tr := &Transport{Inner: inner, Plan: Plan{DropRequestAt: []int{1}}}
+	if _, err := get(t, tr, "a"); err == nil {
+		t.Fatal("dropped request returned no error")
+	}
+	if inner.calls != 0 {
+		t.Fatalf("inner saw %d deliveries, want 0 — a dropped SYN must not arrive", inner.calls)
+	}
+	resp, err := get(t, tr, "b")
+	if err != nil {
+		t.Fatalf("step 2 should be clean: %v", err)
+	}
+	resp.Body.Close()
+	if inner.calls != 1 || tr.Requests() != 2 {
+		t.Fatalf("calls=%d requests=%d, want 1 delivery over 2 steps", inner.calls, tr.Requests())
+	}
+	faults := tr.Faults()
+	if len(faults) != 1 || faults[0].Kind != "drop-request" || faults[0].Step != 1 {
+		t.Fatalf("fault log = %+v", faults)
+	}
+}
+
+func TestSynth503CarriesRetryAfter(t *testing.T) {
+	inner := &countingInner{}
+	tr := &Transport{Inner: inner, Plan: Plan{Status503At: []int{1}}}
+	resp, err := get(t, tr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", resp.Header.Get("Retry-After"))
+	}
+	if inner.calls != 0 {
+		t.Fatal("synthesized 503 must not touch the server")
+	}
+}
+
+func TestDuplicateDeliversSameBytesTwice(t *testing.T) {
+	inner := &countingInner{}
+	tr := &Transport{Inner: inner, Plan: Plan{DuplicateAt: []int{1}}}
+	resp, err := get(t, tr, `{"prefer":1,"seq":0}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if inner.calls != 2 {
+		t.Fatalf("inner deliveries = %d, want 2 (the retransmit)", inner.calls)
+	}
+	if inner.bodies[0] != inner.bodies[1] || inner.bodies[0] != `{"prefer":1,"seq":0}` {
+		t.Fatalf("retransmit altered the bytes: %q vs %q", inner.bodies[0], inner.bodies[1])
+	}
+	if tr.Requests() != 1 {
+		t.Fatalf("requests = %d — the duplicate must not advance the step counter", tr.Requests())
+	}
+}
+
+func TestDropResponseDeliversThenErrors(t *testing.T) {
+	inner := &countingInner{}
+	tr := &Transport{Inner: inner, Plan: Plan{DropResponseAt: []int{1}}}
+	if _, err := get(t, tr, "applied"); err == nil {
+		t.Fatal("dropped response returned no error")
+	}
+	if inner.calls != 1 {
+		t.Fatalf("inner deliveries = %d, want 1 — the server DID apply it", inner.calls)
+	}
+}
+
+func TestTruncateFailsMidBody(t *testing.T) {
+	inner := &countingInner{}
+	tr := &Transport{Inner: inner, Plan: Plan{TruncateAt: []int{1}}}
+	resp, err := get(t, tr, "payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, rerr := io.ReadAll(resp.Body)
+	if !errors.Is(rerr, io.ErrUnexpectedEOF) {
+		t.Fatalf("read error = %v, want io.ErrUnexpectedEOF", rerr)
+	}
+	full := "response to: payload"
+	if len(got) == 0 || len(got) >= len(full) || !strings.HasPrefix(full, string(got)) {
+		t.Fatalf("truncated body = %q, want a strict prefix of %q", got, full)
+	}
+}
+
+func TestLatencyAdvancesInjectedClock(t *testing.T) {
+	inner := &countingInner{}
+	var advanced time.Duration
+	tr := &Transport{
+		Inner:        inner,
+		Plan:         Plan{LatencyAt: []int{1}, Every: 1, Latency: 250 * time.Millisecond},
+		AdvanceClock: func(d time.Duration) { advanced += d },
+	}
+	for i := 0; i < 3; i++ {
+		resp, err := get(t, tr, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if advanced != 750*time.Millisecond {
+		t.Fatalf("clock advanced %v, want 750ms (3 × 250ms) — and never a real sleep", advanced)
+	}
+}
+
+func TestHandlerTransportBridgesWithoutSockets(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		w.Header().Set("X-Echo", "1")
+		w.WriteHeader(http.StatusTeapot)
+		w.Write(append([]byte("got: "), b...))
+	})
+	tr := HandlerTransport{Handler: h}
+	req := httptest.NewRequest(http.MethodPost, "http://x/y", strings.NewReader("ping"))
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTeapot || string(body) != "got: ping" || resp.Header.Get("X-Echo") != "1" {
+		t.Fatalf("bridge mangled the exchange: %d %q %v", resp.StatusCode, body, resp.Header)
+	}
+}

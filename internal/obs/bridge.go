@@ -21,6 +21,18 @@ const (
 	MetricQuestionsCertify = "ist_questions_to_certify"
 	MetricSessionsTotal    = "ist_sessions_total"
 	MetricSessionsLive     = "ist_sessions_live"
+
+	// Exactly-once protocol and overload-safety series (DESIGN.md §12).
+	MetricStoreErrors   = "ist_store_errors_total"
+	MetricAnswerReplays = "ist_answer_replays_total"
+	MetricSeqConflicts  = "ist_seq_conflicts_total"
+	MetricShed          = "ist_shed_total"
+
+	// Client-side series, registered by the ist/client package when it is
+	// given a registry.
+	MetricClientRequests     = "ist_client_requests_total"
+	MetricClientRetries      = "ist_client_retries_total"
+	MetricClientBreakerTrips = "ist_client_breaker_trips_total"
 )
 
 // Metrics is an Observer that counts events into a Registry.

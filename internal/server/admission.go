@@ -1,0 +1,64 @@
+package server
+
+import (
+	"context"
+	"time"
+)
+
+// gate is a bounded-concurrency admission controller for the state-changing
+// handlers (create/answer). A request either takes a slot immediately,
+// queues for up to the configured timeout, or is shed — so a flood of
+// clients degrades into fast 503 + Retry-After responses instead of an
+// unbounded pile of goroutines all contending for session locks.
+//
+// The slow path uses a real timer rather than the injected clock: shedding
+// bounds *this process's* resource usage, so it must track real elapsed
+// time even under a fake clock (and timers are sanctioned by the wallclock
+// analyzer — they schedule work, they do not observe the clock).
+type gate struct {
+	sem     chan struct{}
+	timeout time.Duration
+}
+
+// newGate builds a gate admitting n concurrent requests (nil if n <= 0,
+// meaning unbounded — every method on a nil gate is a no-op).
+func newGate(n int, timeout time.Duration) *gate {
+	if n <= 0 {
+		return nil
+	}
+	return &gate{sem: make(chan struct{}, n), timeout: timeout}
+}
+
+// acquire reserves a slot, queueing up to the gate's timeout and giving up
+// early when the client abandons the request. It reports false when the
+// request must be shed.
+func (g *gate) acquire(ctx context.Context) bool {
+	if g == nil {
+		return true
+	}
+	select {
+	case g.sem <- struct{}{}:
+		return true
+	default:
+	}
+	if g.timeout <= 0 {
+		return false
+	}
+	t := time.NewTimer(g.timeout)
+	defer t.Stop()
+	select {
+	case g.sem <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// release returns a slot taken by acquire.
+func (g *gate) release() {
+	if g != nil {
+		<-g.sem
+	}
+}

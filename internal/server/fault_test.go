@@ -57,7 +57,7 @@ func TestPanicIsolatedToOneSession(t *testing.T) {
 		if hidden.Dot(p) >= hidden.Dot(q) {
 			prefer = 1
 		}
-		rec, next := do(t, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": prefer})
+		rec, next := do(t, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": prefer, "seq": st.Seq})
 		switch rec.Code {
 		case http.StatusOK:
 			st = next

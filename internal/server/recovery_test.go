@@ -47,7 +47,7 @@ func TestCrashRestartRecovery(t *testing.T) {
 		if hidden.Dot(p) >= hidden.Dot(q) {
 			prefer = 1
 		}
-		rec, st = do(t, a, http.MethodPost, "/sessions/"+id+"/answer", map[string]int{"prefer": prefer})
+		rec, st = do(t, a, http.MethodPost, "/sessions/"+id+"/answer", map[string]int{"prefer": prefer, "seq": st.Seq})
 		if rec.Code != http.StatusOK {
 			t.Fatalf("answer %d: %d %s", i, rec.Code, rec.Body.String())
 		}

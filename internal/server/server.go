@@ -28,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ist"
@@ -75,6 +76,14 @@ type Options struct {
 	// Metrics is the registry /metrics exposes (nil = the server builds its
 	// own). Sharing one registry across servers aggregates their counters.
 	Metrics *obs.Registry
+	// MaxInflight bounds how many create/answer requests may run
+	// concurrently; excess requests queue up to AdmissionTimeout and are
+	// then shed with 503 + Retry-After (0 = unbounded). Read-only endpoints
+	// (GET state, healthz, metrics) are never gated.
+	MaxInflight int
+	// AdmissionTimeout is how long an over-limit create/answer request may
+	// wait for an admission slot before being shed (0 = shed immediately).
+	AdmissionTimeout time.Duration
 }
 
 // Server is the http.Handler managing interactive sessions.
@@ -95,6 +104,16 @@ type Server struct {
 	questionsToCertify *obs.Histogram
 	sessionsTotal      *obs.Counter
 	sessionsLive       *obs.Gauge
+	storeErrors        *obs.Counter
+	answerReplays      *obs.Counter
+	seqConflicts       *obs.Counter
+	shed               *obs.CounterVec
+
+	// gate bounds concurrent admission to the state-changing handlers
+	// (nil = unbounded); draining flips /readyz to 503 and refuses new
+	// sessions while in-flight dialogues finish.
+	gate     *gate
+	draining atomic.Bool
 
 	mu       sync.Mutex
 	sessions map[string]*sessionState
@@ -110,6 +129,13 @@ type Server struct {
 type sessionState struct {
 	mu sync.Mutex // serializes question/answer exchanges per session
 	s  *ist.Session
+	// seq is the sequence number of the pending question — equal to the
+	// number of answers applied so far. An answer must quote it; a quote of
+	// seq-1 is an idempotent replay of the answer already applied (the
+	// current state IS that answer's response, because the dialogue is
+	// strictly sequential), anything else is a conflict. This is what makes
+	// a blind network retry of POST /answer safe.
+	seq int
 	// lastUsed is guarded by Server.mu (not st.mu): it is only touched by
 	// lookup/create/expire, which already hold it.
 	lastUsed time.Time
@@ -160,6 +186,15 @@ func New(points []ist.Point, k int, opt Options) (*Server, error) {
 		"Sessions created (including rehydrated) since process start.")
 	srv.sessionsLive = srv.reg.Gauge(obs.MetricSessionsLive,
 		"Sessions currently live.")
+	srv.storeErrors = srv.reg.Counter(obs.MetricStoreErrors,
+		"Session-store writes that failed (the request was refused, not silently dropped).")
+	srv.answerReplays = srv.reg.Counter(obs.MetricAnswerReplays,
+		"Duplicate answer POSTs absorbed idempotently (seq already applied).")
+	srv.seqConflicts = srv.reg.Counter(obs.MetricSeqConflicts,
+		"Answer POSTs rejected with 409 for quoting a stale or future seq.")
+	srv.shed = srv.reg.CounterVec(obs.MetricShed,
+		"Requests shed by the admission gate, by path.", "path")
+	srv.gate = newGate(opt.MaxInflight, opt.AdmissionTimeout)
 	if opt.Store != nil {
 		if err := srv.rehydrate(); err != nil {
 			return nil, err
@@ -242,7 +277,7 @@ func (srv *Server) rehydrate() error {
 		if srv.opt.WrapAlgorithm != nil {
 			alg = srv.opt.WrapAlgorithm(rec.ID, alg)
 		}
-		st := &sessionState{lastUsed: srv.now()}
+		st := &sessionState{lastUsed: srv.now(), seq: len(rec.Answers)}
 		s, err := ist.ResumeSessionContext(context.Background(), alg, srv.points, srv.k, rec.Answers, srv.sessionOptions(rec.ID, st)...)
 		if err != nil {
 			log.Printf("server: session %s failed to replay: %v; dropping", rec.ID, err)
@@ -335,7 +370,11 @@ type Question struct {
 // guaranteed top-k result from the best-effort answer of a session that ran
 // out of budget — both are HTTP 200, because an anytime answer is a success.
 type StateResponse struct {
-	ID          string           `json:"id"`
+	ID string `json:"id"`
+	// Seq is the sequence number of the pending question; an answer must
+	// quote it back. Once the session is done it equals the total number of
+	// answers applied. See DESIGN.md §12 for the exactly-once contract.
+	Seq         int              `json:"seq"`
 	Questions   int              `json:"questions"`
 	Done        bool             `json:"done"`
 	Question    *Question        `json:"question,omitempty"`
@@ -363,6 +402,11 @@ type createRequest struct {
 
 type answerRequest struct {
 	Prefer int `json:"prefer"`
+	// Seq must quote the seq of the question being answered (from the state
+	// response that surfaced it). It is required: without it a retried POST
+	// is indistinguishable from a fresh answer, and a duplicate delivery
+	// would inject a second halfspace cut and silently corrupt the session.
+	Seq *int `json:"seq"`
 }
 
 // ServeHTTP implements http.Handler.
@@ -372,6 +416,8 @@ func (srv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.Method == http.MethodGet && path == "healthz":
 		srv.handleHealthz(w)
+	case r.Method == http.MethodGet && path == "readyz":
+		srv.handleReadyz(w)
 	case r.Method == http.MethodGet && path == "metrics":
 		srv.handleMetrics(w)
 	case strings.HasPrefix(r.URL.Path, "/debug/pprof"):
@@ -423,6 +469,38 @@ func (srv *Server) handleHealthz(w http.ResponseWriter) {
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
+// ReadyResponse is the JSON shape of GET /readyz. Liveness (/healthz) and
+// readiness are deliberately split: a rehydrating or draining process is
+// alive (do not kill it) but must not receive new traffic (take it out of
+// rotation).
+type ReadyResponse struct {
+	Status   string `json:"status"` // "ready" | "draining"
+	Sessions int    `json:"sessions"`
+}
+
+// handleReadyz reports readiness: 200 while the server accepts new work,
+// 503 once BeginDrain has been called. The pre-rehydration "starting" phase
+// is covered by the boot handler istserve serves before this Server exists.
+func (srv *Server) handleReadyz(w http.ResponseWriter) {
+	resp := ReadyResponse{Status: "ready", Sessions: srv.Sessions()}
+	code := http.StatusOK
+	if srv.draining.Load() {
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// BeginDrain marks the server as draining: /readyz flips to 503 so load
+// balancers stop routing here, and new session creation is refused, while
+// in-flight dialogues keep answering until the process exits. It reports
+// whether this call initiated the drain (false if already draining).
+func (srv *Server) BeginDrain() bool {
+	return srv.draining.CompareAndSwap(false, true)
+}
+
 // handleMetrics renders the registry in the Prometheus text exposition
 // format. The live-session gauge is refreshed lazily at scrape time — it is
 // derived state, not an event counter.
@@ -450,6 +528,18 @@ func (srv *Server) handlePprof(w http.ResponseWriter, r *http.Request) {
 }
 
 func (srv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if srv.draining.Load() {
+		w.Header().Set("Retry-After", srv.retryAfter())
+		http.Error(w, "server draining", http.StatusServiceUnavailable)
+		return
+	}
+	if !srv.gate.acquire(r.Context()) {
+		srv.shed.With("create").Inc()
+		w.Header().Set("Retry-After", srv.retryAfter())
+		http.Error(w, "server overloaded", http.StatusServiceUnavailable)
+		return
+	}
+	defer srv.gate.release()
 	var req createRequest
 	if r.Body != nil {
 		// An empty body means defaults, but a malformed one is a client
@@ -553,7 +643,23 @@ func (srv *Server) handleDelete(w http.ResponseWriter, id string) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// handleAnswer applies one answer exactly once. The seq handshake makes any
+// network retry safe: the client quotes the seq of the question it is
+// answering; a quote of the previous seq means the answer was already
+// applied and the current state (which, in a strictly sequential dialogue,
+// IS the response that retry lost) is replayed; any other mismatch is a 409
+// carrying the current state so the client can resync. Persistence happens
+// BEFORE the in-memory cut: a store that cannot record the answer refuses
+// the request (503), never silently diverging from the WAL — refusal is
+// safe precisely because the client retries with the same seq.
 func (srv *Server) handleAnswer(w http.ResponseWriter, r *http.Request, id string) {
+	if !srv.gate.acquire(r.Context()) {
+		srv.shed.With("answer").Inc()
+		w.Header().Set("Retry-After", srv.retryAfter())
+		http.Error(w, "server overloaded", http.StatusServiceUnavailable)
+		return
+	}
+	defer srv.gate.release()
 	st, ok := srv.lookup(id)
 	if !ok {
 		http.Error(w, "no such session", http.StatusNotFound)
@@ -568,6 +674,10 @@ func (srv *Server) handleAnswer(w http.ResponseWriter, r *http.Request, id strin
 		http.Error(w, "prefer must be 1 or 2", http.StatusBadRequest)
 		return
 	}
+	if req.Seq == nil || *req.Seq < 0 {
+		http.Error(w, "missing seq: quote the \"seq\" of the question being answered", http.StatusBadRequest)
+		return
+	}
 	st.mu.Lock()
 	if st.failed != nil {
 		failed := st.failed
@@ -576,10 +686,33 @@ func (srv *Server) handleAnswer(w http.ResponseWriter, r *http.Request, id strin
 		http.Error(w, "session failed: "+failed.Error(), http.StatusInternalServerError)
 		return
 	}
-	if st.done {
+	switch seq := *req.Seq; {
+	case seq == st.seq-1:
+		// Idempotent replay: this answer was already applied, its response
+		// was lost in flight. The session has not moved since (nothing can
+		// advance it but the next seq), so the current state is bit-for-bit
+		// the response the original request would have carried.
+		srv.answerReplays.Inc()
 		st.mu.Unlock()
-		http.Error(w, "session already finished", http.StatusConflict)
+		srv.writeState(w, id, st, http.StatusOK)
 		return
+	case seq != st.seq || st.done:
+		// Stale or future seq (or an answer to a finished session): refuse,
+		// but hand back the authoritative state so the client can resync.
+		srv.seqConflicts.Inc()
+		st.mu.Unlock()
+		srv.writeState(w, id, st, http.StatusConflict)
+		return
+	}
+	if srv.opt.Store != nil {
+		if err := srv.opt.Store.Answer(id, req.Prefer == 1); err != nil {
+			srv.storeErrors.Inc()
+			st.mu.Unlock()
+			log.Printf("server: persist answer %s: %v (refusing request)", id, err)
+			w.Header().Set("Retry-After", srv.retryAfter())
+			http.Error(w, "store unavailable; answer not applied", http.StatusServiceUnavailable)
+			return
+		}
 	}
 	if err := st.s.Answer(req.Prefer == 1); err != nil {
 		if algErr := st.s.Err(); algErr != nil {
@@ -593,13 +726,9 @@ func (srv *Server) handleAnswer(w http.ResponseWriter, r *http.Request, id strin
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
+	st.seq++
 	if !st.questionAt.IsZero() {
 		srv.questionLatency.Observe(srv.now().Sub(st.questionAt).Seconds())
-	}
-	if srv.opt.Store != nil {
-		if err := srv.opt.Store.Answer(id, req.Prefer == 1); err != nil {
-			log.Printf("server: persist answer %s: %v", id, err)
-		}
 	}
 	srv.advance(id, st)
 	failed := st.failed
@@ -720,7 +849,7 @@ func (srv *Server) Sessions() int {
 
 func (srv *Server) writeState(w http.ResponseWriter, id string, st *sessionState, code int) {
 	st.mu.Lock()
-	resp := StateResponse{ID: id, Questions: st.s.Questions(), Done: st.done}
+	resp := StateResponse{ID: id, Seq: st.seq, Questions: st.s.Questions(), Done: st.done}
 	if st.done {
 		resp.Result = st.result
 		resp.ResultID = st.resultID

@@ -49,7 +49,9 @@ func do(t *testing.T, srv *Server, method, path string, body interface{}) (*http
 	rec := httptest.NewRecorder()
 	srv.ServeHTTP(rec, req)
 	var st StateResponse
-	if rec.Code < 300 && rec.Body.Len() > 0 {
+	if rec.Body.Len() > 0 {
+		// Conflict responses (409) carry the authoritative state too; plain
+		// error texts simply fail to parse and leave the zero value.
 		_ = json.Unmarshal(rec.Body.Bytes(), &st)
 	}
 	return rec, st
@@ -80,7 +82,7 @@ func drive(t *testing.T, srv *Server, st StateResponse, hidden ist.Point) (State
 		if hidden.Dot(p) >= hidden.Dot(q) {
 			prefer = 1
 		}
-		rec, next := do(t, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": prefer})
+		rec, next := do(t, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": prefer, "seq": st.Seq})
 		if rec.Code != http.StatusOK {
 			return st, false
 		}
@@ -109,7 +111,7 @@ func TestFullSessionOverHTTP(t *testing.T) {
 		if hidden.Dot(p) >= hidden.Dot(q) {
 			prefer = 1
 		}
-		rec, st = do(t, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": prefer})
+		rec, st = do(t, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": prefer, "seq": st.Seq})
 		if rec.Code != http.StatusOK {
 			t.Fatalf("answer: %d %s", rec.Code, rec.Body.String())
 		}
@@ -326,7 +328,7 @@ func TestSessionDeadlineAnswersBestEffort(t *testing.T) {
 	}
 
 	fake.Advance(2 * time.Second) // past the deadline
-	rec, st = do(t, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": 1})
+	rec, st = do(t, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": 1, "seq": st.Seq})
 	if rec.Code != http.StatusOK {
 		t.Fatalf("answer past the deadline: %d, want 200", rec.Code)
 	}
@@ -375,7 +377,7 @@ func TestSessionQuestionBudgetOverHTTP(t *testing.T) {
 		t.Fatalf("create: %d", rec.Code)
 	}
 	for i := 0; i < 2 && !st.Done; i++ {
-		rec, st = do(t, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": 1})
+		rec, st = do(t, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": 1, "seq": st.Seq})
 		if rec.Code != http.StatusOK {
 			t.Fatalf("answer %d: %d", i+1, rec.Code)
 		}
@@ -393,7 +395,7 @@ func TestSessionQuestionBudgetOverHTTP(t *testing.T) {
 	srv2, _, _ := newTestServer(t)
 	_, st2 := do(t, srv2, http.MethodPost, "/sessions", nil)
 	for !st2.Done {
-		_, st2 = do(t, srv2, http.MethodPost, "/sessions/"+st2.ID+"/answer", map[string]int{"prefer": 1})
+		_, st2 = do(t, srv2, http.MethodPost, "/sessions/"+st2.ID+"/answer", map[string]int{"prefer": 1, "seq": st2.Seq})
 	}
 	if st2.Certificate != nil {
 		t.Fatalf("unbudgeted session reported a certificate: %+v", st2.Certificate)

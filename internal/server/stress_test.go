@@ -58,7 +58,7 @@ func TestConcurrentStressWithReaper(t *testing.T) {
 						if hidden.Dot(p) >= hidden.Dot(q) {
 							prefer = 1
 						}
-						rec, st = do(nil, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": prefer})
+						rec, st = do(nil, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": prefer, "seq": st.Seq})
 						if rec.Code == http.StatusNotFound {
 							break // reaped mid-drive under an aggressive TTL; acceptable
 						}
@@ -78,7 +78,7 @@ func TestConcurrentStressWithReaper(t *testing.T) {
 						if hidden.Dot(p) >= hidden.Dot(q) {
 							prefer = 1
 						}
-						rec, st = do(nil, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": prefer})
+						rec, st = do(nil, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": prefer, "seq": st.Seq})
 						if rec.Code != http.StatusOK {
 							break
 						}
