@@ -75,6 +75,14 @@ type Options struct {
 	BreakerCooldown time.Duration
 	// Metrics, when set, registers the ist_client_* series there.
 	Metrics *obs.Registry
+	// Tracer, when set, instruments every exchange with spans and stamps a
+	// W3C traceparent header on each HTTP attempt. The client owns the trace
+	// id (it is generated when the session-root span starts at Create), and
+	// the server continues the same trace on its side, so one trace covers
+	// both halves of the dialogue — retries included, each as its own
+	// attempt span. A nil Tracer leaves the client bit-identical to the
+	// untraced build: no header, no clock reads, no RNG draws.
+	Tracer *obs.Tracer
 }
 
 // Client talks to one istserve base URL. Safe for concurrent use.
@@ -85,6 +93,7 @@ type Client struct {
 	clk   clock.Clock
 	sleep func(ctx context.Context, d time.Duration) error
 	br    *breaker
+	tr    *obs.Tracer // nil = untraced
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -128,6 +137,7 @@ func New(baseURL string, opt Options) (*Client, error) {
 		opt:  opt,
 		clk:  opt.Clock,
 		rng:  opt.Rand,
+		tr:   opt.Tracer,
 	}
 	if c.clk == nil {
 		c.clk = clock.Real
@@ -203,38 +213,64 @@ type State struct {
 // the last response; Answer quotes the cached seq so retries are idempotent.
 // Safe for concurrent use, though the dialogue itself is sequential.
 type Session struct {
-	c  *Client
-	id string
+	c    *Client
+	id   string
+	root *obs.Span // client-side session-root span; nil when untraced
 
 	mu    sync.Mutex
 	state State
 }
 
-// Create starts a session ("" = the server's default algorithm).
+// Create starts a session ("" = the server's default algorithm). With a
+// Tracer configured, Create opens the client-side session-root span — this
+// is where the trace id is minted; the create request (and every later
+// answer) propagates it to the server via traceparent.
 func (c *Client) Create(ctx context.Context, algorithm string) (*Session, error) {
 	body, err := json.Marshal(map[string]string{"algorithm": algorithm})
 	if err != nil {
 		return nil, err
 	}
-	st, err := c.stateRequest(ctx, http.MethodPost, "/sessions", body, nil)
+	root := c.tr.Start("client-session", obs.WithAttrs(obs.Attr{Key: "algorithm", Value: algorithm}))
+	op := root.StartChild("create")
+	st, err := c.stateRequest(ctx, http.MethodPost, "/sessions", body, nil, op)
+	op.SetStatus(err)
+	op.End()
 	if err != nil {
+		root.SetStatus(err)
+		root.End()
 		return nil, err
 	}
-	return &Session{c: c, id: st.ID, state: st}, nil
+	root.SetAttr("session", st.ID)
+	return &Session{c: c, id: st.ID, root: root, state: st}, nil
 }
 
 // Resume re-attaches to an existing session by id (e.g. after the client
-// process restarted), fetching its current state.
+// process restarted), fetching its current state. A resumed session gets a
+// fresh client-side trace (the original trace id did not survive the
+// restart).
 func (c *Client) Resume(ctx context.Context, id string) (*Session, error) {
-	st, err := c.stateRequest(ctx, http.MethodGet, "/sessions/"+id, nil, nil)
+	root := c.tr.Start("client-session", obs.WithAttrs(obs.Attr{Key: "session", Value: id}))
+	op := root.StartChild("resume")
+	st, err := c.stateRequest(ctx, http.MethodGet, "/sessions/"+id, nil, nil, op)
+	op.SetStatus(err)
+	op.End()
 	if err != nil {
+		root.SetStatus(err)
+		root.End()
 		return nil, err
 	}
-	return &Session{c: c, id: id, state: st}, nil
+	return &Session{c: c, id: id, root: root, state: st}, nil
 }
 
 // ID returns the server-assigned session id.
 func (s *Session) ID() string { return s.id }
+
+// TraceID returns the hex trace id of the session's client-side trace, or
+// "" when the client is untraced. The same id shows up in the server's
+// /debug/ist/traces listing — the two halves share one trace.
+func (s *Session) TraceID() string {
+	return s.root.TraceID().String()
+}
 
 // State returns the last state the server sent.
 func (s *Session) State() State {
@@ -258,18 +294,33 @@ func (s *Session) Answer(ctx context.Context, prefer int) (State, error) {
 	if err != nil {
 		return State{}, err
 	}
-	return s.c.stateRequest(ctx, http.MethodPost, "/sessions/"+s.id+"/answer", body, s)
+	op := s.root.StartChild("answer", obs.WithAttrs(
+		obs.Attr{Key: "seq", Value: strconv.Itoa(seq)},
+		obs.Attr{Key: "prefer", Value: strconv.Itoa(prefer)},
+	))
+	st, err := s.c.stateRequest(ctx, http.MethodPost, "/sessions/"+s.id+"/answer", body, s, op)
+	op.SetStatus(err)
+	op.End()
+	return st, err
 }
 
 // Refresh re-reads the session state from the server.
 func (s *Session) Refresh(ctx context.Context) (State, error) {
-	return s.c.stateRequest(ctx, http.MethodGet, "/sessions/"+s.id, nil, s)
+	op := s.root.StartChild("refresh")
+	st, err := s.c.stateRequest(ctx, http.MethodGet, "/sessions/"+s.id, nil, s, op)
+	op.SetStatus(err)
+	op.End()
+	return st, err
 }
 
-// Close aborts the session server-side (DELETE). Closing an already-gone
-// session is not an error.
+// Close aborts the session server-side (DELETE) and ends the client-side
+// session-root span. Closing an already-gone session is not an error.
 func (s *Session) Close(ctx context.Context) error {
-	status, body, err := s.c.do(ctx, http.MethodDelete, "/sessions/"+s.id, nil)
+	op := s.root.StartChild("close")
+	status, body, err := s.c.do(ctx, http.MethodDelete, "/sessions/"+s.id, nil, op)
+	op.SetStatus(err)
+	op.End()
+	s.root.End()
 	if err != nil {
 		return err
 	}
@@ -279,10 +330,18 @@ func (s *Session) Close(ctx context.Context) error {
 	return &StatusError{Code: status, Body: string(body)}
 }
 
+// EndTrace ends the client-side session-root span without touching the
+// server. Callers that finish a dialogue normally (Done=true) and never
+// Close should call this so the root span reaches the tracer's sink.
+func (s *Session) EndTrace() {
+	s.root.End()
+}
+
 // stateRequest runs one API exchange that yields a session state, updating
-// sess's cache (when non-nil) on both success and 409 resync.
-func (c *Client) stateRequest(ctx context.Context, method, path string, body []byte, sess *Session) (State, error) {
-	status, respBody, err := c.do(ctx, method, path, body)
+// sess's cache (when non-nil) on both success and 409 resync. parent (nil
+// when untraced) becomes the parent of the per-attempt spans.
+func (c *Client) stateRequest(ctx context.Context, method, path string, body []byte, sess *Session, parent *obs.Span) (State, error) {
+	status, respBody, err := c.do(ctx, method, path, body, parent)
 	if err != nil {
 		c.countRequest("error")
 		return State{}, err
@@ -314,8 +373,12 @@ func (c *Client) stateRequest(ctx context.Context, method, path string, body []b
 // do runs one request with the full resilience stack: breaker gate,
 // per-attempt deadline, retry-on-transient with jittered capped backoff and
 // Retry-After honoring. It returns the final status and fully-read body;
-// err is non-nil only when no usable response was obtained.
-func (c *Client) do(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+// err is non-nil only when no usable response was obtained. Each attempt
+// gets its own child span under parent, and that attempt span's context is
+// what goes on the wire — so a retried POST shows up server-side as two
+// sibling spans under one client operation, exactly mirroring what the
+// network carried.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, parent *obs.Span) (int, []byte, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.opt.MaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -332,7 +395,10 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (int,
 		if err := c.br.allow(); err != nil {
 			return 0, nil, err
 		}
-		status, respBody, retryable, err := c.attempt(ctx, method, path, body)
+		att := parent.StartChild("attempt", obs.WithAttrs(obs.Attr{Key: "n", Value: strconv.Itoa(attempt + 1)}))
+		status, respBody, retryable, err := c.attempt(ctx, method, path, body, att)
+		att.SetStatus(err)
+		att.End()
 		if err == nil {
 			c.br.success()
 			return status, respBody, nil
@@ -353,7 +419,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (int,
 // attempt performs a single HTTP exchange under the per-attempt deadline,
 // classifying the outcome: retryable covers connection errors, truncated
 // bodies, 429 and all 5xx.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (status int, respBody []byte, retryable bool, err error) {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, sp *obs.Span) (status int, respBody []byte, retryable bool, err error) {
 	actx := ctx
 	if c.opt.RequestTimeout > 0 {
 		var cancel context.CancelFunc
@@ -372,6 +438,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 		req.Header.Set("Content-Type", "application/json")
 	}
 	req.Header.Set("User-Agent", "ist-client/1")
+	if sctx := sp.Context(); sctx.Valid() {
+		req.Header.Set(obs.TraceparentHeader, sctx.Traceparent())
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {

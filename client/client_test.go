@@ -148,7 +148,7 @@ func TestRetryAfterOverridesShorterBackoff(t *testing.T) {
 		respond(http.StatusOK, stateSeq0, nil),
 	}}
 	c, sleeps := newTestClient(t, tr, Options{BaseBackoff: 10 * time.Millisecond})
-	if _, _, err := c.do(context.Background(), http.MethodGet, "/sessions/s1", nil); err != nil {
+	if _, _, err := c.do(context.Background(), http.MethodGet, "/sessions/s1", nil, nil); err != nil {
 		t.Fatalf("do: %v", err)
 	}
 	if len(*sleeps) != 1 || (*sleeps)[0] != 7*time.Second {
@@ -162,7 +162,7 @@ func TestRetryAfterShorterThanBackoffIgnored(t *testing.T) {
 		respond(http.StatusOK, stateSeq0, nil),
 	}}
 	c, sleeps := newTestClient(t, tr, Options{BaseBackoff: time.Second, MaxBackoff: time.Second})
-	if _, _, err := c.do(context.Background(), http.MethodGet, "/x", nil); err != nil {
+	if _, _, err := c.do(context.Background(), http.MethodGet, "/x", nil, nil); err != nil {
 		t.Fatalf("do: %v", err)
 	}
 	if len(*sleeps) != 1 || (*sleeps)[0] < 500*time.Millisecond {
@@ -176,7 +176,7 @@ func TestNonRetryableStatusFailsImmediately(t *testing.T) {
 		respond(http.StatusBadRequest, "prefer must be 1 or 2", nil),
 	}}
 	c, sleeps := newTestClient(t, tr, Options{Metrics: reg})
-	_, err := c.stateRequest(context.Background(), http.MethodPost, "/sessions", []byte("{}"), nil)
+	_, err := c.stateRequest(context.Background(), http.MethodPost, "/sessions", []byte("{}"), nil, nil)
 	var se *StatusError
 	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
 		t.Fatalf("err = %v, want *StatusError with 400", err)
@@ -200,7 +200,7 @@ func TestTruncatedBodyIsRetried(t *testing.T) {
 		respond(http.StatusOK, stateSeq0, nil),
 	}}
 	c, _ := newTestClient(t, tr, Options{})
-	st, err := c.stateRequest(context.Background(), http.MethodGet, "/sessions/s1", nil, nil)
+	st, err := c.stateRequest(context.Background(), http.MethodGet, "/sessions/s1", nil, nil, nil)
 	if err != nil {
 		t.Fatalf("stateRequest after truncation: %v", err)
 	}
@@ -223,7 +223,7 @@ func TestExhaustedAttemptsReportsLastError(t *testing.T) {
 	}
 	tr := &scriptedTransport{t: t, steps: steps}
 	c, sleeps := newTestClient(t, tr, Options{MaxAttempts: 3})
-	_, _, err := c.do(context.Background(), http.MethodGet, "/sessions/s1", nil)
+	_, _, err := c.do(context.Background(), http.MethodGet, "/sessions/s1", nil, nil)
 	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
 		t.Fatalf("err = %v, want exhaustion after 3 attempts", err)
 	}
@@ -275,7 +275,7 @@ func TestBreakerOpensFailsFastAndRecovers(t *testing.T) {
 		Clock:            fake,
 		Metrics:          reg,
 	})
-	if _, _, err := c.do(context.Background(), http.MethodGet, "/x", nil); err == nil {
+	if _, _, err := c.do(context.Background(), http.MethodGet, "/x", nil, nil); err == nil {
 		t.Fatal("want failure from dead transport")
 	}
 	if c.trips.Value() != 1 {
@@ -284,7 +284,7 @@ func TestBreakerOpensFailsFastAndRecovers(t *testing.T) {
 
 	// Open circuit: fail fast without touching the transport.
 	callsBefore := tr.calls
-	_, _, err := c.do(context.Background(), http.MethodGet, "/x", nil)
+	_, _, err := c.do(context.Background(), http.MethodGet, "/x", nil, nil)
 	if !errors.Is(err, ErrBreakerOpen) {
 		t.Fatalf("err = %v, want ErrBreakerOpen while circuit is open", err)
 	}
@@ -295,12 +295,12 @@ func TestBreakerOpensFailsFastAndRecovers(t *testing.T) {
 	// After the cooldown a single probe goes through; success closes it.
 	fake.Advance(11 * time.Second)
 	tr.steps = append(tr.steps, respond(http.StatusOK, stateSeq0, nil))
-	if _, _, err := c.do(context.Background(), http.MethodGet, "/x", nil); err != nil {
+	if _, _, err := c.do(context.Background(), http.MethodGet, "/x", nil, nil); err != nil {
 		t.Fatalf("probe after cooldown failed: %v", err)
 	}
 	// Closed again: normal traffic flows.
 	tr.steps = append(tr.steps, respond(http.StatusOK, stateSeq0, nil))
-	if _, _, err := c.do(context.Background(), http.MethodGet, "/x", nil); err != nil {
+	if _, _, err := c.do(context.Background(), http.MethodGet, "/x", nil, nil); err != nil {
 		t.Fatalf("request after recovery failed: %v", err)
 	}
 }
@@ -361,7 +361,7 @@ func TestCallerContextCancelsRetryLoop(t *testing.T) {
 			return ctx.Err()
 		},
 	})
-	_, _, err := c.do(ctx, http.MethodGet, "/x", nil)
+	_, _, err := c.do(ctx, http.MethodGet, "/x", nil, nil)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}

@@ -22,7 +22,14 @@ import (
 // runRemote executes the full remote dialogue and returns an exit code.
 func runRemote(serverURL, algName string, k int, simulate, trace bool, rng *rand.Rand) int {
 	reg := obs.NewRegistry()
-	c, err := client.New(serverURL, client.Options{Metrics: reg})
+	opt := client.Options{Metrics: reg}
+	if trace {
+		// The client mints the trace id; the server continues it, so the
+		// whole dialogue — both halves — lands under one trace at
+		// /debug/ist/traces on the server.
+		opt.Tracer = obs.NewTracer(nil, nil, nil)
+	}
+	c, err := client.New(serverURL, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "istcli:", err)
 		return 1
@@ -35,6 +42,9 @@ func runRemote(serverURL, algName string, k int, simulate, trace bool, rng *rand
 	}
 	st := s.State()
 	fmt.Printf("Remote session %s on %s (algorithm %s).\n", s.ID(), serverURL, algName)
+	if id := s.TraceID(); id != "" {
+		fmt.Printf("Trace %s (inspect at %s/debug/ist/traces?trace=%s).\n", id, serverURL, id)
+	}
 
 	var o ist.Oracle
 	var hidden ist.Point
@@ -82,6 +92,7 @@ func runRemote(serverURL, algName string, k int, simulate, trace bool, rng *rand
 		}
 	}
 
+	s.EndTrace()
 	fmt.Printf("\nServer finished after %d questions.\n", st.Questions)
 	fmt.Printf("Recommended tuple: %v\n", ist.Point(st.Result))
 	if cert := st.Certificate; cert != nil {

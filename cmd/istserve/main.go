@@ -12,8 +12,9 @@
 //	DELETE /sessions/{id}                                     -> abort
 //	GET  /healthz                                             -> liveness, session counts, build info
 //	GET  /readyz                                              -> readiness (503 while starting/draining)
-//	GET  /metrics                                             -> Prometheus text exposition
+//	GET  /metrics                                             -> Prometheus text exposition (OpenMetrics + exemplars when negotiated)
 //	GET  /debug/pprof/                                        -> runtime profiles
+//	GET  /debug/ist/traces                                    -> recorded span trees (?trace=<id>&format=html for a waterfall)
 //
 // A question shows the two tuples' attribute values; answer with prefer 1
 // or 2, quoting the question's "seq" — a retried POST with the same seq is
@@ -71,6 +72,8 @@ func main() {
 		maxQ        = flag.Int("max-questions", 0, "question budget per session; past it the session answers best-effort with an uncertified certificate (0 = unlimited)")
 		deadline    = flag.Duration("session-deadline", 0, "wall-clock budget per session from creation; past it the session answers best-effort (0 = none)")
 		traceDir    = flag.String("trace-dir", "", "write one JSONL trace file per session into this directory (empty = no traces)")
+		tracing     = flag.Bool("tracing", true, "record spans for every session (in-memory, served at /debug/ist/traces); clients propagate their trace ids via the traceparent header")
+		traceBytes  = flag.Int64("trace-max-bytes", server.DefaultTraceMaxBytes, "size cap per session JSONL trace file; past it the file ends with a _truncated marker (<0 = unlimited)")
 		maxInflight = flag.Int("max-inflight", 256, "maximum concurrent create/answer requests; excess requests queue up to -admission-timeout and are then shed with 503 (0 = unbounded)")
 		admTimeout  = flag.Duration("admission-timeout", 250*time.Millisecond, "how long an over-limit request may queue for admission before being shed")
 	)
@@ -158,6 +161,8 @@ func main() {
 		MaxQuestions:     *maxQ,
 		SessionDeadline:  *deadline,
 		TraceDir:         *traceDir,
+		Tracing:          *tracing,
+		TraceMaxBytes:    *traceBytes,
 		Metrics:          reg,
 		MaxInflight:      *maxInflight,
 		AdmissionTimeout: *admTimeout,

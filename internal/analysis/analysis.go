@@ -109,7 +109,7 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 }
 
 // All returns the full istlint analyzer suite in reporting order: the
-// seven expression-level analyzers above, then the four flow-sensitive
+// seven expression-level analyzers above, then the five flow-sensitive
 // analyzers built on the CFG/dataflow layer (cfg.go, dataflow.go):
 //
 //   - locksafe: every Lock reaches an Unlock on all paths, no double
@@ -123,6 +123,9 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 //   - nilguard: path-sensitive nil analysis for the nil-safe wrapper
 //     pattern — a pointer/interface nil-checked on one path is not
 //     dereferenced unguarded on another.
+//   - spanend: span-lifecycle balance — every obs span started with
+//     Tracer.Start/Span.StartChild reaches End/EndAt (or a defer of one)
+//     on every path to a return; escaping spans are exempt.
 func All() []*Analyzer {
 	return []*Analyzer{
 		FloatCmpAnalyzer,
@@ -136,6 +139,7 @@ func All() []*Analyzer {
 		GoroLeakAnalyzer,
 		ErrFlowAnalyzer,
 		NilGuardAnalyzer,
+		SpanEndAnalyzer,
 	}
 }
 

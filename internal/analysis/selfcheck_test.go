@@ -25,14 +25,14 @@ func TestRepoIsClean(t *testing.T) {
 
 // TestSuiteComposition pins the suite: TestRepoIsClean only means "the repo
 // satisfies every registered analyzer", so an analyzer silently dropped from
-// All() would weaken the gate without failing anything. The four
+// All() would weaken the gate without failing anything. The five
 // flow-sensitive analyzers ride the same CFG/dataflow layer; losing one
 // loses a whole invariant class.
 func TestSuiteComposition(t *testing.T) {
 	want := []string{
 		"floatcmp", "lpstatus", "detrand", "epsconst", "errdrop",
 		"wallclock", "obsnil",
-		"locksafe", "goroleak", "errflow", "nilguard",
+		"locksafe", "goroleak", "errflow", "nilguard", "spanend",
 	}
 	all := analysis.All()
 	if len(all) != len(want) {

@@ -1,0 +1,349 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SpanEndAnalyzer closes the instrumentation loop of internal/obs: a span
+// that is started but never ended silently vanishes — it is never delivered
+// to the sink, so the trace shows a hole exactly where something
+// interesting (usually an early error return) happened. The check is the
+// span-lifecycle sibling of locksafe's lock balance: every local variable
+// holding the result of Tracer.Start or Span.StartChild must reach an
+// End/EndAt (or a defer of one) on every path to a return.
+//
+// A span that escapes the function — passed as an argument, returned,
+// stored in a field or composite literal, captured by a closure in a
+// non-End position — is someone else's responsibility and is exempt, as
+// are panic paths (the runtime unwinds; there is no caller-visible leak to
+// report). Deliberate fire-and-forget spans carry a
+// `//lint:ignore spanend <reason>`.
+var SpanEndAnalyzer = &Analyzer{
+	Name: "spanend",
+	Doc:  "flags obs spans (Tracer.Start / Span.StartChild) that do not reach End on every path",
+	Run:  runSpanEnd,
+}
+
+// spanState is the per-variable lattice. ssMixed covers paths that
+// disagree (started on one, ended on another): the analysis stays silent
+// there rather than guessing, exactly like locksafe.
+type spanState uint8
+
+const (
+	ssStarted  spanState = iota + 1 // holds a live span, no End scheduled
+	ssEnded                         // End/EndAt reached on this path
+	ssDeferred                      // a defer guarantees End at exit
+	ssEscaped                       // left the function's custody
+	ssMixed                         // conflicting paths
+)
+
+// spanFact maps a span variable (keyed by its defining object, so
+// shadowing cannot alias two spans) to its state. Treated as immutable.
+type spanFact map[*types.Var]spanState
+
+func (f spanFact) with(v *types.Var, s spanState) spanFact {
+	out := make(spanFact, len(f)+1)
+	for k, val := range f {
+		out[k] = val
+	}
+	out[v] = s
+	return out
+}
+
+func runSpanEnd(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, fb := range funcBodies(f) {
+			checkSpanEnd(pass, fb)
+		}
+	}
+	return nil
+}
+
+func checkSpanEnd(pass *Pass, fb funcBody) {
+	g := BuildCFG(fb.body)
+	an := FlowAnalysis[spanFact]{
+		Entry:    spanFact{},
+		Transfer: func(n ast.Node, fact spanFact) spanFact { return spanTransfer(pass, n, fact) },
+		Join:     joinSpanFacts,
+		Equal:    equalSpanFacts,
+	}
+	in := SolveFlow(g, an)
+
+	for _, ef := range ExitFacts(g, an, in) {
+		if es, ok := ef.Last.(*ast.ExprStmt); ok && isNoReturnCall(es.X) {
+			continue // a panicking path unwinds; nothing to End
+		}
+		pos := fb.body.End() - 1
+		if ef.Last != nil {
+			pos = ef.Last.Pos()
+		}
+		var leaked []string
+		for v, s := range ef.Fact {
+			if s == ssStarted {
+				leaked = append(leaked, v.Name())
+			}
+		}
+		sort.Strings(leaked)
+		for _, name := range leaked {
+			pass.Reportf(pos, "span %s is never ended on this path; call %s.End() before %s returns here or defer it",
+				name, name, fb.name)
+		}
+	}
+}
+
+func spanTransfer(pass *Pass, n ast.Node, fact spanFact) spanFact {
+	for _, op := range spanOps(pass, n) {
+		fact = fact.with(op.v, op.state)
+	}
+	return fact
+}
+
+func joinSpanFacts(a, b spanFact) spanFact {
+	out := make(spanFact, len(a))
+	merge := func(v, w spanState) spanState {
+		switch {
+		case v == w:
+			return v
+		case v == ssEscaped || w == ssEscaped:
+			return ssEscaped
+		default:
+			return ssMixed
+		}
+	}
+	for k, v := range a {
+		if w, ok := b[k]; ok {
+			out[k] = merge(v, w)
+		} else if v == ssStarted {
+			// Started on one path, never seen on the other: conflicting.
+			out[k] = ssMixed
+		} else {
+			out[k] = v
+		}
+	}
+	for k, v := range b {
+		if _, ok := a[k]; !ok {
+			if v == ssStarted {
+				out[k] = ssMixed
+			} else {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}
+
+func equalSpanFacts(a, b spanFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// spanOp is one state transition extracted from a leaf node.
+type spanOp struct {
+	v     *types.Var
+	state spanState
+	pos   token.Pos
+}
+
+// spanOps extracts span lifecycle transitions from one leaf node. The
+// classification runs in two passes: first every *benign* occurrence of a
+// span variable is recorded (assignment target, receiver of an obs method
+// call, nil comparison); then any remaining occurrence demotes the
+// variable to escaped — it left this function's custody and the balance
+// obligation moves with it.
+func spanOps(pass *Pass, n ast.Node) []spanOp {
+	var ops []spanOp
+	benign := map[*ast.Ident]bool{}
+
+	// Pass 1: creations, End calls, other obs method receivers, nil checks.
+	inspectLeaf(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			if len(m.Lhs) != len(m.Rhs) {
+				return true
+			}
+			for i, lhs := range m.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				benign[id] = true
+				v, _ := pass.Info.ObjectOf(id).(*types.Var)
+				if v == nil {
+					continue
+				}
+				if call, ok := ast.Unparen(m.Rhs[i]).(*ast.CallExpr); ok && isSpanCreation(pass, call) {
+					ops = append(ops, spanOp{v: v, state: ssStarted, pos: call.Pos()})
+				} else if isObsSpanPtr(pass.TypeOf(lhs)) {
+					// Reassigned from something we cannot follow (a field, a
+					// helper's return): custody is unclear, stop tracking.
+					ops = append(ops, spanOp{v: v, state: ssEscaped, pos: m.Pos()})
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok || !isObsMethod(pass, sel) {
+				return true
+			}
+			benign[id] = true
+			v, _ := pass.Info.ObjectOf(id).(*types.Var)
+			if v == nil {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "End", "EndAt":
+				st := ssEnded
+				if insideDefer(n, m) {
+					st = ssDeferred
+				}
+				ops = append(ops, spanOp{v: v, state: st, pos: m.Pos()})
+			}
+		case *ast.BinaryExpr:
+			if m.Op == token.EQL || m.Op == token.NEQ {
+				for _, side := range []ast.Expr{m.X, m.Y} {
+					if id, ok := ast.Unparen(side).(*ast.Ident); ok {
+						benign[id] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: any other mention of a span-typed variable is an escape —
+	// argument, return value, field store, composite literal, closure use.
+	inspectLeaf(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok || benign[id] {
+			return true
+		}
+		v, _ := pass.Info.ObjectOf(id).(*types.Var)
+		if v == nil || !isObsSpanPtr(v.Type()) {
+			return true
+		}
+		ops = append(ops, spanOp{v: v, state: ssEscaped, pos: id.Pos()})
+		return true
+	})
+
+	// Pass 3: function literals, which inspectLeaf deliberately skips (their
+	// statements belong to another CFG) but which can capture span variables.
+	// `defer func() { sp.End() }()` guarantees the End at exit, so the
+	// capture counts as deferred; any other closure capture is an escape —
+	// the closure's schedule, not this path, decides when End runs.
+	_, isDefer := n.(*ast.DeferStmt)
+	ast.Inspect(n, func(m ast.Node) bool {
+		lit, ok := m.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(b ast.Node) bool {
+			id, ok := b.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, _ := pass.Info.ObjectOf(id).(*types.Var)
+			if v == nil || !isObsSpanPtr(v.Type()) {
+				return true
+			}
+			ops = append(ops, spanOp{v: v, state: ssEscaped, pos: id.Pos()})
+			return true
+		})
+		if isDefer {
+			ast.Inspect(lit.Body, func(b ast.Node) bool {
+				call, ok := b.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "End" && sel.Sel.Name != "EndAt") || !isObsMethod(pass, sel) {
+					return true
+				}
+				id, ok := ast.Unparen(sel.X).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if v, _ := pass.Info.ObjectOf(id).(*types.Var); v != nil {
+					ops = append(ops, spanOp{v: v, state: ssDeferred, pos: call.Pos()})
+				}
+				return true
+			})
+		}
+		return false // the literal's own body gets its own CFG pass
+	})
+	return ops
+}
+
+// insideDefer reports whether call is (part of) the deferred call of n.
+func insideDefer(n ast.Node, call *ast.CallExpr) bool {
+	d, ok := n.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	if d.Call == call {
+		return true
+	}
+	// defer func() { sp.End() }(): the End runs at exit too.
+	inside := false
+	ast.Inspect(d.Call, func(m ast.Node) bool {
+		if m == call {
+			inside = true
+		}
+		return !inside
+	})
+	return inside
+}
+
+// isSpanCreation reports whether call starts a span: a method named Start
+// or StartChild, declared in internal/obs, returning *obs.Span.
+func isSpanCreation(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "Start" && sel.Sel.Name != "StartChild" {
+		return false
+	}
+	return isObsMethod(pass, sel) && isObsSpanPtr(pass.TypeOf(call))
+}
+
+// isObsMethod reports whether sel resolves to a method declared in the
+// internal/obs package.
+func isObsMethod(pass *Pass, sel *ast.SelectorExpr) bool {
+	fn, _ := pass.Info.ObjectOf(sel.Sel).(*types.Func)
+	return fn != nil && fn.Pkg() != nil && isObsPkgPath(fn.Pkg().Path())
+}
+
+// isObsSpanPtr reports whether t is *obs.Span.
+func isObsSpanPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Span" && obj.Pkg() != nil && isObsPkgPath(obj.Pkg().Path())
+}
+
+func isObsPkgPath(path string) bool {
+	return path == "internal/obs" || strings.HasSuffix(path, "/internal/obs")
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ist/internal/analysis"
+	"ist/internal/analysis/analysistest"
+)
+
+func TestSpanEnd(t *testing.T) {
+	analysistest.Run(t, analysis.SpanEndAnalyzer, "spanend")
+}

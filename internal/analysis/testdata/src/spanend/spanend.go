@@ -1,0 +1,142 @@
+// Package spanenddata exercises the spanend analyzer: span-lifecycle
+// balance on every path, defer handling, and escape exemptions.
+package spanenddata
+
+import (
+	"errors"
+	"time"
+
+	"ist/internal/obs"
+)
+
+var errFail = errors.New("fail")
+
+type holder struct {
+	sp *obs.Span
+}
+
+// --- balance -------------------------------------------------------------
+
+func earlyReturnLeak(tr *obs.Tracer, fail bool) error {
+	sp := tr.Start("work")
+	if fail {
+		return errFail // want `span sp is never ended on this path`
+	}
+	sp.End()
+	return nil
+}
+
+func fallOffEndLeak(tr *obs.Tracer) {
+	sp := tr.Start("work")
+	sp.SetAttr("k", "v") // want `span sp is never ended on this path`
+}
+
+func deferBalanced(tr *obs.Tracer, fail bool) error {
+	sp := tr.Start("work")
+	defer sp.End()
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+func deferClosureBalanced(tr *obs.Tracer, fail bool) error {
+	sp := tr.Start("work")
+	defer func() { sp.End() }()
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+func manualBalanced(tr *obs.Tracer, fail bool) error {
+	sp := tr.Start("work")
+	if fail {
+		sp.SetStatus(errFail)
+		sp.End()
+		return errFail
+	}
+	sp.End()
+	return nil
+}
+
+func endAtBalanced(tr *obs.Tracer) {
+	sp := tr.Start("point")
+	sp.EndAt(time.Time{}) // EndAt counts as an End
+}
+
+func childLeak(parent *obs.Span, fail bool) error {
+	child := parent.StartChild("step")
+	if fail {
+		return errFail // want `span child is never ended on this path`
+	}
+	child.End()
+	return nil
+}
+
+func panicPathOK(tr *obs.Tracer, bad bool) {
+	sp := tr.Start("work")
+	if bad {
+		panic("corrupt") // runtime unwinds; not a leak the caller can see
+	}
+	sp.End()
+}
+
+// --- escapes are exempt --------------------------------------------------
+
+func escapeByReturn(tr *obs.Tracer) *obs.Span {
+	sp := tr.Start("handed-off")
+	return sp // custody moves to the caller
+}
+
+func escapeByArg(tr *obs.Tracer) {
+	sp := tr.Start("handed-off")
+	adopt(sp)
+}
+
+func escapeByField(tr *obs.Tracer, h *holder) {
+	sp := tr.Start("handed-off")
+	h.sp = sp
+}
+
+func escapeByLiteral(tr *obs.Tracer) holder {
+	sp := tr.Start("handed-off")
+	return holder{sp: sp}
+}
+
+func adopt(sp *obs.Span) {
+	sp.End()
+}
+
+// nilCheckIsNotAnEscape: comparing against nil keeps the obligation here.
+func nilCheckIsNotAnEscape(tr *obs.Tracer, fail bool) error {
+	sp := tr.Start("work")
+	if sp != nil && fail {
+		return errFail // want `span sp is never ended on this path`
+	}
+	sp.End()
+	return nil
+}
+
+// --- unrelated Start methods are not tracked -----------------------------
+
+type stopwatch struct{}
+
+func (stopwatch) Start(string) *stopwatch { return &stopwatch{} }
+
+func otherStart(w stopwatch) {
+	_ = w.Start("not a span") // different package: allowed
+}
+
+// --- suppression ---------------------------------------------------------
+
+func suppressed(tr *obs.Tracer, fail bool) error {
+	sp := tr.Start("fire-and-forget")
+	_ = sp.Context()
+	if fail {
+		//lint:ignore spanend this probe span is intentionally left open for the sink flush test
+		return errFail
+	}
+	sp.End()
+	return nil
+}

@@ -1,0 +1,44 @@
+package core
+
+import "math"
+
+// This file turns the paper's question-count guarantees into numbers the
+// server can hold itself to at runtime (DESIGN.md §13): every certified
+// session's question count is compared against these bounds and exported as
+// the ist_questions_vs_{lower,upper}_bound gauges.
+
+// TheoryBounds returns the paper's two-dimensional question-count bounds
+// for an instance with n candidate tuples and top-k tolerance k:
+//
+//	lower = ⌈log₂(n/k)⌉          — Theorem 3.2's Ω(log₂(n/k)) floor: any
+//	                               interactive strategy needs this many
+//	                               pairwise questions in the worst case.
+//	upper = ⌈log₂⌈2n/(k+1)⌉⌉     — Theorem 4.5: 2D-PI certifies within this
+//	                               many questions, because the utility
+//	                               space splits into at most ⌈2n/(k+1)⌉
+//	                               partitions (Lemma 4.4) and the algorithm
+//	                               binary-searches over them.
+//
+// Both floor at zero (n ≤ k means every tuple is already top-k and zero
+// questions suffice). n is the instance size BEFORE k-skyband reduction —
+// the adversary of Thm 3.2 chooses among all n tuples — but callers that
+// only know the skyband size get a conservative (smaller) pair of bounds,
+// which keeps the vs_upper gauge honest: ratios can only look worse, never
+// better, than the true guarantee.
+func TheoryBounds(n, k int) (lower, upper float64) {
+	if n <= 0 || k <= 0 || n <= k {
+		return 0, 0
+	}
+	lower = math.Ceil(math.Log2(float64(n) / float64(k)))
+	parts := math.Ceil(2 * float64(n) / float64(k+1))
+	upper = math.Ceil(math.Log2(parts))
+	if lower < 0 {
+		lower = 0
+	}
+	if upper < lower {
+		// The two ceilings can cross for tiny instances (n barely above k);
+		// a guarantee below the information floor is meaningless, so clamp.
+		upper = lower
+	}
+	return lower, upper
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ist/internal/geom"
+	"ist/internal/oracle"
+)
+
+func TestTheoryBoundsKnownValues(t *testing.T) {
+	cases := []struct {
+		n, k         int
+		lower, upper float64
+	}{
+		{0, 5, 0, 0},   // empty instance
+		{10, 10, 0, 0}, // n <= k: everything is top-k
+		{5, 10, 0, 0},
+		{1000, 20, 6, 7},  // lower=⌈log₂50⌉=6, upper=⌈log₂⌈2000/21⌉⌉=⌈log₂96⌉=7
+		{500, 2, 8, 9},    // lower=⌈log₂250⌉=8, upper=⌈log₂⌈1000/3⌉⌉=⌈log₂334⌉=9
+		{1024, 1, 10, 10}, // k=1: both collapse to log₂n
+		{16, 15, 1, 1},    // tiny gap: upper clamps to the floor
+	}
+	for _, c := range cases {
+		lo, up := TheoryBounds(c.n, c.k)
+		if lo != c.lower || up != c.upper {
+			t.Errorf("TheoryBounds(%d, %d) = (%g, %g), want (%g, %g)", c.n, c.k, lo, up, c.lower, c.upper)
+		}
+		if up < lo {
+			t.Errorf("TheoryBounds(%d, %d): upper %g below lower %g", c.n, c.k, up, lo)
+		}
+	}
+}
+
+// TestTwoDPIWithinTheoryUpper is the property the vs_upper gauge relies on:
+// on any 2-d instance, 2D-PI certifies within TheoryBounds' upper bound, so
+// ist_questions_vs_upper_bound stays <= 1.0 for every 2D-PI session.
+func TestTwoDPIWithinTheoryUpper(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 5 + rng.Intn(400)
+		k := 1 + rng.Intn(25)
+		pts := make([]geom.Vector, n)
+		for i := range pts {
+			pts[i] = geom.Vector{rng.Float64(), rng.Float64()}
+		}
+		u := oracle.RandomUtility(rng, 2)
+		user := oracle.NewUser(u)
+		TwoDPI{}.Run(pts, k, user)
+		_, upper := TheoryBounds(n, k)
+		if qs := float64(user.Questions()); upper > 0 && qs > upper {
+			t.Fatalf("trial %d (n=%d k=%d): %g questions exceed theory upper bound %g",
+				trial, n, k, qs, upper)
+		}
+		if qs := user.Questions(); upper == 0 && qs > int(math.Ceil(math.Log2(float64(n)))) {
+			t.Fatalf("trial %d (n=%d k=%d): zero bound but %d questions", trial, n, k, qs)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"ist/internal/core"
+	"ist/internal/oracle"
+)
+
+// TheoryBoundsRatios measures how close each interactive algorithm lands to
+// the paper's 2-d question-count bounds (core.TheoryBounds): for each k it
+// runs Trials random users over a 2-d anti-correlated skyband and reports
+// the average question count as a ratio of the Thm 3.2 lower bound
+// ⌈log₂(n/k)⌉ and the Thm 4.5 upper bound ⌈log₂⌈2n/(k+1)⌉⌉. The
+// "questions/upper" row for 2D-PI must stay at or below 1.0 — that is the
+// same guarantee the server exports live as ist_questions_vs_upper_bound —
+// while the other algorithms show their distance to the 2-d optimum. This
+// is the data behind BENCH_9.json.
+func TheoryBoundsRatios(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	cfg.D = 2 // the paper's bounds are two-dimensional statements
+	tab := newTable("Questions vs theory bounds (2-d anti-correlated)", "k", floats(cfg.Ks))
+	points := buildDataset("anti", cfg).Points
+
+	specs := []obsSpec{
+		{name: "2D-PI", make: func(int64) core.Algorithm { return &core.TwoDPI{} }},
+		{name: "HD-PI-sampling", make: func(seed int64) core.Algorithm {
+			return core.NewHDPI(core.HDPIOptions{Mode: core.ConvexSampling, Rng: rand.New(rand.NewSource(seed))})
+		}},
+		{name: "RH", make: func(seed int64) core.Algorithm {
+			return core.NewRHDefault(seed)
+		}},
+	}
+
+	lowers := make([]float64, len(cfg.Ks))
+	uppers := make([]float64, len(cfg.Ks))
+	for xi, k := range cfg.Ks {
+		band := preprocess(points, k)
+		lowers[xi], uppers[xi] = core.TheoryBounds(len(band), k)
+	}
+	tab.add("bound", "lower (Thm 3.2)", lowers)
+	tab.add("bound", "upper (Thm 4.5)", uppers)
+
+	for _, spec := range specs {
+		questions := make([]float64, len(cfg.Ks))
+		vsLower := make([]float64, len(cfg.Ks))
+		vsUpper := make([]float64, len(cfg.Ks))
+		for xi, k := range cfg.Ks {
+			band := preprocess(points, k)
+			var q float64
+			for trial := 0; trial < cfg.Trials; trial++ {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)*7919))
+				u := oracle.RandomUtility(rng, 2)
+				alg := spec.make(cfg.Seed + int64(trial))
+				user := oracle.NewUser(u)
+				alg.Run(band, k, user)
+				q += float64(user.Questions())
+			}
+			q /= float64(cfg.Trials)
+			questions[xi] = q
+			if lowers[xi] > 0 {
+				vsLower[xi] = q / lowers[xi]
+			}
+			if uppers[xi] > 0 {
+				vsUpper[xi] = q / uppers[xi]
+			}
+		}
+		tab.add("questions", spec.name, questions)
+		tab.add("questions/lower", spec.name, vsLower)
+		tab.add("questions/upper", spec.name, vsUpper)
+	}
+	return tab
+}

@@ -28,9 +28,10 @@ var Registry = map[string]Runner{
 	"fig-island": FigIsland,
 	"fig-car":    FigCar,
 	// Extensions beyond the paper (documented in EXPERIMENTS.md):
-	"ext-noise":    ExtNoise,
-	"ext-sorting":  ExtSorting,
-	"obs-counters": ObsCounters,
+	"ext-noise":     ExtNoise,
+	"ext-sorting":   ExtSorting,
+	"obs-counters":  ObsCounters,
+	"theory-bounds": TheoryBoundsRatios,
 }
 
 // Names returns the registered experiment ids in a stable order.

@@ -1,0 +1,191 @@
+package netchaos_test
+
+// The tracing acceptance run (DESIGN.md §13): one traced dialogue under a
+// fault plan that duplicates an answer POST at the wire AND 500-fails
+// another, proving the span story end to end — the client's retry, the
+// server's idempotent replay of the duplicate, and the original apply are
+// all distinct spans sharing the single trace id the client minted at
+// session create.
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ist"
+	"ist/client"
+	"ist/internal/clock"
+	"ist/internal/netchaos"
+	"ist/internal/obs"
+	"ist/internal/server"
+)
+
+func TestChaosTraceSharedAcrossRetryAndReplay(t *testing.T) {
+	band, k, hidden := chaosBand()
+	srv, err := server.New(band, k, server.Options{Seed: 1, TTL: time.Minute, Tracing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Step 1 is the create; step 3's answer POST is delivered twice (proxy
+	// retransmit), step 5's is answered with a synthetic 500 (client retry).
+	plan := netchaos.Plan{
+		Name:        "trace-acceptance",
+		DuplicateAt: []int{3},
+		Status500At: []int{5},
+	}
+	fake := clock.NewFake(time.Unix(1_700_000_000, 0))
+	tr := &netchaos.Transport{
+		Inner:        netchaos.HandlerTransport{Handler: srv},
+		Plan:         plan,
+		AdvanceClock: fake.Advance,
+	}
+	clientSpans := obs.NewSpanStore(0, 0)
+	c, err := client.New("http://chaos.test", client.Options{
+		HTTP:        &http.Client{Transport: tr},
+		Clock:       fake,
+		Rand:        rand.New(rand.NewSource(9)),
+		MaxAttempts: 8,
+		Tracer:      obs.NewTracer(fake, clientSpans, rand.New(rand.NewSource(42))),
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			fake.Advance(d)
+			return ctx.Err()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	s, err := c.Create(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceID := s.TraceID()
+	if len(traceID) != 32 {
+		t.Fatalf("client trace id %q is not 32 hex digits", traceID)
+	}
+	user := ist.NewUser(hidden)
+	st := s.State()
+	for steps := 0; !st.Done; steps++ {
+		if steps > 500 {
+			t.Fatalf("dialogue did not converge after %d answers", steps)
+		}
+		prefer := 2
+		if user.Prefer(st.Question.Option1, st.Question.Option2) {
+			prefer = 1
+		}
+		next, err := s.Answer(ctx, prefer)
+		if err != nil {
+			t.Fatalf("answer at seq %d: %v", st.Seq, err)
+		}
+		st = next
+	}
+	if !ist.IsTopK(band, hidden, k, ist.Point(st.Result)) {
+		t.Errorf("chaos run ended outside the top-%d: %v", k, st.Result)
+	}
+	s.EndTrace()
+
+	// Every fault actually fired; without them the test proves nothing.
+	kinds := map[string]int{}
+	for _, f := range tr.Faults() {
+		kinds[f.Kind]++
+	}
+	if kinds["duplicate"] == 0 || kinds["500-burst"] == 0 {
+		t.Fatalf("fault plan did not fire as scheduled: %v", kinds)
+	}
+
+	// Client side: all spans share the minted trace, and the 500-failed
+	// answer carries two sibling attempt spans under one operation span.
+	var id obs.TraceID
+	if err := id.UnmarshalText([]byte(traceID)); err != nil {
+		t.Fatal(err)
+	}
+	cspans, _ := clientSpans.Trace(id)
+	if len(cspans) == 0 {
+		t.Fatal("client recorded no spans under its own trace id")
+	}
+	attemptsByOp := map[obs.SpanID][]obs.SpanData{}
+	for _, d := range cspans {
+		if d.Trace != id {
+			t.Fatalf("client span %s belongs to trace %s, want %s", d.Name, d.Trace, id)
+		}
+		if d.Name == "attempt" {
+			attemptsByOp[d.Parent] = append(attemptsByOp[d.Parent], d)
+		}
+	}
+	var retried []obs.SpanData
+	for _, atts := range attemptsByOp {
+		if len(atts) > 1 {
+			retried = atts
+		}
+	}
+	if retried == nil {
+		t.Fatal("no operation span with more than one attempt: the 500 retry left no trace")
+	}
+	if retried[0].ID == retried[1].ID {
+		t.Error("retry attempts share a span id; each attempt must be distinct")
+	}
+
+	// Server side: the same trace holds the duplicate's idempotent-replay
+	// span AND the original apply, as distinct spans.
+	req := httptest.NewRequest(http.MethodGet, "/debug/ist/traces?trace="+traceID, nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("server trace fetch: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp server.TraceResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace != traceID {
+		t.Fatalf("server trace %s, want the client's %s", resp.Trace, traceID)
+	}
+	names := map[string][]obs.SpanData{}
+	var walk func(ns []*obs.SpanNode)
+	walk = func(ns []*obs.SpanNode) {
+		for _, n := range ns {
+			names[n.Name] = append(names[n.Name], n.SpanData)
+			walk(n.Children)
+		}
+	}
+	walk(resp.Tree)
+	if len(names["idempotent-replay"]) == 0 {
+		t.Error("the duplicated POST left no idempotent-replay span")
+	}
+	if len(names["apply"]) == 0 {
+		t.Error("no apply span on the server side")
+	}
+	if len(names["session"]) != 1 || len(names["question"]) == 0 {
+		t.Errorf("server trace misses the session/question skeleton: %d session, %d question",
+			len(names["session"]), len(names["question"]))
+	}
+	seen := map[obs.SpanID]string{}
+	for name, ds := range names {
+		for _, d := range ds {
+			if other, dup := seen[d.ID]; dup {
+				t.Errorf("span id %s shared by %s and %s", d.ID, other, name)
+			}
+			seen[d.ID] = name
+		}
+	}
+	// The replay span descends from a different client attempt than the
+	// applied answer only when the wire duplicated the SAME attempt — the
+	// two server spans must instead share the one attempt parent.
+	replay, answers := names["idempotent-replay"][0], names["answer"]
+	var sameParent bool
+	for _, a := range answers {
+		if a.Parent == replay.Parent {
+			sameParent = true
+		}
+	}
+	if !sameParent {
+		t.Error("replay and original answer do not share the duplicated attempt's parent span")
+	}
+}

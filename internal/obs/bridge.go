@@ -28,6 +28,16 @@ const (
 	MetricSeqConflicts  = "ist_seq_conflicts_total"
 	MetricShed          = "ist_shed_total"
 
+	// Span-tracing and theory-bound series (DESIGN.md §13). The bound
+	// gauges compare each certified session's question count against the
+	// paper's 2-d bounds: vs_upper <= 1.0 means the run kept the O(log₂
+	// ⌈2n/(k+1)⌉) guarantee (Thm 4.5), vs_lower ~ 1.0 means it is close to
+	// the Ω(log₂(n/k)) information-theoretic floor (Thm 3.2).
+	MetricQuestionsVsLower = "ist_questions_vs_lower_bound"
+	MetricQuestionsVsUpper = "ist_questions_vs_upper_bound"
+	MetricTraceBytes       = "ist_trace_bytes_total"
+	MetricFlightDumps      = "ist_flight_dumps_total"
+
 	// Client-side series, registered by the ist/client package when it is
 	// given a registry.
 	MetricClientRequests     = "ist_client_requests_total"

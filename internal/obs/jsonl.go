@@ -9,21 +9,33 @@ import (
 	"ist/internal/clock"
 )
 
+// KindTruncated is the synthetic marker record a size-capped JSONL trace
+// writes as its final line when the cap is hit: every event after it was
+// dropped, not lost in transit. Note carries the cap.
+const KindTruncated EventKind = "_truncated"
+
 // JSONL streams trace events as one JSON object per line, stamped with a
 // sequence number and seconds since the first event — measured on the
 // injected clock, so traces written under a fake clock are deterministic
 // and the wallclock invariant holds. It is what istserve's -trace-dir and
 // istcli's -trace produce.
+//
+// A byte limit (NewJSONLLimited) keeps long sessions from growing the trace
+// dir unboundedly: once the next record would push the file past the cap, a
+// single KindTruncated marker is written and the stream goes quiet.
 type JSONL struct {
-	mu      sync.Mutex
-	enc     *json.Encoder
-	w       io.Writer
-	clk     clock.Clock
-	start   time.Time
-	started bool
-	seq     int64
-	err     error
-	closed  bool
+	mu        sync.Mutex
+	w         io.Writer
+	clk       clock.Clock
+	start     time.Time
+	started   bool
+	seq       int64
+	err       error
+	closed    bool
+	limit     int64    // max bytes to write (0 = unlimited)
+	written   int64    // bytes written so far
+	truncated bool     // the cap fired; drop everything after the marker
+	bytes     *Counter // optional ist_trace_bytes_total
 }
 
 // jsonlRecord is the on-disk shape: the event plus trace bookkeeping.
@@ -34,19 +46,26 @@ type jsonlRecord struct {
 }
 
 // NewJSONL returns a JSONL observer writing to w, timing on clk (nil means
-// the real clock).
+// the real clock), with no size cap.
 func NewJSONL(w io.Writer, clk clock.Clock) *JSONL {
+	return NewJSONLLimited(w, clk, 0, nil)
+}
+
+// NewJSONLLimited is NewJSONL with a byte cap (0 = unlimited) and an
+// optional counter accumulating bytes actually written (the server passes
+// ist_trace_bytes_total so /metrics tracks total trace-dir growth).
+func NewJSONLLimited(w io.Writer, clk clock.Clock, maxBytes int64, bytes *Counter) *JSONL {
 	if clk == nil {
 		clk = clock.Real
 	}
-	return &JSONL{enc: json.NewEncoder(w), w: w, clk: clk}
+	return &JSONL{w: w, clk: clk, limit: maxBytes, bytes: bytes}
 }
 
 // Event implements Observer.
 func (j *JSONL) Event(e Event) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.closed || j.err != nil {
+	if j.closed || j.err != nil || j.truncated {
 		return
 	}
 	now := j.clk.Now()
@@ -55,9 +74,45 @@ func (j *JSONL) Event(e Event) {
 	}
 	j.seq++
 	rec := jsonlRecord{Seq: j.seq, T: now.Sub(j.start).Seconds(), Event: e}
-	if err := j.enc.Encode(rec); err != nil {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		j.err = err
+		return
+	}
+	line = append(line, '\n')
+	if j.limit > 0 && j.written+int64(len(line)) > j.limit {
+		// Cap hit: replace this record with the truncation marker so the
+		// file's last line says explicitly that the tail is missing.
+		j.truncated = true
+		rec.Event = Event{Kind: KindTruncated, Note: "size cap reached"}
+		line, err = json.Marshal(rec)
+		if err != nil {
+			j.err = err
+			return
+		}
+		line = append(line, '\n')
+	}
+	j.writeLocked(line)
+}
+
+// writeLocked writes one rendered line, keeping the first error sticky and
+// the byte accounting straight.
+func (j *JSONL) writeLocked(line []byte) {
+	n, err := j.w.Write(line)
+	j.written += int64(n)
+	if j.bytes != nil && n > 0 {
+		j.bytes.Add(int64(n))
+	}
+	if err != nil && j.err == nil {
 		j.err = err // keep the first error; drop later events
 	}
+}
+
+// Truncated reports whether the byte cap fired.
+func (j *JSONL) Truncated() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.truncated
 }
 
 // Err returns the first write error, if any.

@@ -92,6 +92,27 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	}
 }
 
+// WriteOpenMetrics renders every registered metric in the 0.0.4 text shape
+// extended with OpenMetrics histogram exemplars and the terminating "# EOF"
+// marker. Scrapers that negotiate application/openmetrics-text get span-id
+// exemplars on the latency histograms; plain Prometheus scrapers keep the
+// untouched 0.0.4 output from WritePrometheus.
+func (r *Registry) WriteOpenMetrics(w io.Writer) {
+	r.mu.Lock()
+	metrics := append([]metric(nil), r.ordered...)
+	r.mu.Unlock()
+	for _, m := range metrics {
+		fmt.Fprintf(w, "# HELP %s %s\n", m.name(), escapeHelp(m.help()))
+		fmt.Fprintf(w, "# TYPE %s %s\n", m.name(), m.kind())
+		if h, ok := m.(*Histogram); ok {
+			h.exposeExemplars(w, true)
+			continue
+		}
+		m.expose(w)
+	}
+	fmt.Fprintln(w, "# EOF")
+}
+
 // Counter is a monotonically increasing integer counter. The zero value is
 // usable but unregistered; get counters from a Registry.
 type Counter struct {
@@ -144,16 +165,7 @@ func (cv *CounterVec) With(values ...string) *Counter {
 	if len(values) != len(cv.keys) {
 		panic(fmt.Sprintf("obs: counter %s wants %d label values, got %d", cv.nm, len(cv.keys), len(values)))
 	}
-	var sb strings.Builder
-	sb.WriteByte('{')
-	for i, k := range cv.keys {
-		if i > 0 {
-			sb.WriteByte(',')
-		}
-		fmt.Fprintf(&sb, `%s="%s"`, k, escapeLabel(values[i]))
-	}
-	sb.WriteByte('}')
-	key := sb.String()
+	key := renderLabels(cv.keys, values)
 	cv.mu.Lock()
 	defer cv.mu.Unlock()
 	kid, ok := cv.kids[key]
@@ -189,6 +201,7 @@ func (cv *CounterVec) expose(w io.Writer) {
 type Gauge struct {
 	nm, hp string
 	bits   atomic.Uint64
+	labels string // pre-rendered {k="v",...} for labeled children, or ""
 }
 
 // Set replaces the gauge's value.
@@ -201,7 +214,62 @@ func (g *Gauge) name() string { return g.nm }
 func (g *Gauge) help() string { return g.hp }
 func (g *Gauge) kind() string { return "gauge" }
 func (g *Gauge) expose(w io.Writer) {
-	fmt.Fprintf(w, "%s %s\n", g.nm, formatFloat(g.Value()))
+	fmt.Fprintf(w, "%s%s %s\n", g.nm, g.labels, formatFloat(g.Value()))
+}
+
+// GaugeVec is a gauge family with one fixed label dimension per child —
+// the shape of the questions-vs-theory-bound series, labeled by algorithm.
+type GaugeVec struct {
+	nm, hp string
+	keys   []string
+	mu     sync.Mutex
+	kids   map[string]*Gauge // keyed by rendered label string
+}
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelKeys ...string) *GaugeVec {
+	for _, k := range labelKeys {
+		checkMetricName(k)
+	}
+	gv := &GaugeVec{nm: name, hp: help, keys: labelKeys, kids: map[string]*Gauge{}}
+	return r.register(gv).(*GaugeVec)
+}
+
+// With returns the child gauge for the given label values (one per key, in
+// key order), creating it on first use.
+func (gv *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(gv.keys) {
+		panic(fmt.Sprintf("obs: gauge %s wants %d label values, got %d", gv.nm, len(gv.keys), len(values)))
+	}
+	key := renderLabels(gv.keys, values)
+	gv.mu.Lock()
+	defer gv.mu.Unlock()
+	kid, ok := gv.kids[key]
+	if !ok {
+		kid = &Gauge{nm: gv.nm, labels: key}
+		gv.kids[key] = kid
+	}
+	return kid
+}
+
+func (gv *GaugeVec) name() string { return gv.nm }
+func (gv *GaugeVec) help() string { return gv.hp }
+func (gv *GaugeVec) kind() string { return "gauge" }
+func (gv *GaugeVec) expose(w io.Writer) {
+	gv.mu.Lock()
+	keys := make([]string, 0, len(gv.kids))
+	for k := range gv.kids {
+		keys = append(keys, k)
+	}
+	kids := make([]*Gauge, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		kids = append(kids, gv.kids[k])
+	}
+	gv.mu.Unlock()
+	for _, kid := range kids {
+		kid.expose(w)
+	}
 }
 
 // DefBuckets are the default histogram buckets (seconds), matching the
@@ -227,10 +295,31 @@ type Histogram struct {
 	inf    uint64   // observations above the last bound
 	sum    float64
 	total  uint64
+	// exemplars[i] is the most recent traced observation landing in bucket
+	// i; infEx covers the +Inf bucket. Rendered only by WriteOpenMetrics.
+	exemplars []Exemplar
+	infEx     Exemplar
 }
+
+// Exemplar links one histogram observation back to the span that produced
+// it, so a latency outlier on a dashboard leads straight to its trace.
+type Exemplar struct {
+	TraceID string
+	SpanID  string
+	Value   float64
+}
+
+func (e Exemplar) valid() bool { return e.TraceID != "" && e.SpanID != "" }
 
 // Observe records one observation.
 func (h *Histogram) Observe(v float64) {
+	h.ObserveExemplar(v, "", "")
+}
+
+// ObserveExemplar records one observation and, when trace/span ids are
+// given, remembers them as the bucket's exemplar (last writer wins).
+func (h *Histogram) ObserveExemplar(v float64, traceID, spanID string) {
+	ex := Exemplar{TraceID: traceID, SpanID: spanID, Value: v}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.sum += v
@@ -238,10 +327,19 @@ func (h *Histogram) Observe(v float64) {
 	for i, up := range h.upper {
 		if v <= up {
 			h.counts[i]++
+			if ex.valid() {
+				if h.exemplars == nil {
+					h.exemplars = make([]Exemplar, len(h.upper))
+				}
+				h.exemplars[i] = ex
+			}
 			return
 		}
 	}
 	h.inf++
+	if ex.valid() {
+		h.infEx = ex
+	}
 }
 
 // Count returns the number of observations so far.
@@ -251,18 +349,35 @@ func (h *Histogram) Count() uint64 {
 	return h.total
 }
 
-func (h *Histogram) name() string { return h.nm }
-func (h *Histogram) help() string { return h.hp }
-func (h *Histogram) kind() string { return "histogram" }
-func (h *Histogram) expose(w io.Writer) {
+func (h *Histogram) name() string       { return h.nm }
+func (h *Histogram) help() string       { return h.hp }
+func (h *Histogram) kind() string       { return "histogram" }
+func (h *Histogram) expose(w io.Writer) { h.exposeExemplars(w, false) }
+
+// exposeExemplars renders the histogram; withEx additionally appends
+// OpenMetrics "# {trace_id=...,span_id=...} value" exemplar suffixes to
+// bucket lines that have one. The 0.0.4 path (withEx=false) stays
+// byte-identical to pre-exemplar output.
+func (h *Histogram) exposeExemplars(w io.Writer, withEx bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	suffix := func(ex Exemplar) string {
+		if !withEx || !ex.valid() {
+			return ""
+		}
+		return fmt.Sprintf(" # {trace_id=\"%s\",span_id=\"%s\"} %s",
+			escapeLabel(ex.TraceID), escapeLabel(ex.SpanID), formatFloat(ex.Value))
+	}
 	cum := uint64(0)
 	for i, up := range h.upper {
 		cum += h.counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.nm, formatFloat(up), cum)
+		var ex Exemplar
+		if h.exemplars != nil {
+			ex = h.exemplars[i]
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d%s\n", h.nm, formatFloat(up), cum, suffix(ex))
 	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.nm, h.total)
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n", h.nm, h.total, suffix(h.infEx))
 	fmt.Fprintf(w, "%s_sum %s\n", h.nm, formatFloat(h.sum))
 	fmt.Fprintf(w, "%s_count %d\n", h.nm, h.total)
 }
@@ -286,6 +401,20 @@ func formatFloat(v float64) string {
 func escapeHelp(s string) string {
 	s = strings.ReplaceAll(s, `\`, `\\`)
 	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// renderLabels pre-renders a {k="v",...} label block in key order.
+func renderLabels(keys, values []string) string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `%s="%s"`, k, escapeLabel(values[i]))
+	}
+	sb.WriteByte('}')
+	return sb.String()
 }
 
 // escapeLabel escapes a label value body: backslash, double quote, newline

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ist/internal/clock"
+)
+
+func TestGaugeVecExposition(t *testing.T) {
+	r := NewRegistry()
+	gv := r.GaugeVec("ist_questions_vs_upper_bound", "Ratio.", "algorithm")
+	gv.With("2dpi").Set(0.5)
+	gv.With("rh").Set(1.25)
+	out := expose(r)
+	for _, want := range []string{
+		"# TYPE ist_questions_vs_upper_bound gauge",
+		`ist_questions_vs_upper_bound{algorithm="2dpi"} 0.5`,
+		`ist_questions_vs_upper_bound{algorithm="rh"} 1.25`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if g := gv.With("2dpi"); g != gv.With("2dpi") {
+		t.Error("With is not idempotent per label value")
+	}
+}
+
+func TestGaugeVecArityPanics(t *testing.T) {
+	r := NewRegistry()
+	gv := r.GaugeVec("ist_g", "g.", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity did not panic")
+		}
+	}()
+	gv.With("only-one")
+}
+
+// TestExemplarsOnlyInOpenMetrics is the compatibility contract: the 0.0.4
+// exposition (WritePrometheus) must stay byte-identical whether or not
+// exemplars were recorded; only WriteOpenMetrics renders them.
+func TestExemplarsOnlyInOpenMetrics(t *testing.T) {
+	plain := NewRegistry()
+	ph := plain.Histogram("ist_question_latency_seconds", "Latency.", []float64{0.1, 1})
+	ph.Observe(0.05)
+	ph.Observe(0.5)
+	want004 := expose(plain)
+
+	traced := NewRegistry()
+	th := traced.Histogram("ist_question_latency_seconds", "Latency.", []float64{0.1, 1})
+	th.ObserveExemplar(0.05, "0af7651916cd43dd8448eb211c80319c", "b7ad6b7169203331")
+	th.ObserveExemplar(0.5, "0af7651916cd43dd8448eb211c80319c", "00f067aa0ba902b7")
+	if got := expose(traced); got != want004 {
+		t.Fatalf("exemplars leaked into the 0.0.4 exposition:\n%s\nwant:\n%s", got, want004)
+	}
+
+	var sb strings.Builder
+	traced.WriteOpenMetrics(&sb)
+	om := sb.String()
+	for _, want := range []string{
+		`ist_question_latency_seconds_bucket{le="0.1"} 1 # {trace_id="0af7651916cd43dd8448eb211c80319c",span_id="b7ad6b7169203331"} 0.05`,
+		`ist_question_latency_seconds_bucket{le="1"} 2 # {trace_id="0af7651916cd43dd8448eb211c80319c",span_id="00f067aa0ba902b7"} 0.5`,
+		"# EOF",
+	} {
+		if !strings.Contains(om, want) {
+			t.Errorf("OpenMetrics exposition missing %q in:\n%s", want, om)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimRight(om, "\n"), "# EOF") {
+		t.Error("OpenMetrics exposition does not end with # EOF")
+	}
+}
+
+func TestJSONLSizeCap(t *testing.T) {
+	var sb strings.Builder
+	fake := clock.NewFake(time.Unix(1_700_000_000, 0))
+	r := NewRegistry()
+	bytes := r.Counter(MetricTraceBytes, "Trace bytes.")
+	j := NewJSONLLimited(&sb, fake, 256, bytes)
+
+	for i := 0; i < 100; i++ {
+		j.Event(Event{Kind: KindQuestionAsked, I: i, J: i + 1})
+	}
+	if !j.Truncated() {
+		t.Fatal("cap never fired")
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	last := lines[len(lines)-1]
+	// Everything before the marker respects the cap; the marker itself may
+	// straddle it (it replaces the first over-cap record).
+	if kept := len(out) - len(last) - 1; int64(kept) > 256 {
+		t.Fatalf("wrote %d bytes of events past the 256-byte cap", kept)
+	}
+	if !strings.Contains(last, `"kind":"_truncated"`) || !strings.Contains(last, "size cap reached") {
+		t.Fatalf("last line %q is not the truncation marker", last)
+	}
+	for _, line := range lines[:len(lines)-1] {
+		if strings.Contains(line, "_truncated") {
+			t.Fatalf("truncation marker appears mid-file: %q", line)
+		}
+	}
+	if got := bytes.Value(); got != int64(len(out)) {
+		t.Fatalf("ist_trace_bytes_total = %d, file has %d bytes", got, len(out))
+	}
+	// The stream stays quiet after the marker.
+	before := sb.Len()
+	j.Event(Event{Kind: KindQuestionAsked})
+	if sb.Len() != before {
+		t.Error("events were written after the truncation marker")
+	}
+}
+
+func TestJSONLUnlimitedNeverTruncates(t *testing.T) {
+	var sb strings.Builder
+	j := NewJSONL(&sb, clock.NewFake(time.Unix(1_700_000_000, 0)))
+	for i := 0; i < 500; i++ {
+		j.Event(Event{Kind: KindHalfspaceCut, Before: i, After: i + 1})
+	}
+	if j.Truncated() {
+		t.Fatal("unlimited stream reported truncation")
+	}
+	if strings.Contains(sb.String(), "_truncated") {
+		t.Fatal("unlimited stream wrote a truncation marker")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -84,7 +85,21 @@ type Options struct {
 	// AdmissionTimeout is how long an over-limit create/answer request may
 	// wait for an admission slot before being shed (0 = shed immediately).
 	AdmissionTimeout time.Duration
+	// Tracing enables the span layer (DESIGN.md §13): a session-root →
+	// question → phase span tree per session, W3C traceparent continuation
+	// from clients, /debug/ist/traces, and per-session flight recorders.
+	// Off, the tracer is nil end to end and every run is bit-identical to a
+	// pre-span server (proven by TestNilTracerTranscriptIdentical).
+	Tracing bool
+	// TraceMaxBytes caps each session's JSONL trace file; past it a single
+	// "_truncated" marker is written and the rest of the stream is dropped
+	// (0 = the 4 MiB default, negative = unlimited).
+	TraceMaxBytes int64
 }
+
+// DefaultTraceMaxBytes is the per-session trace-file cap applied when
+// Options.TraceMaxBytes is zero.
+const DefaultTraceMaxBytes = 4 << 20
 
 // Server is the http.Handler managing interactive sessions.
 type Server struct {
@@ -108,6 +123,14 @@ type Server struct {
 	answerReplays      *obs.Counter
 	seqConflicts       *obs.Counter
 	shed               *obs.CounterVec
+	traceBytes         *obs.Counter
+	flightDumps        *obs.Counter
+	vsLower            *obs.GaugeVec
+	vsUpper            *obs.GaugeVec
+
+	// spans is the bounded in-memory span repository behind
+	// /debug/ist/traces (nil when Options.Tracing is off).
+	spans *obs.SpanStore
 
 	// gate bounds concurrent admission to the state-changing handlers
 	// (nil = unbounded); draining flips /readyz to 503 and refuses new
@@ -151,6 +174,38 @@ type sessionState struct {
 	questionAt time.Time
 	// trace is the session's JSONL trace stream (nil without TraceDir).
 	trace *obs.JSONL
+	// algName is the API name the session was created with ("rh", "2dpi",
+	// ...), labeling the questions-vs-bound gauges.
+	algName string
+	// Span plumbing (all nil when Options.Tracing is off): the session's
+	// tracer, its flight-recorder ring, the session-root span, and the
+	// Observer bridging algorithm events into question/phase spans.
+	tracer  *obs.Tracer
+	flight  *obs.FlightRecorder
+	root    *obs.Span
+	spanObs *obs.SpanObserver
+}
+
+// startSpan opens a server span for this session: continuing remote (the
+// client's traceparent) when valid, else nesting under the open question
+// span, else under the session root. Nil when tracing is off — every use is
+// nil-safe.
+func (st *sessionState) startSpan(name string, remote obs.SpanContext, attrs ...obs.Attr) *obs.Span {
+	if st.tracer == nil {
+		return nil
+	}
+	opts := []obs.SpanOption{obs.WithAttrs(attrs...)}
+	switch {
+	case remote.Valid():
+		opts = append(opts, obs.Remote(remote))
+	default:
+		parent := st.spanObs.QuestionSpan()
+		if parent == nil {
+			parent = st.root
+		}
+		opts = append(opts, obs.ChildOf(parent))
+	}
+	return st.tracer.Start(name, opts...)
 }
 
 // New builds a server over a preprocessed point set. If opt.Store is set,
@@ -194,6 +249,17 @@ func New(points []ist.Point, k int, opt Options) (*Server, error) {
 		"Answer POSTs rejected with 409 for quoting a stale or future seq.")
 	srv.shed = srv.reg.CounterVec(obs.MetricShed,
 		"Requests shed by the admission gate, by path.", "path")
+	srv.traceBytes = srv.reg.Counter(obs.MetricTraceBytes,
+		"Bytes written to per-session JSONL trace files.")
+	srv.flightDumps = srv.reg.Counter(obs.MetricFlightDumps,
+		"Flight-recorder dumps written to the trace dir (conflicts, sheds, failures, exhausted budgets).")
+	srv.vsLower = srv.reg.GaugeVec(obs.MetricQuestionsVsLower,
+		"Last certified session's questions divided by the theoretical lower bound log2(n/k).", "algorithm")
+	srv.vsUpper = srv.reg.GaugeVec(obs.MetricQuestionsVsUpper,
+		"Last certified session's questions divided by the 2D-PI upper bound log2(ceil(2n/(k+1))); <=1.0 keeps the Thm 4.5 guarantee.", "algorithm")
+	if opt.Tracing {
+		srv.spans = obs.NewSpanStore(0, 0)
+	}
 	srv.gate = newGate(opt.MaxInflight, opt.AdmissionTimeout)
 	if opt.Store != nil {
 		if err := srv.rehydrate(); err != nil {
@@ -229,12 +295,42 @@ func (srv *Server) sessionOptions(id string, st *sessionState) []ist.SessionOpti
 		if err != nil {
 			log.Printf("server: trace file for %s: %v", id, err)
 		} else {
-			st.trace = obs.NewJSONL(f, srv.clk)
+			maxBytes := srv.opt.TraceMaxBytes
+			if maxBytes == 0 {
+				maxBytes = DefaultTraceMaxBytes
+			} else if maxBytes < 0 {
+				maxBytes = 0 // negative = explicitly unlimited
+			}
+			st.trace = obs.NewJSONLLimited(f, srv.clk, maxBytes, srv.traceBytes)
 			observers = append(observers, st.trace)
 		}
 	}
+	if st.spanObs != nil {
+		observers = append(observers, st.spanObs)
+	}
 	opts = append(opts, ist.WithObserver(obs.Combine(observers...)))
 	return opts
+}
+
+// setupTracing builds a session's span plumbing: a tracer whose ids derive
+// deterministically from the session seed, sinking into the shared span
+// store plus the session's own flight recorder, a session-root span that
+// joins the client's propagated trace when one arrived, and the observer
+// bridging algorithm events into question/phase spans. A no-op (leaving
+// every field nil) when Options.Tracing is off — the nil path consumes no
+// randomness and must stay bit-identical to an untraced server.
+func (srv *Server) setupTracing(id string, st *sessionState, seed int64, remote obs.SpanContext) {
+	if !srv.opt.Tracing {
+		return
+	}
+	st.flight = obs.NewFlightRecorder(0)
+	rng := rand.New(rand.NewSource(seed ^ 0x7370616e)) // "span": ids are private to the tracer
+	st.tracer = obs.NewTracer(srv.clk, obs.MultiSink(srv.spans, st.flight), rng)
+	st.root = st.tracer.Start("session", obs.Remote(remote), obs.WithAttrs(
+		obs.Attr{Key: "session", Value: id},
+		obs.Attr{Key: "algorithm", Value: st.algName},
+	))
+	st.spanObs = obs.NewSpanObserver(st.tracer, st.root)
 }
 
 // algorithmByName maps the API's algorithm names to seeded constructors.
@@ -248,6 +344,11 @@ func algorithmByName(name string, seed int64) (ist.Algorithm, error) {
 		return ist.NewHDPIAccurate(seed), nil
 	case "robust":
 		return ist.NewRobustHDPI(seed), nil
+	case "2dpi":
+		// Deterministic (no rng) and bounded by Thm 4.5; only valid on
+		// 2-dimensional datasets — elsewhere the session fails at creation
+		// with the algorithm's own dimensionality panic isolated to it.
+		return ist.NewTwoDPI(), nil
 	}
 	return nil, fmt.Errorf("unknown algorithm %q", name)
 }
@@ -277,7 +378,11 @@ func (srv *Server) rehydrate() error {
 		if srv.opt.WrapAlgorithm != nil {
 			alg = srv.opt.WrapAlgorithm(rec.ID, alg)
 		}
-		st := &sessionState{lastUsed: srv.now(), seq: len(rec.Answers)}
+		st := &sessionState{lastUsed: srv.now(), seq: len(rec.Answers), algName: rec.Algorithm}
+		// A rehydrated session roots a fresh trace: the client's original
+		// trace id died with the previous process, and replay spans would
+		// only pollute it anyway.
+		srv.setupTracing(rec.ID, st, rec.Seed, obs.SpanContext{})
 		s, err := ist.ResumeSessionContext(context.Background(), alg, srv.points, srv.k, rec.Answers, srv.sessionOptions(rec.ID, st)...)
 		if err != nil {
 			log.Printf("server: session %s failed to replay: %v; dropping", rec.ID, err)
@@ -299,9 +404,12 @@ func (srv *Server) rehydrate() error {
 	return nil
 }
 
-// closeTrace closes a session's JSONL trace stream, if any. Callers may hold
-// st.mu or not — JSONL has its own lock and Close is idempotent.
+// closeTrace closes a session's JSONL trace stream and ends its span tree
+// (open question span first, then the root). Callers may hold st.mu or not
+// — JSONL has its own lock, Close is idempotent, and End is idempotent too.
 func (srv *Server) closeTrace(st *sessionState) {
+	st.spanObs.Finish()
+	st.root.End()
 	if st.trace != nil {
 		if err := st.trace.Close(); err != nil {
 			log.Printf("server: close trace: %v", err)
@@ -394,6 +502,19 @@ type HealthResponse struct {
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 	GoVersion     string  `json:"goVersion"`
 	Version       string  `json:"version"`
+	// Draining reports drain mode. Liveness stays "ok" while draining — a
+	// draining process must not be killed — but operators reading /healthz
+	// deserve to see the drain instead of inferring it from /readyz.
+	Draining bool `json:"draining"`
+	// WALSeq is the sequence number of the WAL segment currently being
+	// appended to, present when the session store exposes one.
+	WALSeq *uint64 `json:"walSeq,omitempty"`
+}
+
+// walSeqStore is the optional capability a SessionStore implements to
+// surface its write-ahead-log position on /healthz.
+type walSeqStore interface {
+	WALSeq() uint64
 }
 
 type createRequest struct {
@@ -419,7 +540,9 @@ func (srv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case r.Method == http.MethodGet && path == "readyz":
 		srv.handleReadyz(w)
 	case r.Method == http.MethodGet && path == "metrics":
-		srv.handleMetrics(w)
+		srv.handleMetrics(w, r)
+	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/debug/ist/traces"):
+		srv.handleTraces(w, r)
 	case strings.HasPrefix(r.URL.Path, "/debug/pprof"):
 		srv.handlePprof(w, r)
 	case r.Method == http.MethodPost && path == "sessions":
@@ -464,6 +587,11 @@ func (srv *Server) handleHealthz(w http.ResponseWriter) {
 		UptimeSeconds: srv.now().Sub(srv.start).Seconds(),
 		GoVersion:     runtime.Version(),
 		Version:       BuildVersion(),
+		Draining:      srv.draining.Load(),
+	}
+	if ws, ok := srv.opt.Store.(walSeqStore); ok {
+		seq := ws.WALSeq()
+		resp.WALSeq = &seq
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
@@ -502,10 +630,17 @@ func (srv *Server) BeginDrain() bool {
 }
 
 // handleMetrics renders the registry in the Prometheus text exposition
-// format. The live-session gauge is refreshed lazily at scrape time — it is
+// format — or, when the scraper negotiates application/openmetrics-text,
+// the exemplar-extended OpenMetrics shape linking latency buckets to span
+// ids. The live-session gauge is refreshed lazily at scrape time — it is
 // derived state, not an event counter.
-func (srv *Server) handleMetrics(w http.ResponseWriter) {
+func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	srv.sessionsLive.Set(float64(srv.Sessions()))
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		srv.reg.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	srv.reg.WritePrometheus(w)
 }
@@ -573,13 +708,23 @@ func (srv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	srv.nextID++
 	id := fmt.Sprintf("s%d", srv.nextID)
 	seed := srv.opt.Seed + srv.nextID
-	st := &sessionState{lastUsed: srv.now()}
+	st := &sessionState{lastUsed: srv.now(), algName: name}
 	// Reserve the slot (and the id) under st.mu before the algorithm's
 	// setup runs: concurrent requests for this id block until it is ready,
 	// and concurrent creates see the capacity they are competing for.
 	st.mu.Lock()
 	srv.sessions[id] = st
 	srv.mu.Unlock()
+
+	// The client owns the trace: a valid traceparent makes its trace id the
+	// session's trace id, so every span this session ever emits — on either
+	// side of the wire — shares it.
+	remote, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+	srv.setupTracing(id, st, seed, remote)
+	// The create span brackets the server-side request work; the algorithm
+	// events it triggers assemble under the first "question" span, which the
+	// SpanObserver opens at the first LP solve (see internal/obs/spanobs.go).
+	createSp := st.root.StartChild("create")
 
 	alg, _ := algorithmByName(name, seed)
 	if srv.opt.WrapAlgorithm != nil {
@@ -593,6 +738,8 @@ func (srv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	srv.advance(id, st)
+	createSp.SetStatus(st.failed)
+	createSp.End()
 	failed := st.failed
 	st.mu.Unlock()
 	if failed != nil {
@@ -655,6 +802,7 @@ func (srv *Server) handleDelete(w http.ResponseWriter, id string) {
 func (srv *Server) handleAnswer(w http.ResponseWriter, r *http.Request, id string) {
 	if !srv.gate.acquire(r.Context()) {
 		srv.shed.With("answer").Inc()
+		srv.dumpFlight(id, srv.peek(id), "shed")
 		w.Header().Set("Retry-After", srv.retryAfter())
 		http.Error(w, "server overloaded", http.StatusServiceUnavailable)
 		return
@@ -678,6 +826,11 @@ func (srv *Server) handleAnswer(w http.ResponseWriter, r *http.Request, id strin
 		http.Error(w, "missing seq: quote the \"seq\" of the question being answered", http.StatusBadRequest)
 		return
 	}
+	// Each retry of one logical answer carries a fresh client attempt span
+	// in its traceparent, so a duplicated POST shows up as two sibling
+	// server spans — the applied original and the absorbed replay — under
+	// the same question in the same trace.
+	remote, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
 	st.mu.Lock()
 	if st.failed != nil {
 		failed := st.failed
@@ -693,6 +846,8 @@ func (srv *Server) handleAnswer(w http.ResponseWriter, r *http.Request, id strin
 		// advance it but the next seq), so the current state is bit-for-bit
 		// the response the original request would have carried.
 		srv.answerReplays.Inc()
+		sp := st.startSpan("idempotent-replay", remote, obs.Attr{Key: "seq", Value: strconv.Itoa(seq)})
+		sp.End()
 		st.mu.Unlock()
 		srv.writeState(w, id, st, http.StatusOK)
 		return
@@ -700,13 +855,33 @@ func (srv *Server) handleAnswer(w http.ResponseWriter, r *http.Request, id strin
 		// Stale or future seq (or an answer to a finished session): refuse,
 		// but hand back the authoritative state so the client can resync.
 		srv.seqConflicts.Inc()
+		sp := st.startSpan("conflict", remote,
+			obs.Attr{Key: "quoted", Value: strconv.Itoa(seq)},
+			obs.Attr{Key: "expected", Value: strconv.Itoa(st.seq)})
+		sp.SetStatus(errSeqConflict)
+		sp.End()
 		st.mu.Unlock()
+		srv.dumpFlight(id, st, "seq-conflict")
 		srv.writeState(w, id, st, http.StatusConflict)
 		return
 	}
+	ansSp := st.startSpan("answer", remote,
+		obs.Attr{Key: "seq", Value: strconv.Itoa(*req.Seq)},
+		obs.Attr{Key: "prefer", Value: strconv.Itoa(req.Prefer)})
+	defer ansSp.End()
 	if srv.opt.Store != nil {
-		if err := srv.opt.Store.Answer(id, req.Prefer == 1); err != nil {
+		persistSp := ansSp.StartChild("store-persist")
+		var err error
+		if ss, ok := srv.opt.Store.(SpanSessionStore); ok {
+			err = ss.AnswerSpan(id, req.Prefer == 1, persistSp)
+		} else {
+			err = srv.opt.Store.Answer(id, req.Prefer == 1)
+		}
+		persistSp.SetStatus(err)
+		persistSp.End()
+		if err != nil {
 			srv.storeErrors.Inc()
+			ansSp.SetStatus(err)
 			st.mu.Unlock()
 			log.Printf("server: persist answer %s: %v (refusing request)", id, err)
 			w.Header().Set("Retry-After", srv.retryAfter())
@@ -714,7 +889,10 @@ func (srv *Server) handleAnswer(w http.ResponseWriter, r *http.Request, id strin
 			return
 		}
 	}
+	applySp := ansSp.StartChild("apply")
 	if err := st.s.Answer(req.Prefer == 1); err != nil {
+		applySp.SetStatus(err)
+		applySp.End()
 		if algErr := st.s.Err(); algErr != nil {
 			st.failed = algErr
 			st.mu.Unlock()
@@ -728,17 +906,40 @@ func (srv *Server) handleAnswer(w http.ResponseWriter, r *http.Request, id strin
 	}
 	st.seq++
 	if !st.questionAt.IsZero() {
-		srv.questionLatency.Observe(srv.now().Sub(st.questionAt).Seconds())
+		secs := srv.now().Sub(st.questionAt).Seconds()
+		if ctx := ansSp.Context(); ctx.Valid() {
+			// Exemplar: the latency bucket points back at this answer span.
+			srv.questionLatency.ObserveExemplar(secs, ctx.Trace.String(), ctx.Span.String())
+		} else {
+			srv.questionLatency.Observe(secs)
+		}
 	}
 	srv.advance(id, st)
+	applySp.SetStatus(st.failed)
+	applySp.End()
 	failed := st.failed
+	exhausted := st.done && st.cert != nil && !st.cert.Certified
 	st.mu.Unlock()
 	if failed != nil {
 		srv.teardown(id, st)
 		http.Error(w, "session failed: "+failed.Error(), http.StatusInternalServerError)
 		return
 	}
+	if exhausted {
+		srv.dumpFlight(id, st, "budget-exhausted")
+	}
 	srv.writeState(w, id, st, http.StatusOK)
+}
+
+// errSeqConflict labels conflict spans; the detailed seqs ride as attrs.
+var errSeqConflict = errors.New("stale or future seq")
+
+// peek returns a session without stamping lastUsed — for observability
+// paths (flight dumps on shed) that must not keep an idle session alive.
+func (srv *Server) peek(id string) *sessionState {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return srv.sessions[id]
 }
 
 // advance pulls the next question (or the result) into the state, detecting
@@ -759,6 +960,21 @@ func (srv *Server) advance(id string, st *sessionState) {
 			st.cert = &cert
 		}
 		srv.questionsToCertify.Observe(float64(st.s.Questions()))
+		// Distance to theory (DESIGN.md §13): this session's question count
+		// against the paper's 2-d bounds for the instance it ran on.
+		// vs_upper <= 1.0 is a guarantee for 2D-PI (Thm 4.5); for the other
+		// algorithms the labeled gauge is a comparative benchmark.
+		if lower, upper := ist.TheoryBounds(len(srv.points), srv.k); upper > 0 {
+			qs := float64(st.s.Questions())
+			alg := st.algName
+			if alg == "" {
+				alg = "rh"
+			}
+			srv.vsUpper.With(alg).Set(qs / upper)
+			if lower > 0 {
+				srv.vsLower.With(alg).Set(qs / lower)
+			}
+		}
 		srv.closeTrace(st)
 		// Completed sessions need no replay on restart; drop the record.
 		if srv.opt.Store != nil {
@@ -780,7 +996,13 @@ func (srv *Server) teardown(id string, st *sessionState) {
 	if st.s != nil {
 		st.s.Close()
 	}
+	failed := st.failed
 	st.mu.Unlock()
+	if failed != nil {
+		// A torn-down failed session is almost always a rescued panic: dump
+		// the flight recorder so the last spans before death are on disk.
+		srv.dumpFlight(id, st, "session-failure")
+	}
 	srv.closeTrace(st)
 	if srv.opt.Store != nil {
 		_ = srv.opt.Store.Finish(id)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ist/internal/clock"
+	"ist/internal/obs"
 	"ist/internal/wal"
 )
 
@@ -45,6 +46,16 @@ type SessionStore interface {
 	// Close releases any backing resources. Close does NOT finish live
 	// sessions: a graceful shutdown keeps them replayable.
 	Close() error
+}
+
+// SpanSessionStore is the optional tracing capability of a SessionStore:
+// AnswerSpan behaves exactly like Answer but records the persistence (and
+// any fsync it triggers) as children of parent. The server type-asserts for
+// it; stores without it are simply persisted untraced. WALStore implements
+// it.
+type SpanSessionStore interface {
+	SessionStore
+	AnswerSpan(id string, preferFirst bool, parent *obs.Span) error
 }
 
 // sessionIDNum extracts the numeric part of an "s<n>" session id (0 if the

@@ -1,0 +1,373 @@
+package server
+
+// Tests for the span layer's server half (DESIGN.md §13): the
+// /debug/ist/traces endpoint, traceparent propagation, the flight-recorder
+// dump path, the healthz drain/WAL fields, the theory-bound gauges, and —
+// most importantly — the contract that tracing never perturbs the dialogue:
+// a traced server and an untraced one walk bit-identical transcripts.
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ist"
+	"ist/internal/obs"
+)
+
+// doTraced is do() plus a traceparent header, for tests standing in for a
+// tracing client.
+func doTraced(t *testing.T, srv *Server, method, path string, body interface{}, traceparent string) (*httptest.ResponseRecorder, StateResponse) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	if traceparent != "" {
+		req.Header.Set(obs.TraceparentHeader, traceparent)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	var st StateResponse
+	if rec.Body.Len() > 0 {
+		_ = json.Unmarshal(rec.Body.Bytes(), &st)
+	}
+	return rec, st
+}
+
+// transcript drives a session to completion, collecting every state the
+// server hands back (the create response included).
+func transcript(t *testing.T, srv *Server, algorithm string, hidden ist.Point) []StateResponse {
+	t.Helper()
+	rec, st := do(t, srv, http.MethodPost, "/sessions", map[string]string{"algorithm": algorithm})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body.String())
+	}
+	states := []StateResponse{st}
+	for steps := 0; !st.Done; steps++ {
+		if steps > 5000 || st.Question == nil {
+			t.Fatalf("session stuck after %d steps", steps)
+		}
+		p := ist.Point(st.Question.Option1)
+		q := ist.Point(st.Question.Option2)
+		prefer := 2
+		if hidden.Dot(p) >= hidden.Dot(q) {
+			prefer = 1
+		}
+		rec, st = do(t, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": prefer, "seq": st.Seq})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("answer: %d %s", rec.Code, rec.Body.String())
+		}
+		states = append(states, st)
+	}
+	return states
+}
+
+// TestNilTracerTranscriptsDeepEqual is the acceptance bar for the nil-tracer
+// path: with identical seeds, a Tracing server and an untraced one must
+// produce byte-for-byte the same question sequence, results and
+// certificates. Tracing may observe the dialogue; it must never steer it.
+func TestNilTracerTranscriptsDeepEqual(t *testing.T) {
+	band, k, hidden := testBand(t)
+	for _, alg := range []string{"rh", "hdpi"} {
+		plain, err := New(band, k, Options{Seed: 7, TTL: time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(plain.Close)
+		traced, err := New(band, k, Options{Seed: 7, TTL: time.Minute, Tracing: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(traced.Close)
+
+		want := transcript(t, plain, alg, hidden)
+		got := transcript(t, traced, alg, hidden)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: traced transcript diverged from untraced (%d vs %d states)", alg, len(got), len(want))
+		}
+	}
+}
+
+func TestDebugTracesDisabled(t *testing.T) {
+	srv, _, _ := newTestServer(t) // Tracing off by default
+	rec := doRaw(t, srv, http.MethodGet, "/debug/ist/traces", "")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("traces endpoint without tracing: %d, want 404", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "tracing disabled") {
+		t.Errorf("404 body %q does not explain tracing is off", rec.Body.String())
+	}
+}
+
+func TestDebugTracesEndpointAndPropagation(t *testing.T) {
+	band, k, hidden := testBand(t)
+	srv, err := New(band, k, Options{Seed: 1, TTL: time.Minute, Tracing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	// Stand in for a tracing client: mint a trace id and send it on create
+	// and on every answer, as client.Session does.
+	const clientTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	traceparent := "00-" + clientTrace + "-00f067aa0ba902b7-01"
+	// hdpi-accurate goes through the exact convex-hull path, so the trace
+	// carries lp-solve phase spans (rh would only show halfspace cuts).
+	rec, st := doTraced(t, srv, http.MethodPost, "/sessions", map[string]string{"algorithm": "hdpi-accurate"}, traceparent)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body.String())
+	}
+	for steps := 0; !st.Done; steps++ {
+		if steps > 5000 || st.Question == nil {
+			t.Fatalf("session stuck after %d steps", steps)
+		}
+		prefer := 2
+		if hidden.Dot(ist.Point(st.Question.Option1)) >= hidden.Dot(ist.Point(st.Question.Option2)) {
+			prefer = 1
+		}
+		rec, st = doTraced(t, srv, http.MethodPost, "/sessions/"+st.ID+"/answer",
+			map[string]int{"prefer": prefer, "seq": st.Seq}, traceparent)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("answer: %d %s", rec.Code, rec.Body.String())
+		}
+	}
+
+	// The listing must show exactly the client's trace id: the server
+	// continued the propagated trace instead of minting its own.
+	rec = doRaw(t, srv, http.MethodGet, "/debug/ist/traces", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("trace listing: %d %s", rec.Code, rec.Body.String())
+	}
+	var list TraceListResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if !list.Tracing || len(list.Traces) != 1 {
+		t.Fatalf("listing = tracing:%v traces:%d, want tracing:true traces:1", list.Tracing, len(list.Traces))
+	}
+	if got := list.Traces[0].Trace.String(); got != clientTrace {
+		t.Fatalf("server trace id %s, want the client's %s", got, clientTrace)
+	}
+
+	// The span tree must nest lp-solve under a question span.
+	rec = doRaw(t, srv, http.MethodGet, "/debug/ist/traces?trace="+clientTrace, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("trace tree: %d %s", rec.Code, rec.Body.String())
+	}
+	var tr TraceResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Trace != clientTrace || tr.Spans == 0 {
+		t.Fatalf("tree trace=%s spans=%d", tr.Trace, tr.Spans)
+	}
+	var sawQuestionWithSolve, sawAnswer bool
+	var walk func(ns []*obs.SpanNode)
+	walk = func(ns []*obs.SpanNode) {
+		for _, n := range ns {
+			if n.Name == "question" {
+				for _, c := range n.Children {
+					if c.Name == "lp-solve" {
+						sawQuestionWithSolve = true
+					}
+				}
+			}
+			if n.Name == "answer" {
+				sawAnswer = true
+			}
+			walk(n.Children)
+		}
+	}
+	walk(tr.Tree)
+	if !sawQuestionWithSolve {
+		t.Error("no question span with an lp-solve child in the trace tree")
+	}
+	if !sawAnswer {
+		t.Error("no server answer span in the trace tree")
+	}
+
+	// The same trace renders as a self-contained waterfall.
+	rec = doRaw(t, srv, http.MethodGet, "/debug/ist/traces?trace="+clientTrace+"&format=html", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("waterfall: %d", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "<!DOCTYPE html>") || !strings.Contains(body, clientTrace) {
+		t.Error("waterfall HTML is missing the doctype or the trace id")
+	}
+
+	// Malformed and unknown ids fail loudly.
+	if rec := doRaw(t, srv, http.MethodGet, "/debug/ist/traces?trace=zzz", ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad trace id: %d, want 400", rec.Code)
+	}
+	if rec := doRaw(t, srv, http.MethodGet, "/debug/ist/traces?trace="+strings.Repeat("ab", 16), ""); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown trace id: %d, want 404", rec.Code)
+	}
+}
+
+func TestHealthzDrainingAndWALSeq(t *testing.T) {
+	band, k, _ := testBand(t)
+	store, err := OpenWALStore(t.TempDir(), WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = store.Close() })
+	srv, err := New(band, k, Options{Seed: 1, TTL: time.Minute, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	health := func() HealthResponse {
+		t.Helper()
+		rec := doRaw(t, srv, http.MethodGet, "/healthz", "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("healthz: %d", rec.Code)
+		}
+		var h HealthResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	h := health()
+	if h.Draining {
+		t.Error("fresh server reports draining")
+	}
+	if h.WALSeq == nil {
+		t.Fatal("WAL-backed server omits walSeq from /healthz")
+	}
+	if *h.WALSeq != store.WALSeq() {
+		t.Errorf("healthz walSeq %d, store reports %d", *h.WALSeq, store.WALSeq())
+	}
+
+	if !srv.BeginDrain() {
+		t.Fatal("BeginDrain returned false on first call")
+	}
+	if h = health(); !h.Draining {
+		t.Error("healthz does not report drain mode after BeginDrain")
+	}
+	if h.Status != "ok" {
+		t.Errorf("draining flipped liveness to %q; a draining process must stay alive", h.Status)
+	}
+}
+
+func TestHealthzNoWALSeqWithoutStore(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	rec := doRaw(t, srv, http.MethodGet, "/healthz", "")
+	if strings.Contains(rec.Body.String(), "walSeq") {
+		t.Errorf("store-less healthz leaks a walSeq field: %s", rec.Body.String())
+	}
+}
+
+// TestFlightDumpOnConflict checks the black-box path: a seq conflict must
+// leave <TraceDir>/<id>.flight.json behind with the spans that preceded it.
+func TestFlightDumpOnConflict(t *testing.T) {
+	band, k, _ := testBand(t)
+	dir := t.TempDir()
+	srv, err := New(band, k, Options{Seed: 1, TTL: time.Minute, Tracing: true, TraceDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	rec, st := do(t, srv, http.MethodPost, "/sessions", map[string]string{"algorithm": "rh"})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body.String())
+	}
+	rec, _ = do(t, srv, http.MethodPost, "/sessions/"+st.ID+"/answer", map[string]int{"prefer": 1, "seq": st.Seq + 7})
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("future seq: %d, want 409", rec.Code)
+	}
+
+	payload, err := os.ReadFile(filepath.Join(dir, st.ID+".flight.json"))
+	if err != nil {
+		t.Fatalf("flight dump not written: %v", err)
+	}
+	var dump flightDump
+	if err := json.Unmarshal(payload, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Session != st.ID || dump.Reason != "seq-conflict" {
+		t.Errorf("dump = session:%s reason:%s, want %s / seq-conflict", dump.Session, dump.Reason, st.ID)
+	}
+	if len(dump.Spans) == 0 {
+		t.Error("flight dump carries no spans")
+	}
+	var sawConflict bool
+	for _, sp := range dump.Spans {
+		if sp.Name == "conflict" && sp.Status == "error" {
+			sawConflict = true
+		}
+	}
+	if !sawConflict {
+		t.Error("flight dump is missing the errored conflict span")
+	}
+	if v := srv.reg.Counter(obs.MetricFlightDumps, "").Value(); v != 1 {
+		t.Errorf("ist_flight_dumps_total = %v, want 1", v)
+	}
+}
+
+// TestVsUpperGaugeTwoDPI pins the Thm 4.5 guarantee end to end: a 2D-PI
+// session over a 2-d skyband must certify within the paper's upper bound,
+// so the exported ratio gauge never exceeds 1.0.
+func TestVsUpperGaugeTwoDPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := ist.IslandLike(rng, 400)
+	k := 10
+	band := ist.Preprocess(ds.Points, k)
+	hidden := ist.RandomUtility(rng, 2)
+	// MaxQuestions makes the session budgeted, so it carries an anytime
+	// certificate; 2D-PI must certify well inside the Thm 4.5 bound.
+	srv, err := New(band, k, Options{Seed: 5, TTL: time.Minute, MaxQuestions: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	states := transcript(t, srv, "2dpi", hidden)
+	final := states[len(states)-1]
+	if final.Certificate == nil || !final.Certificate.Certified {
+		t.Fatal("2dpi session did not certify")
+	}
+
+	_, upper := ist.TheoryBounds(len(band), k)
+	if upper <= 0 {
+		t.Fatalf("degenerate upper bound %v for n=%d k=%d", upper, len(band), k)
+	}
+	rec := doRaw(t, srv, http.MethodGet, "/metrics", "")
+	var ratio float64
+	var found bool
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if strings.HasPrefix(line, `ist_questions_vs_upper_bound{algorithm="2dpi"}`) {
+			v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+			if err != nil {
+				t.Fatalf("unparsable gauge line %q: %v", line, err)
+			}
+			ratio, found = v, true
+		}
+	}
+	if !found {
+		t.Fatalf("ist_questions_vs_upper_bound{algorithm=%q} missing from /metrics:\n%s", "2dpi", rec.Body.String())
+	}
+	if ratio <= 0 || ratio > 1.0 {
+		t.Errorf("vs_upper ratio %v violates the Thm 4.5 guarantee (questions=%d, upper=%v)",
+			ratio, final.Questions, upper)
+	}
+	if want := float64(final.Questions) / upper; ratio != want {
+		t.Errorf("gauge %v != questions/upper = %v", ratio, want)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ist/internal/clock"
+	"ist/internal/obs"
 	"ist/internal/wal"
 )
 
@@ -168,13 +169,19 @@ func (s *WALStore) migrate(path string) error {
 // memory is updated only after the log acknowledges, so a snapshot can
 // never get ahead of the committed event sequence.
 func (s *WALStore) append(ev storeEvent) error {
+	return s.appendSpan(ev, nil)
+}
+
+// appendSpan is append under an optional parent span: the log write (and
+// any fsync it causes) shows up as wal-append/wal-fsync children.
+func (s *WALStore) appendSpan(ev storeEvent, parent *obs.Span) error {
 	payload, err := json.Marshal(ev)
 	if err != nil {
 		return fmt.Errorf("server: walstore: %w", err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.log.Append(payload); err != nil {
+	if err := s.log.AppendSpan(payload, parent); err != nil {
 		return fmt.Errorf("server: walstore: %w", err)
 	}
 	s.fold.apply(ev)
@@ -226,13 +233,25 @@ func (s *WALStore) Create(rec SessionRecord) error {
 
 // Answer implements SessionStore.
 func (s *WALStore) Answer(id string, preferFirst bool) error {
+	return s.AnswerSpan(id, preferFirst, nil)
+}
+
+// AnswerSpan implements SpanStore: Answer with the persistence traced
+// under parent.
+func (s *WALStore) AnswerSpan(id string, preferFirst bool, parent *obs.Span) error {
 	s.mu.Lock()
 	_, ok := s.fold.recs[id]
 	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("server: walstore: answer for unknown session %q", id)
 	}
-	return s.append(storeEvent{Op: "answer", ID: id, Answer: &preferFirst})
+	return s.appendSpan(storeEvent{Op: "answer", ID: id, Answer: &preferFirst}, parent)
+}
+
+// WALSeq reports the sequence number of the WAL segment currently being
+// appended to, for /healthz.
+func (s *WALStore) WALSeq() uint64 {
+	return s.log.SegmentSeq()
 }
 
 // Finish implements SessionStore.

@@ -31,10 +31,12 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
 	"ist/internal/clock"
+	"ist/internal/obs"
 )
 
 // SyncPolicy says when appends reach the platter.
@@ -137,6 +139,13 @@ type Log struct {
 	lastSync time.Time
 	dirty    bool
 	closed   bool
+
+	// fsync accounting for AppendSpan: how many real fsyncs have completed
+	// and how long the latest one took, so a traced append can reconstruct
+	// the "wal-fsync" child span it caused without threading a span down
+	// into syncLocked.
+	syncCount   uint64
+	lastSyncDur time.Duration
 }
 
 // Open opens (creating if needed) the log in dir, runs recovery, and
@@ -270,10 +279,52 @@ func (l *Log) syncLocked() error {
 	if err := l.seg.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
-	l.opt.Metrics.observeFsync(clock.Since(l.opt.Clock, start).Seconds())
+	dur := clock.Since(l.opt.Clock, start)
+	l.opt.Metrics.observeFsync(dur.Seconds())
 	l.lastSync = l.opt.Clock.Now()
 	l.dirty = false
+	l.syncCount++
+	l.lastSyncDur = dur
 	return nil
+}
+
+// AppendSpan is Append wrapped in tracing (DESIGN.md §13): the write is
+// recorded as a "wal-append" child of parent, and if the append triggered a
+// real fsync (policy-dependent) that fsync appears as a backdated
+// "wal-fsync" child covering its measured duration. A nil parent is the
+// plain Append fast path — no span is created and no clock is read beyond
+// what Append itself does.
+func (l *Log) AppendSpan(payload []byte, parent *obs.Span) error {
+	if parent == nil {
+		return l.Append(payload)
+	}
+	sp := parent.StartChild("wal-append")
+	sp.SetAttr("bytes", strconv.Itoa(len(payload)))
+	before, _ := l.fsyncStats()
+	err := l.Append(payload)
+	if after, dur := l.fsyncStats(); after > before {
+		now := l.opt.Clock.Now()
+		fs := sp.StartChild("wal-fsync", obs.StartAt(now.Add(-dur)))
+		fs.EndAt(now)
+	}
+	sp.SetStatus(err)
+	sp.End()
+	return err
+}
+
+// fsyncStats snapshots the fsync counter and latest duration.
+func (l *Log) fsyncStats() (uint64, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncCount, l.lastSyncDur
+}
+
+// SegmentSeq reports the sequence number of the segment currently being
+// appended to — the "how far has the WAL advanced" figure /healthz exposes.
+func (l *Log) SegmentSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segSeq
 }
 
 // Sync forces pending appends to disk regardless of policy.

@@ -102,6 +102,12 @@ func Accuracy(points []Point, u Point, k int, p Point) float64 {
 	return oracle.Accuracy(points, u, k, p)
 }
 
+// TheoryBounds returns the paper's 2-d question-count bounds for an (n, k)
+// instance: the Ω(log₂(n/k)) lower bound of Theorem 3.2 and the
+// O(log₂⌈2n/(k+1)⌉) upper bound 2D-PI achieves (Theorem 4.5). The server
+// compares every certified session against them (DESIGN.md §13).
+func TheoryBounds(n, k int) (lower, upper float64) { return core.TheoryBounds(n, k) }
+
 // Budget bounds an interactive run: a maximum number of questions, a
 // deadline (checked against Clock, default the wall clock), and an optional
 // context whose cancellation stops the run. The zero Budget is inactive and
