@@ -76,6 +76,9 @@ func main() {
 		traceBytes  = flag.Int64("trace-max-bytes", server.DefaultTraceMaxBytes, "size cap per session JSONL trace file; past it the file ends with a _truncated marker (<0 = unlimited)")
 		maxInflight = flag.Int("max-inflight", 256, "maximum concurrent create/answer requests; excess requests queue up to -admission-timeout and are then shed with 503 (0 = unbounded)")
 		admTimeout  = flag.Duration("admission-timeout", 250*time.Millisecond, "how long an over-limit request may queue for admission before being shed")
+		par         = flag.Int("parallelism", 0, "preprocessing worker-pool degree per session; transcripts are bit-identical at any value (0 = GOMAXPROCS, 1 = serial)")
+		prepCache   = flag.Bool("preprocess-cache", true, "share one preprocessing cache (skyband, convex points, 2-d partitions) across all sessions")
+		prepBytes   = flag.Int64("preprocess-cache-max-bytes", 64<<20, "byte cap on memoized preprocessing values, evicted LRU (<=0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -92,7 +95,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "istserve:", err)
 		os.Exit(1)
 	}
-	band := ist.Preprocess(ds.Points, *k)
+	// The shared preprocessing cache spans sessions AND the boot-time skyband:
+	// PreprocessCached seeds it so the first session already finds the skyband
+	// entry warm.
+	var cache *ist.PreprocessCache
+	if *prepCache {
+		cache = ist.NewPreprocessCache(*prepBytes)
+	}
+	var band []ist.Point
+	if cache != nil {
+		band = ist.PreprocessCached(cache, ds.Points, *k)
+	} else {
+		band = ist.Preprocess(ds.Points, *k)
+	}
+	workers := *par
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
 	policy, err := wal.ParseSyncPolicy(*fsync)
 	if err != nil {
@@ -166,6 +185,8 @@ func main() {
 		Metrics:          reg,
 		MaxInflight:      *maxInflight,
 		AdmissionTimeout: *admTimeout,
+		Parallelism:      workers,
+		PrepCache:        cache,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "istserve:", err)
@@ -175,8 +196,12 @@ func main() {
 	handler.Store(&live)
 	log.Printf("istserve %s (%s): %s, %d tuples (%d in the %d-skyband), %d sessions rehydrated",
 		server.BuildVersion(), runtime.Version(), ds.Name, ds.Size(), len(band), *k, srv.Sessions())
-	log.Printf("istserve: ready on %s (health at /healthz, readiness at /readyz, metrics at /metrics, profiles at /debug/pprof/, max %d sessions, %d in-flight, ttl %s)",
-		*addr, *maxSessions, *maxInflight, *ttl)
+	cacheState := "off"
+	if cache != nil {
+		cacheState = fmt.Sprintf("%d entries warm", cache.Stats().Entries)
+	}
+	log.Printf("istserve: ready on %s (health at /healthz, readiness at /readyz, metrics at /metrics, profiles at /debug/pprof/, max %d sessions, %d in-flight, ttl %s, parallelism %d, preprocess cache %s)",
+		*addr, *maxSessions, *maxInflight, *ttl, workers, cacheState)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -8,7 +8,7 @@
 // reimplemented here on top of go/ast + go/types only, because the build
 // environment is fully offline and the module must stay stdlib-only.
 //
-// The seven analyzers and the invariant each one guards:
+// The expression-level analyzers and the invariant each one guards:
 //
 //   - floatcmp: float comparisons go through the shared geom tolerance
 //     helpers, never raw ==/!= (and never raw ordering of utility
@@ -34,6 +34,11 @@
 //     wrappers of internal/obs, never by calling Observer.Event directly —
 //     the observer is nil on the uninstrumented fast path (PR 4), and the
 //     wrappers are where the observation-is-passive guarantee lives.
+//   - detpar: function literals that run concurrently (go statements, the
+//     task closures of internal/parallel) never mutate captured state
+//     without synchronization — the index-ordered-slot idiom is the only
+//     bare way results may leave a worker, which is what keeps parallel
+//     transcripts bit-identical to serial ones (DESIGN.md §14).
 //
 // A diagnostic can be suppressed with a justifying directive on the same
 // line or the line immediately above:
@@ -109,7 +114,7 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 }
 
 // All returns the full istlint analyzer suite in reporting order: the
-// seven expression-level analyzers above, then the five flow-sensitive
+// eight expression-level analyzers above, then the five flow-sensitive
 // analyzers built on the CFG/dataflow layer (cfg.go, dataflow.go):
 //
 //   - locksafe: every Lock reaches an Unlock on all paths, no double
@@ -135,6 +140,7 @@ func All() []*Analyzer {
 		ErrDropAnalyzer,
 		WallClockAnalyzer,
 		ObsNilAnalyzer,
+		DetParAnalyzer,
 		LockSafeAnalyzer,
 		GoroLeakAnalyzer,
 		ErrFlowAnalyzer,

@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ist/internal/analysis"
+	"ist/internal/analysis/analysistest"
+)
+
+func TestDetPar(t *testing.T) {
+	analysistest.Run(t, analysis.DetParAnalyzer, "detpar")
+}
+
+// TestDetParSkipsMain asserts that package main (CLI binaries) is exempt.
+func TestDetParSkipsMain(t *testing.T) {
+	analysistest.Run(t, analysis.DetParAnalyzer, "detparmain")
+}

@@ -1,0 +1,116 @@
+// Package detpardata exercises the detpar analyzer.
+package detpardata
+
+import (
+	"sync"
+
+	"ist/internal/parallel"
+)
+
+func appendRace(items []int) []int {
+	var out []int
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out = append(out, 1) // want `append to captured out`
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func counterRace(n int) int {
+	total := 0
+	parallel.Do(4, n, func(i int) {
+		total += i // want `write to captured total`
+	})
+	return total
+}
+
+func mapRace(keys []string) map[string]int {
+	m := map[string]int{}
+	parallel.Do(2, len(keys), func(i int) {
+		m[keys[i]] = i // want `write to captured map m`
+	})
+	return m
+}
+
+type tally struct{ n int }
+
+func fieldRace(t *tally, n int) {
+	parallel.Do(4, n, func(i int) {
+		t.n++ // want `field write on captured t`
+	})
+}
+
+func orderedTaskRace(n int) int {
+	sum := 0
+	parallel.ForEachOrdered(4, n, func(i int) int {
+		sum += i // want `write to captured sum`
+		return i
+	}, func(i, r int) {})
+	return sum
+}
+
+func slots(n int) []int {
+	results := make([]int, n)
+	parallel.Do(4, n, func(i int) {
+		results[i] = i * i // index-ordered slot: allowed
+	})
+	return results
+}
+
+func orderedCommit(n int) []int {
+	var kept []int
+	parallel.ForEachOrdered(4, n, func(i int) int {
+		return i * 2
+	}, func(i, r int) {
+		kept = append(kept, r) // commit runs serialized on the caller: allowed
+	})
+	return kept
+}
+
+func guarded(n int) int {
+	var mu sync.Mutex
+	total := 0
+	parallel.Do(4, n, func(i int) {
+		mu.Lock()
+		total += i // held under mu: allowed (lock discipline is locksafe's job)
+		mu.Unlock()
+	})
+	return total
+}
+
+func locals(n int) []int {
+	results := make([]int, n)
+	parallel.Do(4, n, func(i int) {
+		acc := 0
+		for j := 0; j < i; j++ {
+			acc += j // local to the task: allowed
+		}
+		results[i] = acc
+	})
+	return results
+}
+
+func sends(n int) <-chan int {
+	ch := make(chan int, n)
+	go func() {
+		for i := 0; i < n; i++ {
+			ch <- i // channel sends synchronize: allowed
+		}
+		close(ch)
+	}()
+	return ch
+}
+
+func suppressed(n int) int {
+	done := 0
+	go func() {
+		//lint:ignore detpar progress hint only; a torn read is acceptable here
+		done = n
+	}()
+	return done
+}

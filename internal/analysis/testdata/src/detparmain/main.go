@@ -1,0 +1,19 @@
+// Package main asserts the detpar analyzer exempts CLI binaries: this racy
+// fan-in must produce no diagnostics.
+package main
+
+import "sync"
+
+func main() {
+	var total int
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total++ // main packages are exempt
+		}()
+	}
+	wg.Wait()
+	_ = total
+}

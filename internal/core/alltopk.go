@@ -7,6 +7,7 @@ import (
 	"ist/internal/obs"
 	"ist/internal/oracle"
 	"ist/internal/polytope"
+	"ist/internal/prep"
 )
 
 // This file implements the motivation-study variants of Section 6.5:
@@ -171,6 +172,14 @@ func (a *HDPIMulti) Name() string { return fmt.Sprintf("HD-PI-%s-SomeTopK", a.op
 // SetObserver implements Observable.
 func (a *HDPIMulti) SetObserver(o obs.Observer) { a.opt.Observer = o }
 
+// SetParallelism implements Parallelizable.
+func (a *HDPIMulti) SetParallelism(workers int) { a.opt.Parallelism = workers }
+
+// SetPrepCache implements PrepCached.
+func (a *HDPIMulti) SetPrepCache(c *prep.Cache, fingerprint uint64) {
+	a.opt.PrepCache, a.opt.PrepFingerprint = c, fingerprint
+}
+
 // RunMulti implements MultiAlgorithm.
 func (a *HDPIMulti) RunMulti(points []geom.Vector, k, want int, o oracle.Oracle) []int {
 	return a.runMulti(points, k, want, o, obsTracker(a.opt.Observer))
@@ -206,7 +215,13 @@ func (a *HDPIMulti) runMulti(points []geom.Vector, k, want int, o oracle.Oracle,
 		if len(sub) == 0 {
 			return nil
 		}
-		vs := convexPoints(sub, a.opt.Mode, a.opt.Samples, rng, tr)
+		sopt := a.opt
+		if len(sub) != len(points) {
+			// Subset scans are keyed by nothing the fingerprint describes;
+			// the full-set scan (first round) is the cacheable one.
+			sopt.PrepCache, sopt.PrepFingerprint = nil, 0
+		}
+		vs := convexPoints(sub, sopt, tr)
 		out := make([]int, len(vs))
 		for i, v := range vs {
 			out[i] = back[v]

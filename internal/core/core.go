@@ -14,6 +14,7 @@ import (
 	"ist/internal/geom"
 	"ist/internal/obs"
 	"ist/internal/oracle"
+	"ist/internal/prep"
 )
 
 // Algorithm is an interactive IST solver.
@@ -57,6 +58,25 @@ type BudgetedMulti interface {
 // bit-identical and no randomness is consumed.
 type Observable interface {
 	SetObserver(o obs.Observer)
+}
+
+// Parallelizable is implemented by algorithms whose preprocessing can fan
+// out over a bounded worker pool (internal/hull's speculative LP engine).
+// The contract is strict determinism: any worker count must produce the
+// same answers, transcripts and event streams as workers == 1, which is
+// the serial legacy path (DESIGN.md §14). Callers resolve "use all cores"
+// themselves (parallel.Degree); 0 and 1 both mean serial here.
+type Parallelizable interface {
+	SetParallelism(workers int)
+}
+
+// PrepCached is implemented by algorithms that can memoize dataset-level
+// preprocessing (convex points, sweep partitions) in a shared prep.Cache.
+// fingerprint keys the entries (ist.Fingerprint of the dataset); 0 disables
+// caching even with a cache attached. Cached and cold runs emit identical
+// event streams — the cache replays the recorded preprocessing tape.
+type PrepCached interface {
+	SetPrepCache(c *prep.Cache, fingerprint uint64)
 }
 
 // RunBudgeted runs alg under b. Algorithms without budget support run to

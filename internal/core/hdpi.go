@@ -9,6 +9,7 @@ import (
 	"ist/internal/obs"
 	"ist/internal/oracle"
 	"ist/internal/polytope"
+	"ist/internal/prep"
 )
 
 // ConvexMode selects how HD-PI finds the convex points that seed its
@@ -53,6 +54,21 @@ type HDPIOptions struct {
 	StopCheckEvery int
 	// Observer receives trace events (internal/obs); nil disables tracing.
 	Observer obs.Observer
+	// Parallelism is the worker-pool degree for the exact convex-point
+	// scan. 0 or 1 keeps the serial legacy path byte for byte; higher
+	// values run internal/hull's speculative engine, which is guaranteed
+	// to produce identical results and event streams. Callers wanting
+	// "all cores" resolve GOMAXPROCS themselves (parallel.Degree).
+	Parallelism int
+	// PrepCache, when non-nil and PrepFingerprint != 0, memoizes
+	// dataset-level preprocessing (the exact convex-point set) across
+	// sessions over the same dataset. Sampling mode is never cached (it
+	// consumes randomness); budgeted runs only read the cache, never
+	// populate it (a mid-scan stop would poison it with partial results).
+	PrepCache *prep.Cache
+	// PrepFingerprint keys PrepCache entries — ist.Fingerprint of the
+	// dataset the algorithm will run on. 0 disables caching.
+	PrepFingerprint uint64
 }
 
 // HDPI is the high-dimensional partition-based algorithm of Section 5.2.
@@ -84,6 +100,14 @@ func (a *HDPI) Name() string { return fmt.Sprintf("HD-PI-%s", a.opt.Mode) }
 
 // SetObserver implements Observable.
 func (a *HDPI) SetObserver(o obs.Observer) { a.opt.Observer = o }
+
+// SetParallelism implements Parallelizable.
+func (a *HDPI) SetParallelism(workers int) { a.opt.Parallelism = workers }
+
+// SetPrepCache implements PrepCached.
+func (a *HDPI) SetPrepCache(c *prep.Cache, fingerprint uint64) {
+	a.opt.PrepCache, a.opt.PrepFingerprint = c, fingerprint
+}
 
 // partition is one element of the set C: a polytope of the utility space
 // whose every utility vector has points[point] as top-1 among the convex
@@ -125,7 +149,7 @@ func (a *HDPI) run(points []geom.Vector, k int, o oracle.Oracle, tr *tracker) in
 	rng := a.opt.Rng
 
 	// Convex points V (Section 5.2.1).
-	V := convexPoints(points, a.opt.Mode, a.opt.Samples, rng, tr)
+	V := convexPoints(points, a.opt, tr)
 
 	// Initial partitions: Θ_i = {u : u·(p_i − p_j) >= 0 ∀ p_j ∈ V\{p_i}}.
 	C := a.buildPartitions(points, V, d, tr)
@@ -208,39 +232,91 @@ func (a *HDPI) run(points []geom.Vector, k int, o oracle.Oracle, tr *tracker) in
 	}
 }
 
+// prepKindConvexExact is the prep.Cache kind for the exact convex-point set
+// (both the 2-d envelope and the LP engine: the path is determined by the
+// dimension, so one kind covers both).
+const prepKindConvexExact = "convex-exact"
+
 // convexPoints picks the right convex-point detection for the mode and
 // dimension: the exact mode uses the LP-free upper-envelope method in 2-d
 // and the output-sensitive LP method otherwise. Under a tracker the exact
 // mode is budget-aware and degrades to sampling when its LPs go bad (a
 // non-Optimal solve on a healthy problem) instead of silently mislabeling
 // convex points.
-func convexPoints(points []geom.Vector, mode ConvexMode, samples int, rng *rand.Rand, tr *tracker) []int {
+//
+// The exact paths honour opt.Parallelism (the speculative worker-pool
+// engine; 0/1 = serial legacy) and opt.PrepCache: unbudgeted exact results
+// are memoized under the dataset fingerprint with their event tape, so a
+// cached session emits the same stream a cold one does. Budgeted runs only
+// read the cache — a hit hands them the complete exact set for free, a miss
+// computes locally without populating (the scan may stop mid-way). Sampling
+// mode consumes randomness and is never cached.
+func convexPoints(points []geom.Vector, opt HDPIOptions, tr *tracker) []int {
 	o := tr.observer()
-	if mode == ConvexExact {
-		if len(points) > 0 && len(points[0]) == 2 {
-			V := hull.ConvexPoints2D(points)
-			obs.ConvexPointsFound(o, len(V), "2d-envelope")
-			return V
-		}
-		if tr == nil || !tr.budgeted {
-			// Plain (possibly observer-carrying) run: the historical
-			// reject-on-bad-LP behaviour, traced when an observer rides along.
-			V, _ := hull.ConvexPointsExactObserved(points, nil, false, o)
-			return V
-		}
-		V, err := hull.ConvexPointsExactObserved(points, tr.exhausted, true, o)
-		if err == nil {
-			return V
-		}
-		tr.note("convex accurate→sampling (" + err.Error() + ")")
-		V = hull.ConvexPointsSampling(points, samples, rng)
+	if opt.Mode != ConvexExact {
+		V := hull.ConvexPointsSampling(points, opt.Samples, opt.Rng)
 		obs.ConvexPointsFound(o, len(V), "sampling")
 		return V
 	}
-	V := hull.ConvexPointsSampling(points, samples, rng)
+	cache := opt.PrepCache
+	if opt.PrepFingerprint == 0 {
+		cache = nil
+	}
+	key := prep.Key{Fingerprint: opt.PrepFingerprint, Kind: prepKindConvexExact}
+	if len(points) > 0 && len(points[0]) == 2 {
+		if cache != nil {
+			v, err := cache.Do(key, o, func(co obs.Observer) (any, int64, error) {
+				V := hull.ConvexPoints2D(points)
+				obs.ConvexPointsFound(co, len(V), "2d-envelope")
+				return V, intsBytes(V), nil
+			})
+			if err == nil {
+				return copyInts(v.([]int))
+			}
+		}
+		V := hull.ConvexPoints2D(points)
+		obs.ConvexPointsFound(o, len(V), "2d-envelope")
+		return V
+	}
+	if tr == nil || !tr.budgeted {
+		// Plain (possibly observer-carrying) run: the historical
+		// reject-on-bad-LP behaviour, traced when an observer rides along.
+		if cache != nil {
+			v, err := cache.Do(key, o, func(co obs.Observer) (any, int64, error) {
+				V, _ := hull.ConvexPointsExactParallel(points, nil, false, co, opt.Parallelism)
+				return V, intsBytes(V), nil
+			})
+			if err == nil {
+				return copyInts(v.([]int))
+			}
+		}
+		V, _ := hull.ConvexPointsExactParallel(points, nil, false, o, opt.Parallelism)
+		return V
+	}
+	if v, ok := cache.Lookup(key, o); ok {
+		return copyInts(v.([]int))
+	}
+	V, err := hull.ConvexPointsExactParallel(points, tr.exhausted, true, o, opt.Parallelism)
+	if err == nil {
+		return V
+	}
+	tr.note("convex accurate→sampling (" + err.Error() + ")")
+	V = hull.ConvexPointsSampling(points, opt.Samples, opt.Rng)
 	obs.ConvexPointsFound(o, len(V), "sampling")
 	return V
 }
+
+// copyInts detaches a cached slice from the cache: callers own their result
+// and the shared entry must stay immutable.
+func copyInts(v []int) []int {
+	if v == nil {
+		return nil
+	}
+	return append([]int(nil), v...)
+}
+
+// intsBytes approximates a cached []int's resident size for the byte cap.
+func intsBytes(v []int) int64 { return int64(len(v))*8 + 24 }
 
 // buildPartitions constructs the initial partition set C from the convex
 // points, skipping empty (and therefore impossible) cells. Under an

@@ -9,6 +9,7 @@ import (
 	"ist/internal/obs"
 	"ist/internal/oracle"
 	"ist/internal/polytope"
+	"ist/internal/prep"
 )
 
 // RobustHDPI is our extension for the paper's stated future work
@@ -54,6 +55,11 @@ type RobustHDPIOptions struct {
 	Rng *rand.Rand
 	// Observer receives trace events (internal/obs); nil disables tracing.
 	Observer obs.Observer
+	// Parallelism, PrepCache and PrepFingerprint control the exact
+	// convex-point scan as in HDPIOptions.
+	Parallelism     int
+	PrepCache       *prep.Cache
+	PrepFingerprint uint64
 }
 
 // NewRobustHDPI builds the noise-tolerant HD-PI variant.
@@ -82,6 +88,14 @@ func (a *RobustHDPI) Name() string { return fmt.Sprintf("Robust-HD-PI-%s", a.opt
 // SetObserver implements Observable.
 func (a *RobustHDPI) SetObserver(o obs.Observer) { a.opt.Observer = o }
 
+// SetParallelism implements Parallelizable.
+func (a *RobustHDPI) SetParallelism(workers int) { a.opt.Parallelism = workers }
+
+// SetPrepCache implements PrepCached.
+func (a *RobustHDPI) SetPrepCache(c *prep.Cache, fingerprint uint64) {
+	a.opt.PrepCache, a.opt.PrepFingerprint = c, fingerprint
+}
+
 // Run implements Algorithm.
 func (a *RobustHDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
 	return a.run(points, k, o, obsTracker(a.opt.Observer))
@@ -101,7 +115,11 @@ func (a *RobustHDPI) run(points []geom.Vector, k int, o oracle.Oracle, tr *track
 	d := len(points[0])
 	rng := a.opt.Rng
 
-	V := convexPoints(points, a.opt.Mode, a.opt.Samples, rng, tr)
+	V := convexPoints(points, HDPIOptions{
+		Mode: a.opt.Mode, Samples: a.opt.Samples, Rng: rng,
+		Parallelism: a.opt.Parallelism,
+		PrepCache:   a.opt.PrepCache, PrepFingerprint: a.opt.PrepFingerprint,
+	}, tr)
 	base := &HDPI{opt: HDPIOptions{Rng: rng}}
 	C := base.buildPartitions(points, V, d, tr)
 	if tr.exhausted() {

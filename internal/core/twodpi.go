@@ -5,6 +5,7 @@ import (
 	"ist/internal/obs"
 	"ist/internal/oracle"
 	"ist/internal/polytope"
+	"ist/internal/prep"
 	"ist/internal/sweep"
 )
 
@@ -16,6 +17,12 @@ import (
 type TwoDPI struct {
 	// Obs receives trace events from subsequent runs; nil disables tracing.
 	Obs obs.Observer
+	// Cache and Fingerprint memoize the Algorithm 1 sweep partitions across
+	// sessions over the same dataset (prep.Cache semantics: fingerprint 0
+	// or a nil cache disables). The sweep is deterministic and emits no
+	// events, so a hit is behaviour-identical to recomputing.
+	Cache       *prep.Cache
+	Fingerprint uint64
 }
 
 // Name implements Algorithm.
@@ -23,6 +30,11 @@ func (TwoDPI) Name() string { return "2D-PI" }
 
 // SetObserver implements Observable.
 func (t *TwoDPI) SetObserver(o obs.Observer) { t.Obs = o }
+
+// SetPrepCache implements PrepCached.
+func (t *TwoDPI) SetPrepCache(c *prep.Cache, fingerprint uint64) {
+	t.Cache, t.Fingerprint = c, fingerprint
+}
 
 // Run implements Algorithm. It panics if the points are not 2-dimensional.
 func (t TwoDPI) Run(points []geom.Vector, k int, o oracle.Oracle) int {
@@ -39,8 +51,8 @@ func (t TwoDPI) RunBudgeted(points []geom.Vector, k int, o oracle.Oracle, b Budg
 	return idx, cert
 }
 
-func (TwoDPI) run(points []geom.Vector, k int, o oracle.Oracle, tr *tracker) int {
-	parts := sweep.PartitionUtilitySpace(points, k)
+func (t TwoDPI) run(points []geom.Vector, k int, o oracle.Oracle, tr *tracker) int {
+	parts := t.partitions(points, k)
 	left, right := 0, len(parts)-1
 	for left < right {
 		x := (left + right) / 2 // median partition
@@ -65,6 +77,27 @@ func (TwoDPI) run(points []geom.Vector, k int, o oracle.Oracle, tr *tracker) int
 	}
 	tr.finish(true, StopConverged, twoDPIRegion(parts, left, left))
 	return parts[left].Point
+}
+
+// partitions returns the sweep partitions, memoized in the prep cache when
+// one is attached. The binary search only reads the slice, so sessions can
+// share one cached copy. The sweep runs before the first budget check in
+// both Run and RunBudgeted, so populating from either is safe — the
+// computation always completes.
+func (t TwoDPI) partitions(points []geom.Vector, k int) []sweep.Partition {
+	if t.Cache == nil || t.Fingerprint == 0 {
+		return sweep.PartitionUtilitySpace(points, k)
+	}
+	key := prep.Key{Fingerprint: t.Fingerprint, Kind: "sweep-2d", Param: k}
+	v, err := t.Cache.Do(key, t.Obs, func(obs.Observer) (any, int64, error) {
+		parts := sweep.PartitionUtilitySpace(points, k)
+		// L, R float64 + Point, BoundaryI, BoundaryJ ints per partition.
+		return parts, int64(len(parts))*40 + 24, nil
+	})
+	if err != nil {
+		return sweep.PartitionUtilitySpace(points, k)
+	}
+	return v.([]sweep.Partition)
 }
 
 // twoDPIRegion is the utility region still in play when partitions

@@ -28,10 +28,11 @@ var Registry = map[string]Runner{
 	"fig-island": FigIsland,
 	"fig-car":    FigCar,
 	// Extensions beyond the paper (documented in EXPERIMENTS.md):
-	"ext-noise":     ExtNoise,
-	"ext-sorting":   ExtSorting,
-	"obs-counters":  ObsCounters,
-	"theory-bounds": TheoryBoundsRatios,
+	"ext-noise":           ExtNoise,
+	"ext-sorting":         ExtSorting,
+	"obs-counters":        ObsCounters,
+	"theory-bounds":       TheoryBoundsRatios,
+	"sessions-throughput": SessionsThroughput,
 }
 
 // Names returns the registered experiment ids in a stable order.

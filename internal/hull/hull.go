@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"ist/internal/geom"
 	"ist/internal/lp"
@@ -79,18 +80,7 @@ func convexPointsExact(points []geom.Vector, stop func() bool, strict bool, o ob
 
 	// Seed: the winner at each simplex corner and at the centroid is a
 	// convex point by construction.
-	seeds := make([]geom.Vector, 0, d+1)
-	for i := 0; i < d; i++ {
-		e := geom.NewVector(d)
-		e[i] = 1
-		seeds = append(seeds, e)
-	}
-	c := geom.NewVector(d)
-	for i := range c {
-		c[i] = 1 / float64(d)
-	}
-	seeds = append(seeds, c)
-	for _, u := range seeds {
+	for _, u := range seedUtilities(d) {
 		confirm(argmax(points, u, -1))
 	}
 
@@ -113,8 +103,10 @@ func convexPointsExact(points []geom.Vector, stop func() bool, strict bool, o ob
 			if delta < -geom.Eps {
 				break // beaten everywhere by confirmed points: not convex
 			}
-			w := argmax(points, u, p)
-			if u.Dot(points[p]) >= u.Dot(points[w])-geom.Eps {
+			// argmaxVals hands back the dot products the witness scan already
+			// computed, so the tie-top-1 test below re-derives nothing.
+			w, dp, dw := argmaxVals(points, u, p)
+			if dp >= dw-geom.Eps {
 				confirm(p) // p is (tied-)top-1 at the witness
 				break
 			}
@@ -132,31 +124,89 @@ func convexPointsExact(points []geom.Vector, stop func() bool, strict bool, o ob
 	return confirmedList, nil
 }
 
+// seedUtilities returns the utility vectors whose winners are convex points
+// by construction: the d simplex corners and the centroid.
+func seedUtilities(d int) []geom.Vector {
+	seeds := make([]geom.Vector, 0, d+1)
+	for i := 0; i < d; i++ {
+		e := geom.NewVector(d)
+		e[i] = 1
+		seeds = append(seeds, e)
+	}
+	c := geom.NewVector(d)
+	for i := range c {
+		c[i] = 1 / float64(d)
+	}
+	return append(seeds, c)
+}
+
+// marginScratch reuses maxMinMargin's LP staging buffers across calls: the
+// coefficient arena (objective + simplex row + one difference row per
+// confirmed point), the constraint headers, and the free-variable mask.
+// Reused memory is re-zeroed to fresh-make state, so the staged problem —
+// and therefore the solve — is bit-identical to the allocating version this
+// replaced (the hot-loop fix of PR 10; see BenchmarkMaxMinMargin). Pooled
+// because the parallel fan-out calls this from many workers at once.
+type marginScratch struct {
+	arena []float64
+	cons  []lp.Constraint
+	free  []bool
+}
+
+var marginPool = sync.Pool{New: func() any { return new(marginScratch) }}
+
 // maxMinMargin solves max δ s.t. u in simplex, u·(p − q) ≥ δ for all q in
 // against (excluding p itself). Returns the witness u and δ.
 func maxMinMargin(points []geom.Vector, p int, against []int, o obs.Observer) (geom.Vector, float64, bool) {
 	d := len(points[p])
 	nv := d + 1 // u plus δ
-	obj := make([]float64, nv)
+	s := marginPool.Get().(*marginScratch)
+	arena := s.arena
+	if need := nv * (2 + len(against)); cap(arena) < need {
+		arena = make([]float64, need)
+	} else {
+		arena = arena[:need]
+		clear(arena)
+	}
+	s.arena = arena
+	obj := arena[0:nv]
 	obj[d] = 1
-	one := make([]float64, nv)
+	one := arena[nv : 2*nv]
 	for i := 0; i < d; i++ {
 		one[i] = 1
 	}
-	cons := []lp.Constraint{{Coef: one, Rel: lp.EQ, RHS: 1}}
+	cons := append(s.cons[:0], lp.Constraint{Coef: one, Rel: lp.EQ, RHS: 1})
+	off := 2 * nv
+	pp := points[p]
 	for _, q := range against {
 		if q == p {
 			continue
 		}
-		diff := points[p].Sub(points[q])
-		row := make([]float64, nv)
-		copy(row, diff)
+		// The difference p − q is written straight into the arena row: same
+		// floats as the Sub-then-copy it replaces, without the temporary.
+		row := arena[off : off+nv]
+		off += nv
+		pq := points[q]
+		for j := 0; j < d; j++ {
+			row[j] = pp[j] - pq[j]
+		}
 		row[d] = -1
 		cons = append(cons, lp.Constraint{Coef: row, Rel: lp.GE, RHS: 0})
 	}
-	free := make([]bool, nv)
+	s.cons = cons
+	free := s.free
+	if cap(free) < nv {
+		free = make([]bool, nv)
+	} else {
+		free = free[:nv]
+		clear(free)
+	}
+	s.free = free
 	free[d] = true
 	res := lp.SolveTraced(lp.Problem{NumVars: nv, Objective: obj, Constraints: cons, Free: free}, o)
+	// The solver copies the problem into its own scratch and Result.X is
+	// freshly allocated, so the buffers can go back to the pool here.
+	marginPool.Put(s)
 	if res.Status != lp.Optimal {
 		return nil, 0, false
 	}
@@ -166,16 +216,39 @@ func maxMinMargin(points []geom.Vector, p int, against []int, o obs.Observer) (g
 // argmax returns the index with the highest utility w.r.t. u; prefer wins
 // ties when it is within Eps of the maximum (pass -1 to disable).
 func argmax(points []geom.Vector, u geom.Vector, prefer int) int {
+	if prefer < 0 {
+		best, bestVal := 0, u.Dot(points[0])
+		for i := 1; i < len(points); i++ {
+			if v := u.Dot(points[i]); v > bestVal {
+				best, bestVal = i, v
+			}
+		}
+		return best
+	}
+	best, _, _ := argmaxVals(points, u, prefer)
+	return best
+}
+
+// argmaxVals is argmax for a real candidate (prefer >= 0) that also returns
+// the dot products the scan computed — prefer's value and the maximum — so
+// callers deciding a tie-top-1 test need no repeat Dot calls. prefer's value
+// is tracked inside the single pass instead of being recomputed after it.
+func argmaxVals(points []geom.Vector, u geom.Vector, prefer int) (int, float64, float64) {
 	best, bestVal := 0, u.Dot(points[0])
+	preferVal := bestVal // prefer == 0 is covered by the init
 	for i := 1; i < len(points); i++ {
-		if v := u.Dot(points[i]); v > bestVal {
+		v := u.Dot(points[i])
+		if i == prefer {
+			preferVal = v
+		}
+		if v > bestVal {
 			best, bestVal = i, v
 		}
 	}
-	if prefer >= 0 && u.Dot(points[prefer]) >= bestVal-geom.Eps {
-		return prefer
+	if preferVal >= bestVal-geom.Eps {
+		return prefer, preferVal, bestVal
 	}
-	return best
+	return best, preferVal, bestVal
 }
 
 // ConvexPointsSampling approximates the convex points by sampling `samples`

@@ -166,11 +166,17 @@ func solve(p Problem) (Result, int) {
 		}
 	}
 
+	// All working memory below comes from a pooled scratch (scratch.go):
+	// buffers are re-zeroed to fresh-make state, so the arithmetic — and the
+	// pivot sequence — is identical to an allocating build.
+	s := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(s)
+
 	// Split free variables x = x+ - x-. Column layout: for each original
 	// variable i, column col[i] holds x_i (or x_i^+); free variables get an
 	// extra negative-part column appended after the originals.
 	nOrig := p.NumVars
-	negCol := make([]int, nOrig) // -1 if not free
+	negCol := ints(&s.negCol, nOrig) // -1 if not free
 	nStd := nOrig
 	for i := 0; i < nOrig; i++ {
 		negCol[i] = -1
@@ -180,45 +186,43 @@ func solve(p Problem) (Result, int) {
 		}
 	}
 
-	expand := func(coef []float64) []float64 {
-		row := make([]float64, nStd)
-		copy(row, coef)
+	m := len(p.Constraints)
+	// The arena holds the m expanded constraint rows plus (row m) the
+	// expanded objective, each nStd wide and zeroed like a fresh make.
+	arena := floats(&s.rowArena, (m+1)*nStd)
+	expandInto := func(dst, coef []float64) {
+		copy(dst, coef)
 		for i, nc := range negCol {
 			if nc >= 0 {
-				row[nc] = -coef[i]
+				dst[nc] = -coef[i]
 			}
 		}
-		return row
 	}
 
-	m := len(p.Constraints)
 	// Count slack/artificial columns.
 	nSlack := 0
 	nArt := 0
-	type rowSpec struct {
-		a   []float64
-		rhs float64
-		rel Relation
-	}
-	rows := make([]rowSpec, m)
+	rhs := floats(&s.rhs, m)
+	rel := rels(&s.rel, m)
 	for i, c := range p.Constraints {
-		a := expand(c.Coef)
-		rhs := c.RHS
-		rel := c.Rel
-		if rhs < 0 {
+		a := arena[i*nStd : (i+1)*nStd]
+		expandInto(a, c.Coef)
+		r := c.RHS
+		rl := c.Rel
+		if r < 0 {
 			for j := range a {
 				a[j] = -a[j]
 			}
-			rhs = -rhs
-			switch rel {
+			r = -r
+			switch rl {
 			case LE:
-				rel = GE
+				rl = GE
 			case GE:
-				rel = LE
+				rl = LE
 			}
 		}
-		rows[i] = rowSpec{a, rhs, rel}
-		switch rel {
+		rhs[i], rel[i] = r, rl
+		switch rl {
 		case LE:
 			nSlack++
 		case GE:
@@ -230,20 +234,22 @@ func solve(p Problem) (Result, int) {
 	}
 
 	total := nStd + nSlack + nArt
+	width := total + 1
 	// tableau: m rows + 1 objective row (phase 1), columns total+1 (RHS last).
-	t := make([][]float64, m+1)
+	tabBuf := floats(&s.tabBuf, (m+1)*width)
+	t := rowPtrs(&s.tab, m+1)
 	for i := range t {
-		t[i] = make([]float64, total+1)
+		t[i] = tabBuf[i*width : (i+1)*width]
 	}
-	basis := make([]int, m)
-	artCols := make([]bool, total)
+	basis := ints(&s.basis, m)
+	artCols := bools(&s.artCols, total)
 
 	slackAt := nStd
 	artAt := nStd + nSlack
-	for i, r := range rows {
-		copy(t[i], r.a)
-		t[i][total] = r.rhs
-		switch r.rel {
+	for i := 0; i < m; i++ {
+		copy(t[i], arena[i*nStd:(i+1)*nStd])
+		t[i][total] = rhs[i]
+		switch rel[i] {
 		case LE:
 			t[i][slackAt] = 1
 			basis[i] = slackAt
@@ -317,7 +323,8 @@ func solve(p Problem) (Result, int) {
 	for j := 0; j <= total; j++ {
 		obj[j] = 0
 	}
-	cExp := expand(p.Objective)
+	cExp := arena[m*nStd : (m+1)*nStd]
+	expandInto(cExp, p.Objective)
 	for j := 0; j < nStd; j++ {
 		obj[j] = cExp[j]
 	}
@@ -350,7 +357,7 @@ func solve(p Problem) (Result, int) {
 	}
 
 	// Extract solution.
-	xStd := make([]float64, nStd)
+	xStd := floats(&s.xStd, nStd)
 	for i, b := range basis {
 		if b < nStd {
 			xStd[b] = t[i][total]

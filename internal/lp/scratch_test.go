@@ -1,0 +1,101 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchProblem is the BenchmarkSolve workload: the LP shape the algorithms
+// actually produce (few variables, tens of constraints).
+func benchProblem() Problem {
+	rng := rand.New(rand.NewSource(1))
+	d := 5
+	var cons []Constraint
+	one := make([]float64, d)
+	for i := range one {
+		one[i] = 1
+	}
+	cons = append(cons, Constraint{Coef: one, Rel: EQ, RHS: 1})
+	for c := 0; c < 40; c++ {
+		row := make([]float64, d)
+		for i := range row {
+			row[i] = rng.Float64()*2 - 1
+		}
+		cons = append(cons, Constraint{Coef: row, Rel: GE, RHS: -0.5})
+	}
+	obj := make([]float64, d)
+	for i := range obj {
+		obj[i] = rng.Float64()
+	}
+	return Problem{NumVars: d, Objective: obj, Constraints: cons}
+}
+
+// TestSolveAllocs pins the zero-alloc scratch layer: a steady-state solve
+// may allocate only the Result.X slice it hands the caller (plus pool
+// noise), a >=80% reduction from the ~90 allocs/op of the tableau-per-call
+// solver it replaced. The bound is deliberately loose (8) so a GC emptying
+// the sync.Pool mid-run cannot flake the test.
+func TestSolveAllocs(t *testing.T) {
+	prob := benchProblem()
+	Solve(prob) // warm the scratch pool
+	allocs := testing.AllocsPerRun(100, func() {
+		Solve(prob)
+	})
+	if allocs > 8 {
+		t.Fatalf("Solve allocates %.1f objects/op, want <= 8 (scratch pool regressed)", allocs)
+	}
+}
+
+// TestScratchReuseMatchesFresh runs interleaved solves of different shapes
+// through the shared pool and checks each against a problem-specific fresh
+// run — stale buffer contents from a previous (larger) solve must never
+// leak into a later one.
+func TestScratchReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mk := func(nv, m int, free bool) Problem {
+		p := Problem{NumVars: nv}
+		p.Objective = make([]float64, nv)
+		for i := range p.Objective {
+			p.Objective[i] = rng.Float64()
+		}
+		if free {
+			p.Free = make([]bool, nv)
+			p.Free[nv-1] = true
+		}
+		one := make([]float64, nv)
+		for i := range one {
+			one[i] = 1
+		}
+		p.Constraints = append(p.Constraints, Constraint{Coef: one, Rel: EQ, RHS: 1})
+		for c := 0; c < m; c++ {
+			row := make([]float64, nv)
+			for i := range row {
+				row[i] = rng.Float64()*2 - 1
+			}
+			p.Constraints = append(p.Constraints, Constraint{Coef: row, Rel: GE, RHS: -rng.Float64()})
+		}
+		return p
+	}
+	probs := []Problem{mk(6, 50, true), mk(3, 4, false), mk(5, 30, true), mk(2, 2, false)}
+	// Reference results on first (cold) pass.
+	var want []Result
+	for _, p := range probs {
+		want = append(want, Solve(p))
+	}
+	// Re-solving through warm scratches must reproduce them bit for bit.
+	for round := 0; round < 3; round++ {
+		for pi, p := range probs {
+			got := Solve(p)
+			w := want[pi]
+			if got.Status != w.Status || got.Value != w.Value {
+				t.Fatalf("round %d problem %d: got (%v, %v), want (%v, %v)",
+					round, pi, got.Status, got.Value, w.Status, w.Value)
+			}
+			for i := range got.X {
+				if got.X[i] != w.X[i] {
+					t.Fatalf("round %d problem %d: X[%d] = %v, want %v", round, pi, i, got.X[i], w.X[i])
+				}
+			}
+		}
+	}
+}

@@ -38,6 +38,14 @@ const (
 	MetricTraceBytes       = "ist_trace_bytes_total"
 	MetricFlightDumps      = "ist_flight_dumps_total"
 
+	// Shared preprocessing cache series (DESIGN.md §14.3). Hits/misses are
+	// cumulative across every algorithm-level cache access (session create,
+	// rehydration, budgeted lookups); bytes is the resident size of the
+	// memoized values. Refreshed from prep.Cache.Stats at scrape time.
+	MetricPrepCacheHits   = "ist_preprocess_cache_hits"
+	MetricPrepCacheMisses = "ist_preprocess_cache_misses"
+	MetricPrepCacheBytes  = "ist_preprocess_cache_bytes"
+
 	// Client-side series, registered by the ist/client package when it is
 	// given a registry.
 	MetricClientRequests     = "ist_client_requests_total"

@@ -1,0 +1,129 @@
+// Package parallel provides the bounded, deterministic fan-out primitives
+// behind the library's parallel code paths (DESIGN.md §14). The rules every
+// user of this package follows:
+//
+//   - Degree 1 is the serial legacy path: no goroutines are spawned and the
+//     caller's exact single-threaded interleaving is preserved.
+//   - Results are collected into index-ordered slots and committed in index
+//     order, so the observable outcome (return values, Observer event
+//     streams, transcripts) of a parallel run is bit-identical to the serial
+//     run. The detpar analyzer (internal/analysis) enforces the
+//     index-ordered-slot idiom mechanically.
+//   - A panic in a worker is captured and re-raised on the calling
+//     goroutine, so recover-based isolation barriers above (the session
+//     layer's panic isolation, the budget tracker's rescue) keep working
+//     exactly as they do for serial code.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Degree normalizes a requested parallelism degree: values <= 0 select
+// GOMAXPROCS (the serving default), anything else is returned unchanged.
+func Degree(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Panic carries a task panic across goroutines: the original value plus the
+// panicking worker's stack. Do re-raises it on the calling goroutine so the
+// recover barriers above (session isolation, tracker rescue) observe worker
+// panics exactly like serial ones.
+type Panic struct {
+	Value any
+	Stack []byte
+}
+
+// String renders the original panic value followed by the worker stack.
+func (p Panic) String() string {
+	return fmt.Sprintf("%v\n\nworker stack:\n%s", p.Value, p.Stack)
+}
+
+// Do runs task(0) … task(n-1) on at most workers goroutines and returns when
+// all have finished. workers <= 1 (or n <= 1) runs every task inline on the
+// calling goroutine in index order — the serial path, no goroutines spawned.
+// Tasks must be independent of each other; the order in which they run
+// concurrently is unspecified (callers commit results in index order
+// afterwards). If any task panics, the first panic is re-raised on the
+// calling goroutine as a Panic after all workers have stopped.
+func Do(workers, n int, task func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		pan     *Panic
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		//lint:ignore goroleak workers drain a finite atomic counter and exit; Do blocks on wg.Wait, so none can outlive the call
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					failed.Store(true)
+					panicMu.Lock()
+					if pan == nil {
+						pan = &Panic{Value: r, Stack: debug.Stack()}
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if pan != nil {
+		panic(*pan)
+	}
+}
+
+// ForEachOrdered runs task(0) … task(n-1) on at most workers goroutines and
+// then applies commit(i, result) strictly in index order on the calling
+// goroutine. With workers <= 1 it degenerates to the exact serial
+// interleaving — task(i) immediately followed by commit(i) — which is the
+// legacy code path. With workers > 1 every task must be independent of every
+// commit: all tasks finish (barrier) before the first commit runs.
+func ForEachOrdered[R any](workers, n int, task func(i int) R, commit func(i int, r R)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			commit(i, task(i))
+		}
+		return
+	}
+	results := make([]R, n)
+	Do(workers, n, func(i int) {
+		results[i] = task(i)
+	})
+	for i := 0; i < n; i++ {
+		commit(i, results[i])
+	}
+}

@@ -1,0 +1,116 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDegree(t *testing.T) {
+	if got := Degree(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Degree(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Degree(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Degree(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Degree(7); got != 7 {
+		t.Fatalf("Degree(7) = %d", got)
+	}
+}
+
+func TestDoRunsEveryTaskExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 13} {
+		const n = 500
+		hits := make([]atomic.Int32, n)
+		Do(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestDoSerialOrder(t *testing.T) {
+	var order []int
+	Do(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("serial Do out of order: %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("serial Do ran %d of 5 tasks", len(order))
+	}
+}
+
+func TestDoPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if workers > 1 {
+					p, ok := r.(Panic)
+					if !ok {
+						t.Fatalf("workers=%d: recovered %T, want parallel.Panic", workers, r)
+					}
+					if p.Value != "boom" {
+						t.Fatalf("panic value = %v, want boom", p.Value)
+					}
+					if len(p.Stack) == 0 {
+						t.Fatal("panic carries no worker stack")
+					}
+				}
+			}()
+			Do(workers, 64, func(i int) {
+				if i == 7 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestForEachOrderedCommitsInIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 200
+		var committed []int
+		ForEachOrdered(workers, n,
+			func(i int) int { return i * i },
+			func(i, r int) {
+				if r != i*i {
+					t.Fatalf("workers=%d: commit(%d) got %d", workers, i, r)
+				}
+				committed = append(committed, i)
+			})
+		if len(committed) != n {
+			t.Fatalf("workers=%d: committed %d of %d", workers, len(committed), n)
+		}
+		for i, v := range committed {
+			if i != v {
+				t.Fatalf("workers=%d: commits out of order at %d: %d", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestForEachOrderedSerialInterleaving pins the workers<=1 contract: task(i)
+// runs immediately before commit(i), with no lookahead — the legacy path
+// callers rely on when a commit feeds the next task.
+func TestForEachOrderedSerialInterleaving(t *testing.T) {
+	var trace []string
+	ForEachOrdered(1, 3,
+		func(i int) int { trace = append(trace, "t"); return i },
+		func(i, r int) { trace = append(trace, "c") })
+	want := "tctctc"
+	got := ""
+	for _, s := range trace {
+		got += s
+	}
+	if got != want {
+		t.Fatalf("serial interleaving = %q, want %q", got, want)
+	}
+}

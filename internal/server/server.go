@@ -95,6 +95,18 @@ type Options struct {
 	// "_truncated" marker is written and the rest of the stream is dropped
 	// (0 = the 4 MiB default, negative = unlimited).
 	TraceMaxBytes int64
+	// Parallelism is the preprocessing worker-pool degree applied to every
+	// session's algorithm (DESIGN.md §14). 0 or 1 keeps the serial legacy
+	// path; any value yields bit-identical transcripts and traces, so it is
+	// safe to tune freely. Callers wanting "all cores" resolve GOMAXPROCS
+	// before setting (istserve's -parallelism flag does).
+	Parallelism int
+	// PrepCache, when non-nil, is shared by every session's algorithm to
+	// memoize dataset-level preprocessing (exact convex points, 2-d sweep
+	// partitions) — the dominant per-session setup cost under high session
+	// counts. Cache effectiveness is exposed on /metrics as
+	// ist_preprocess_cache_{hits,misses,bytes}.
+	PrepCache *ist.PreprocessCache
 }
 
 // DefaultTraceMaxBytes is the per-session trace-file cap applied when
@@ -127,6 +139,9 @@ type Server struct {
 	flightDumps        *obs.Counter
 	vsLower            *obs.GaugeVec
 	vsUpper            *obs.GaugeVec
+	prepHits           *obs.Counter
+	prepMisses         *obs.Counter
+	prepBytes          *obs.Gauge
 
 	// spans is the bounded in-memory span repository behind
 	// /debug/ist/traces (nil when Options.Tracing is off).
@@ -257,6 +272,12 @@ func New(points []ist.Point, k int, opt Options) (*Server, error) {
 		"Last certified session's questions divided by the theoretical lower bound log2(n/k).", "algorithm")
 	srv.vsUpper = srv.reg.GaugeVec(obs.MetricQuestionsVsUpper,
 		"Last certified session's questions divided by the 2D-PI upper bound log2(ceil(2n/(k+1))); <=1.0 keeps the Thm 4.5 guarantee.", "algorithm")
+	srv.prepHits = srv.reg.Counter(obs.MetricPrepCacheHits,
+		"Shared preprocessing-cache lookups answered from a memoized entry.")
+	srv.prepMisses = srv.reg.Counter(obs.MetricPrepCacheMisses,
+		"Shared preprocessing-cache lookups that had to compute (or skipped an in-flight entry).")
+	srv.prepBytes = srv.reg.Gauge(obs.MetricPrepCacheBytes,
+		"Approximate resident bytes of memoized preprocessing values.")
 	if opt.Tracing {
 		srv.spans = obs.NewSpanStore(0, 0)
 	}
@@ -353,6 +374,20 @@ func algorithmByName(name string, seed int64) (ist.Algorithm, error) {
 	return nil, fmt.Errorf("unknown algorithm %q", name)
 }
 
+// applyPerfOptions grants a freshly constructed algorithm the server-wide
+// performance capabilities (worker-pool degree, shared preprocessing cache)
+// before any observability wrapper hides the concrete type. Both are
+// transcript-neutral (DESIGN.md §14): rehydrated sessions replay identically
+// whether or not the original run had them.
+func (srv *Server) applyPerfOptions(alg any) {
+	if srv.opt.Parallelism > 1 {
+		ist.SetParallelism(alg, srv.opt.Parallelism)
+	}
+	if srv.opt.PrepCache != nil {
+		ist.UsePreprocessCache(alg, srv.opt.PrepCache, srv.points, srv.k)
+	}
+}
+
 // rehydrate rebuilds every unfinished persisted session by transcript
 // replay. Called from New before the server serves traffic, so it needs no
 // locking discipline beyond the store's own.
@@ -375,6 +410,7 @@ func (srv *Server) rehydrate() error {
 			_ = srv.opt.Store.Finish(rec.ID)
 			continue
 		}
+		srv.applyPerfOptions(alg)
 		if srv.opt.WrapAlgorithm != nil {
 			alg = srv.opt.WrapAlgorithm(rec.ID, alg)
 		}
@@ -636,6 +672,15 @@ func (srv *Server) BeginDrain() bool {
 // derived state, not an event counter.
 func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	srv.sessionsLive.Set(float64(srv.Sessions()))
+	if c := srv.opt.PrepCache; c != nil {
+		// Cache counters live in prep.Cache; sync the registry copies to the
+		// authoritative snapshot at scrape time (delta-add keeps counters
+		// monotone without double counting).
+		s := c.Stats()
+		srv.prepHits.Add(s.Hits - srv.prepHits.Value())
+		srv.prepMisses.Add(s.Misses - srv.prepMisses.Value())
+		srv.prepBytes.Set(float64(s.Bytes))
+	}
 	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
 		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
 		srv.reg.WriteOpenMetrics(w)
@@ -727,6 +772,7 @@ func (srv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	createSp := st.root.StartChild("create")
 
 	alg, _ := algorithmByName(name, seed)
+	srv.applyPerfOptions(alg)
 	if srv.opt.WrapAlgorithm != nil {
 		alg = srv.opt.WrapAlgorithm(id, alg)
 	}

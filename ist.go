@@ -41,7 +41,9 @@ import (
 	"ist/internal/geom"
 	"ist/internal/obs"
 	"ist/internal/oracle"
+	"ist/internal/parallel"
 	"ist/internal/polytope"
+	"ist/internal/prep"
 	"ist/internal/skyband"
 )
 
@@ -161,6 +163,72 @@ func Observe(alg any, o Observer) bool {
 		oa.SetObserver(o)
 	}
 	return ok
+}
+
+// SetParallelism sets the preprocessing worker-pool degree on an algorithm
+// built by this package. workers <= 0 resolves to GOMAXPROCS; 1 is the
+// serial legacy path. Any degree produces bit-identical answers, transcripts
+// and trace streams — parallelism only changes wall-clock time (DESIGN.md
+// §14). It reports false for algorithms with no parallelizable stage (2D-PI
+// and RH compute no convex points; the adapted baselines other than UH are
+// untouched).
+func SetParallelism(alg any, workers int) bool {
+	pa, ok := alg.(core.Parallelizable)
+	if ok {
+		pa.SetParallelism(parallel.Degree(workers))
+	}
+	return ok
+}
+
+// PreprocessCache memoizes dataset-level preprocessing — k-skybands, exact
+// convex-point sets, 2-d sweep partitions — across sessions over the same
+// dataset, keyed by Fingerprint. Safe for concurrent use; computations are
+// single-flighted. Each memoized entry stores the trace-event tape of its
+// first computation and replays it on every hit, so cached and cold runs
+// emit identical event streams.
+type PreprocessCache = prep.Cache
+
+// PreprocessCacheStats is a snapshot of cache effectiveness counters.
+type PreprocessCacheStats = prep.Stats
+
+// NewPreprocessCache returns a PreprocessCache holding at most maxBytes of
+// memoized values (approximate; least-recently-used entries are evicted).
+// maxBytes <= 0 means unbounded.
+func NewPreprocessCache(maxBytes int64) *PreprocessCache { return prep.New(maxBytes) }
+
+// UsePreprocessCache attaches a shared preprocessing cache to an algorithm
+// built by this package, keying its entries by the fingerprint of (points,
+// k) — the dataset the algorithm will run on. It reports false when the
+// algorithm has no cacheable preprocessing stage. A nil cache detaches.
+func UsePreprocessCache(alg any, c *PreprocessCache, points []Point, k int) bool {
+	pc, ok := alg.(core.PrepCached)
+	if ok {
+		if c == nil {
+			pc.SetPrepCache(nil, 0)
+		} else {
+			pc.SetPrepCache(c, Fingerprint(points, k))
+		}
+	}
+	return ok
+}
+
+// PreprocessCached is Preprocess with the k-skyband memoized in c: the
+// index set is cached under the dataset fingerprint, and the point copies
+// are rebuilt per call so callers own their slice. A nil cache computes
+// directly.
+func PreprocessCached(c *PreprocessCache, points []Point, k int) []Point {
+	if c == nil {
+		return Preprocess(points, k)
+	}
+	key := prep.Key{Fingerprint: Fingerprint(points, k), Kind: "skyband", Param: k}
+	v, err := c.Do(key, nil, func(obs.Observer) (any, int64, error) {
+		band := skyband.KSkyband(points, k)
+		return band, int64(len(band))*8 + 24, nil
+	})
+	if err != nil {
+		return Preprocess(points, k)
+	}
+	return skyband.Filter(points, v.([]int))
 }
 
 // TraceWriter streams trace events as JSON Lines, one event per line with a
